@@ -1,0 +1,209 @@
+// Package cgramap is an architecture-agnostic CGRA mapping toolkit: a Go
+// reproduction of "An Architecture-Agnostic Integer Linear Programming
+// Approach to CGRA Mapping" (Chin & Anderson, DAC 2018) together with the
+// CGRA-ME-style modelling substrate it builds on.
+//
+// The flow mirrors the paper's Fig. 7:
+//
+//	arch  := cgramap.MustGrid(cgramap.GridSpec{Rows: 4, Cols: 4, Contexts: 2, Homogeneous: true})
+//	mrrg  := cgramap.MustMRRG(arch)              // device model
+//	app   := cgramap.Benchmark("accum")          // or build/parse your own DFG
+//	res, _ := cgramap.Map(ctx, app, mrrg, cgramap.MapOptions{})
+//	if res.Feasible() { res.Mapping.Write(os.Stdout) }
+//
+// The ILP mapper provably decides feasibility (and, in MinimizeRouting
+// mode, optimality); the annealing mapper is the heuristic baseline the
+// paper compares against. This facade re-exports the stable surface of
+// the internal packages.
+package cgramap
+
+import (
+	"context"
+	"io"
+
+	"cgramap/internal/anneal"
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/config"
+	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+	"cgramap/internal/sched"
+	"cgramap/internal/sim"
+	"cgramap/internal/solve/bb"
+	"cgramap/internal/solve/cdcl"
+	"cgramap/internal/visual"
+)
+
+// Core model types.
+type (
+	// DFG is an application data-flow graph.
+	DFG = dfg.Graph
+	// Op and Value are DFG elements; OpKind enumerates operations.
+	Op     = dfg.Op
+	Value  = dfg.Value
+	OpKind = dfg.Kind
+	// Arch is a CGRA architecture (primitive netlist + context count).
+	Arch = arch.Arch
+	// GridSpec parameterises the paper's grid architecture family.
+	GridSpec = arch.GridSpec
+	// MRRG is the Modulo Routing Resource Graph of an architecture.
+	MRRG = mrrg.Graph
+	// Mapping is a verified placement and routing of a DFG on an MRRG.
+	Mapping = mapper.Mapping
+	// MapOptions and MapResult configure and report the ILP mapper.
+	MapOptions = mapper.Options
+	MapResult  = mapper.Result
+	// AnnealOptions and AnnealResult configure and report the
+	// simulated-annealing baseline mapper.
+	AnnealOptions = anneal.Options
+	AnnealResult  = anneal.Result
+	// Solver is the pluggable ILP engine interface.
+	Solver = ilp.Solver
+	// Status is a solve outcome (Optimal, Feasible, Infeasible,
+	// Unknown).
+	Status = ilp.Status
+)
+
+// Re-exported operation kinds.
+const (
+	Input  = dfg.Input
+	Output = dfg.Output
+	Add    = dfg.Add
+	Sub    = dfg.Sub
+	Mul    = dfg.Mul
+	Shl    = dfg.Shl
+	Shr    = dfg.Shr
+	And    = dfg.And
+	Or     = dfg.Or
+	Xor    = dfg.Xor
+	Not    = dfg.Not
+	Load   = dfg.Load
+	Store  = dfg.Store
+)
+
+// Re-exported solve statuses and objective modes.
+const (
+	StatusUnknown    = ilp.Unknown
+	StatusInfeasible = ilp.Infeasible
+	StatusFeasible   = ilp.Feasible
+	StatusOptimal    = ilp.Optimal
+
+	Feasibility     = mapper.Feasibility
+	MinimizeRouting = mapper.MinimizeRouting
+
+	Orthogonal = arch.Orthogonal
+	Diagonal   = arch.Diagonal
+)
+
+// NewDFG returns an empty data-flow graph with the given kernel name.
+func NewDFG(name string) *DFG { return dfg.New(name) }
+
+// ParseDFG reads a DFG in the textual format (see internal/dfg).
+func ParseDFG(r io.Reader) (*DFG, error) { return dfg.Parse(r) }
+
+// Benchmark builds one of the paper's 19 Table 1 benchmarks.
+func Benchmark(name string) (*DFG, error) { return bench.Get(name) }
+
+// BenchmarkNames lists the paper's benchmarks in Table 1 order.
+func BenchmarkNames() []string { return bench.Names() }
+
+// Grid builds a paper-style grid architecture.
+func Grid(spec GridSpec) (*Arch, error) { return arch.Grid(spec) }
+
+// MustGrid is Grid for known-good specs; it panics on error.
+func MustGrid(spec GridSpec) *Arch {
+	a, err := arch.Grid(spec)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// PaperArchitectures returns the paper's eight Table 2 architectures.
+func PaperArchitectures() []GridSpec { return arch.PaperArchitectures() }
+
+// ReadArchXML parses an architecture from the XML description language.
+func ReadArchXML(r io.Reader) (*Arch, error) { return arch.ReadXML(r) }
+
+// GenerateMRRG expands an architecture into its MRRG.
+func GenerateMRRG(a *Arch) (*MRRG, error) { return mrrg.Generate(a) }
+
+// MustMRRG is GenerateMRRG for known-good architectures; it panics on
+// error.
+func MustMRRG(a *Arch) *MRRG {
+	g, err := mrrg.Generate(a)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Map places and routes a DFG onto an MRRG with the paper's ILP
+// formulation and independently verifies the result.
+func Map(ctx context.Context, g *DFG, m *MRRG, opts MapOptions) (*MapResult, error) {
+	return mapper.Map(ctx, g, m, opts)
+}
+
+// AnnealMap runs the simulated-annealing baseline mapper.
+func AnnealMap(ctx context.Context, g *DFG, m *MRRG, opts AnnealOptions) (*AnnealResult, error) {
+	return anneal.Map(ctx, g, m, opts)
+}
+
+// NewCDCLSolver returns the default propagation-based ILP engine.
+func NewCDCLSolver() Solver { return cdcl.New() }
+
+// NewBranchBoundSolver returns the LP-relaxation branch-and-bound engine
+// (tractable on small instances; used for cross-checking).
+func NewBranchBoundSolver() Solver { return bb.New() }
+
+// Config is a fabric configuration (per-context multiplexer selections
+// and functional-unit opcodes) extracted from a mapping.
+type Config = config.Config
+
+// ExtractConfig derives the fabric configuration from a verified mapping.
+func ExtractConfig(m *Mapping) (*Config, error) { return config.Extract(m) }
+
+// ValidateMapping simulates the mapping's fabric configuration with the
+// given inputs (by input-op name) and load memory, and checks the
+// observed outputs and stores against direct DFG evaluation.
+func ValidateMapping(m *Mapping, inputs map[string]uint32, mem map[uint32]uint32) error {
+	return sim.Validate(m, inputs, mem)
+}
+
+// DefaultInputs builds a deterministic input vector for a DFG.
+func DefaultInputs(g *DFG, seed uint32) map[string]uint32 { return sim.DefaultInputs(g, seed) }
+
+// MinII returns the modulo-scheduling lower bound max(ResMII, RecMII) for
+// mapping g onto the architecture: the smallest context count that could
+// possibly work (paper §3.2's modulo framing).
+func MinII(g *DFG, a *Arch) (int, error) {
+	single := *a
+	single.Contexts = 1
+	mg, err := mrrg.Generate(&single)
+	if err != nil {
+		return 0, err
+	}
+	return sched.MII(g, mg)
+}
+
+// AutoResult reports a MapAuto search.
+type AutoResult = mapper.AutoResult
+
+// MapAuto finds the provably smallest initiation interval (context count)
+// that maps g onto the architecture, searching upward from the MII bound.
+func MapAuto(ctx context.Context, g *DFG, a *Arch, maxII int, opts MapOptions) (*AutoResult, error) {
+	return mapper.MapAuto(ctx, g, a, maxII, opts)
+}
+
+// ExtraKernel builds one of the extended (non-Table 1) kernels: fir4,
+// complexmul, matvec2, horner4, iir1, memstride.
+func ExtraKernel(name string) (*DFG, error) { return bench.GetExtra(name) }
+
+// ExtraKernelNames lists the extended kernels.
+func ExtraKernelNames() []string { return bench.ExtraNames() }
+
+// WriteFloorPlan renders a mapping on a grid architecture as an ASCII
+// floor plan, one panel per context.
+func WriteFloorPlan(w io.Writer, m *Mapping) error { return visual.WriteGrid(w, m) }

@@ -1,0 +1,134 @@
+package cgramap
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQuickstartFlow exercises the facade end to end the way the README
+// quickstart does (the paper's Fig. 7 flow).
+func TestQuickstartFlow(t *testing.T) {
+	a := MustGrid(GridSpec{Rows: 4, Cols: 4, Interconnect: Diagonal, Homogeneous: true, Contexts: 2})
+	m := MustMRRG(a)
+	g, err := Benchmark("accum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Map(ctx, g, m, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() {
+		t.Fatalf("accum on the most flexible architecture: %v", res.Status)
+	}
+	var sb strings.Builder
+	if err := res.Mapping.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "place") {
+		t.Error("mapping rendering empty")
+	}
+}
+
+func TestFacadeBuildersAndParsers(t *testing.T) {
+	g := NewDFG("k")
+	x := g.In("x")
+	g.Out("o", g.Add("s", x, x))
+	if g.NumOps() != 3 {
+		t.Errorf("NumOps = %d", g.NumOps())
+	}
+	parsed, err := ParseDFG(strings.NewReader("dfg k\ninput a\noutput o a\n"))
+	if err != nil || parsed.NumOps() != 2 {
+		t.Errorf("ParseDFG: %v", err)
+	}
+	if len(BenchmarkNames()) != 19 {
+		t.Errorf("BenchmarkNames = %d", len(BenchmarkNames()))
+	}
+	if len(PaperArchitectures()) != 8 {
+		t.Errorf("PaperArchitectures = %d", len(PaperArchitectures()))
+	}
+	var xml strings.Builder
+	a := MustGrid(GridSpec{Rows: 2, Cols: 2, Contexts: 1})
+	if err := a.WriteXML(&xml); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := ReadArchXML(strings.NewReader(xml.String()))
+	if err != nil || a2.Name != a.Name {
+		t.Errorf("XML round trip: %v", err)
+	}
+	if NewCDCLSolver() == nil || NewBranchBoundSolver() == nil {
+		t.Error("solver constructors returned nil")
+	}
+}
+
+func TestAnnealFacade(t *testing.T) {
+	a := MustGrid(GridSpec{Rows: 4, Cols: 4, Interconnect: Diagonal, Homogeneous: true, Contexts: 2})
+	m := MustMRRG(a)
+	g, err := Benchmark("2x2-p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := AnnealMap(ctx, g, m, AnnealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		if err := res.Mapping.Verify(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	// Auto-II search from the facade.
+	a := MustGrid(GridSpec{Rows: 4, Cols: 4, Interconnect: Diagonal, Homogeneous: false, Contexts: 1})
+	g, err := Benchmark("mult_10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mii, err := MinII(g, a); err != nil || mii != 2 {
+		t.Errorf("MinII = %d, %v; want 2", mii, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	auto, err := MapAuto(ctx, g, a, 3, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auto.Feasible() || auto.II != 2 {
+		t.Errorf("MapAuto: II=%d %v", auto.II, auto.Status)
+	}
+	// Floor plan of the auto-mapped kernel.
+	var sb strings.Builder
+	if err := WriteFloorPlan(&sb, auto.Mapping); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "floor plan") {
+		t.Error("floor plan empty")
+	}
+	// Extra kernels + configuration extraction + simulation validation.
+	fir, err := ExtraKernel("fir4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ExtraKernelNames()) < 5 {
+		t.Error("extra kernel list too short")
+	}
+	flex := MustMRRG(MustGrid(GridSpec{Rows: 4, Cols: 4, Interconnect: Diagonal, Homogeneous: true, Contexts: 2}))
+	res, err := Map(ctx, fir, flex, MapOptions{})
+	if err != nil || !res.Feasible() {
+		t.Fatalf("fir4: %v", err)
+	}
+	if _, err := ExtractConfig(res.Mapping); err != nil {
+		t.Error(err)
+	}
+	if err := ValidateMapping(res.Mapping, DefaultInputs(fir, 3), nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+// Command archgen emits CGRA architectures in the XML description
+// language. With -all it writes the paper's eight Table 2 architectures
+// into a directory; otherwise it prints one architecture built from the
+// grid flags to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cgramap/internal/arch"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "write all eight paper architectures")
+		outDir   = flag.String("dir", ".", "output directory for -all")
+		rows     = flag.Int("rows", 4, "grid rows")
+		cols     = flag.Int("cols", 4, "grid columns")
+		contexts = flag.Int("contexts", 1, "execution contexts")
+		diagonal = flag.Bool("diagonal", false, "diagonal interconnect")
+		hetero   = flag.Bool("heterogeneous", false, "multipliers in only half the blocks")
+	)
+	flag.Parse()
+	if err := run(*all, *outDir, *rows, *cols, *contexts, *diagonal, *hetero); err != nil {
+		fmt.Fprintln(os.Stderr, "archgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(all bool, outDir string, rows, cols, contexts int, diagonal, hetero bool) error {
+	if all {
+		for _, spec := range arch.PaperArchitectures() {
+			a, err := arch.Grid(spec)
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(outDir, spec.Name()+".xml")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := a.WriteXML(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		}
+		return nil
+	}
+	ic := arch.Orthogonal
+	if diagonal {
+		ic = arch.Diagonal
+	}
+	a, err := arch.Grid(arch.GridSpec{
+		Rows: rows, Cols: cols,
+		Interconnect: ic,
+		Homogeneous:  !hetero,
+		Contexts:     contexts,
+	})
+	if err != nil {
+		return err
+	}
+	return a.WriteXML(os.Stdout)
+}

@@ -1,0 +1,238 @@
+// Command cgramap maps one application DFG onto one CGRA architecture
+// using the paper's ILP formulation (or the simulated-annealing baseline)
+// and prints the resulting placement and routing.
+//
+// The application comes from -dfg (textual DFG file) or -benchmark (one
+// of the paper's Table 1 kernels); the architecture from -arch (XML
+// description) or the -grid family of flags. Examples:
+//
+//	cgramap -benchmark accum -rows 4 -cols 4 -contexts 2 -diagonal
+//	cgramap -dfg kernel.dfg -arch mycgra.xml -objective routing
+//	cgramap -benchmark mac -contexts 1 -lp model.lp   # export, don't solve
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cgramap/internal/anneal"
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/config"
+	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+	"cgramap/internal/sim"
+	"cgramap/internal/solve/bb"
+	"cgramap/internal/visual"
+)
+
+func main() {
+	var (
+		dfgFile   = flag.String("dfg", "", "application DFG file (textual format)")
+		benchName = flag.String("benchmark", "", "built-in benchmark name (see 'experiments table1')")
+		archFile  = flag.String("arch", "", "architecture XML file (default: grid flags below)")
+		rows      = flag.Int("rows", 4, "grid rows")
+		cols      = flag.Int("cols", 4, "grid columns")
+		contexts  = flag.Int("contexts", 1, "execution contexts (II)")
+		diagonal  = flag.Bool("diagonal", false, "diagonal interconnect")
+		hetero    = flag.Bool("heterogeneous", false, "multipliers in only half the blocks")
+		objective = flag.String("objective", "feasibility", "feasibility | routing (minimise routing resources)")
+		engine    = flag.String("engine", "cdcl", "ILP engine: cdcl | bb")
+		useSA     = flag.Bool("anneal", false, "use the simulated-annealing mapper instead of ILP")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "solve timeout")
+		lpOut     = flag.String("lp", "", "write the ILP model in LP format to this file and exit")
+		quiet     = flag.Bool("q", false, "print only the status line")
+		showCfg   = flag.Bool("config", false, "print the extracted fabric configuration")
+		validate  = flag.Bool("validate", false, "simulate the configuration and check it against DFG evaluation")
+		floorplan = flag.Bool("floorplan", false, "print an ASCII floor plan of the mapping (grid architectures)")
+	)
+	flag.Parse()
+	if err := run(*dfgFile, *benchName, *archFile, *rows, *cols, *contexts,
+		*diagonal, *hetero, *objective, *engine, *useSA, *timeout, *lpOut, *quiet, *showCfg, *validate, *floorplan); err != nil {
+		fmt.Fprintln(os.Stderr, "cgramap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
+	diagonal, hetero bool, objective, engine string, useSA bool,
+	timeout time.Duration, lpOut string, quiet, showCfg, validate, floorplan bool) error {
+
+	g, err := loadDFG(dfgFile, benchName)
+	if err != nil {
+		return err
+	}
+	a, err := loadArch(archFile, rows, cols, contexts, diagonal, hetero)
+	if err != nil {
+		return err
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mapping %s (%d ops, %d values) onto %s (%d MRRG nodes, %d contexts)\n",
+		g.Name, g.NumOps(), g.NumVals(), a.Name, len(mg.Nodes), mg.Contexts)
+
+	opts := mapper.Options{}
+	switch objective {
+	case "feasibility":
+	case "routing":
+		opts.Objective = mapper.MinimizeRouting
+	default:
+		return fmt.Errorf("unknown objective %q", objective)
+	}
+	switch engine {
+	case "cdcl":
+	case "bb":
+		opts.Solver = bb.New()
+	default:
+		return fmt.Errorf("unknown engine %q", engine)
+	}
+
+	if lpOut != "" {
+		model, reason, err := mapper.BuildModel(g, mg, opts)
+		if err != nil {
+			return err
+		}
+		if model == nil {
+			return fmt.Errorf("instance infeasible before solving: %s", reason)
+		}
+		f, err := os.Create(lpOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := model.WriteLP(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d binaries, %d constraints)\n", lpOut, model.NumVars(), len(model.Constraints))
+		return nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if useSA {
+		res, err := anneal.Map(ctx, g, mg, anneal.Options{})
+		if err != nil {
+			return err
+		}
+		if !res.Feasible {
+			fmt.Printf("status: no mapping found by annealing (%d moves, cost %.0f)\n", res.Moves, res.Cost)
+			return nil
+		}
+		fmt.Printf("status: feasible (annealing, %d moves, routing cost %d)\n",
+			res.Moves, res.Mapping.RoutingCost())
+		if !quiet {
+			return res.Mapping.Write(os.Stdout)
+		}
+		return nil
+	}
+
+	start := time.Now()
+	res, err := mapper.Map(ctx, g, mg, opts)
+	if err != nil {
+		return err
+	}
+	switch res.Status {
+	case ilp.Infeasible:
+		fmt.Printf("status: infeasible (proven in %v)", time.Since(start).Round(time.Millisecond))
+		if res.Reason != "" {
+			fmt.Printf(" — %s", res.Reason)
+		}
+		fmt.Println()
+	case ilp.Unknown:
+		fmt.Printf("status: timeout after %v (T)\n", timeout)
+	default:
+		fmt.Printf("status: %s in %v (%d vars, %d constraints, routing cost %d)\n",
+			res.Status, time.Since(start).Round(time.Millisecond),
+			res.Vars, res.Constraints, res.Mapping.RoutingCost())
+		if !quiet {
+			if err := res.Mapping.Write(os.Stdout); err != nil {
+				return err
+			}
+		}
+		return postProcess(res.Mapping, g, showCfg, validate, floorplan)
+	}
+	return nil
+}
+
+// postProcess optionally prints the floor plan and fabric configuration,
+// and validates the mapping by simulation.
+func postProcess(m *mapper.Mapping, g *dfg.Graph, showCfg, validate, floorplan bool) error {
+	if floorplan {
+		if err := visual.WriteGrid(os.Stdout, m); err != nil {
+			return err
+		}
+	}
+	if !showCfg && !validate {
+		return nil
+	}
+	cfg, err := config.Extract(m)
+	if err != nil {
+		return err
+	}
+	if showCfg {
+		if err := cfg.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if validate {
+		if !g.Acyclic() {
+			return fmt.Errorf("-validate requires an acyclic DFG")
+		}
+		inputs := sim.DefaultInputs(g, 7)
+		mem := map[uint32]uint32{}
+		for a := uint32(0); a < 64; a++ {
+			mem[a] = 2*a + 1
+		}
+		if err := sim.Validate(m, inputs, mem); err != nil {
+			return err
+		}
+		fmt.Println("validated: simulated configuration matches DFG evaluation")
+	}
+	return nil
+}
+
+func loadDFG(dfgFile, benchName string) (*dfg.Graph, error) {
+	switch {
+	case dfgFile != "" && benchName != "":
+		return nil, fmt.Errorf("specify -dfg or -benchmark, not both")
+	case dfgFile != "":
+		f, err := os.Open(dfgFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dfg.Parse(f)
+	case benchName != "":
+		return bench.Get(benchName)
+	default:
+		return nil, fmt.Errorf("no application: use -dfg <file> or -benchmark <name>")
+	}
+}
+
+func loadArch(archFile string, rows, cols, contexts int, diagonal, hetero bool) (*arch.Arch, error) {
+	if archFile != "" {
+		f, err := os.Open(archFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return arch.ReadXML(f)
+	}
+	ic := arch.Orthogonal
+	if diagonal {
+		ic = arch.Diagonal
+	}
+	return arch.Grid(arch.GridSpec{
+		Rows: rows, Cols: cols,
+		Interconnect: ic,
+		Homogeneous:  !hetero,
+		Contexts:     contexts,
+	})
+}

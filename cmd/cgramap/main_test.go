@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadDFG(t *testing.T) {
+	if _, err := loadDFG("", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadDFG("x.dfg", "accum"); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := loadDFG("", "accum"); err != nil {
+		t.Errorf("benchmark: %v", err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k.dfg")
+	if err := os.WriteFile(path, []byte("dfg k\ninput a\noutput o a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadDFG(path, "")
+	if err != nil || g.NumOps() != 2 {
+		t.Errorf("file DFG: %v", err)
+	}
+	if _, err := loadDFG(filepath.Join(dir, "missing.dfg"), ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadArch(t *testing.T) {
+	a, err := loadArch("", 2, 2, 1, false, false)
+	if err != nil || a.Name != "homo-orth-c1-2x2" {
+		t.Fatalf("grid: %v %v", a, err)
+	}
+	// Round-trip through a file.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.xml")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteXML(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	a2, err := loadArch(path, 0, 0, 0, false, false)
+	if err != nil || a2.Name != a.Name {
+		t.Errorf("xml: %v", err)
+	}
+}
+
+func TestRunLPExport(t *testing.T) {
+	dir := t.TempDir()
+	lp := filepath.Join(dir, "m.lp")
+	err := run("", "2x2-f", "", 4, 4, 1, true, false, "feasibility", "cdcl", false,
+		time.Minute, lp, true, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Minimize") || !strings.Contains(string(data), "Binary") {
+		t.Error("LP file malformed")
+	}
+}
+
+func TestRunSolveSmall(t *testing.T) {
+	err := run("", "2x2-f", "", 4, 4, 2, true, false, "feasibility", "cdcl", false,
+		2*time.Minute, "", true, true, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bad flag values.
+	if err := run("", "2x2-f", "", 4, 4, 1, false, false, "zorp", "cdcl", false, time.Minute, "", true, false, false, false); err == nil {
+		t.Error("bad objective accepted")
+	}
+	if err := run("", "2x2-f", "", 4, 4, 1, false, false, "feasibility", "zorp", false, time.Minute, "", true, false, false, false); err == nil {
+		t.Error("bad engine accepted")
+	}
+}

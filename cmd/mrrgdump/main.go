@@ -1,0 +1,78 @@
+// Command mrrgdump generates the MRRG of an architecture and prints its
+// statistics, node listing, or Graphviz DOT rendering — handy for
+// inspecting how primitives expand (the paper's Figs. 1–4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/mrrg"
+)
+
+func main() {
+	var (
+		archFile = flag.String("arch", "", "architecture XML file (default: grid flags)")
+		rows     = flag.Int("rows", 4, "grid rows")
+		cols     = flag.Int("cols", 4, "grid columns")
+		contexts = flag.Int("contexts", 1, "execution contexts")
+		diagonal = flag.Bool("diagonal", false, "diagonal interconnect")
+		hetero   = flag.Bool("heterogeneous", false, "multipliers in only half the blocks")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+		nodes    = flag.Bool("nodes", false, "list every node")
+	)
+	flag.Parse()
+	if err := run(*archFile, *rows, *cols, *contexts, *diagonal, *hetero, *dot, *nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "mrrgdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(archFile string, rows, cols, contexts int, diagonal, hetero, dot, nodes bool) error {
+	var a *arch.Arch
+	var err error
+	if archFile != "" {
+		f, err2 := os.Open(archFile)
+		if err2 != nil {
+			return err2
+		}
+		defer f.Close()
+		a, err = arch.ReadXML(f)
+	} else {
+		ic := arch.Orthogonal
+		if diagonal {
+			ic = arch.Diagonal
+		}
+		a, err = arch.Grid(arch.GridSpec{
+			Rows: rows, Cols: cols,
+			Interconnect: ic,
+			Homogeneous:  !hetero,
+			Contexts:     contexts,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	g, err := mrrg.Generate(a)
+	if err != nil {
+		return err
+	}
+	if dot {
+		return g.WriteDOT(os.Stdout)
+	}
+	st := g.Stats()
+	as := a.Stats()
+	fmt.Printf("architecture %s: %d FUs, %d muxes, %d regs, %d wires, %d connections\n",
+		a.Name, as.FUs, as.Muxes, as.Regs, as.Wires, as.Conns)
+	fmt.Printf("MRRG (%d contexts): %d nodes (%d FuncUnit, %d RouteRes), %d edges, %d cross-context\n",
+		g.Contexts, st.Nodes, st.FuncUnits, st.RouteRes, st.Edges, st.CrossContextEdges)
+	if nodes {
+		for _, n := range g.Nodes {
+			fmt.Printf("  %-40s %-6s ctx=%d fanin=%d fanout=%d\n",
+				n.Name, n.Kind, n.Context, len(n.Fanins), len(n.Fanouts))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+// Archexplore: the architect's use case from the paper's introduction —
+// tune architecture flexibility down to the limit of mappability for a
+// domain's kernels. The ILP mapper's provable feasibility/infeasibility
+// answers make the trade-off table trustworthy: a 0 here means *no*
+// mapping exists, not that a heuristic gave up.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"cgramap"
+)
+
+func main() {
+	// The kernel set of a hypothetical signal-processing domain.
+	kernels := []string{"accum", "2x2-f", "2x2-p", "mult_10", "exp_4"}
+
+	// Candidate architectures, cheapest first: fewer contexts, fewer
+	// multipliers, narrower interconnect.
+	type candidate struct {
+		label string
+		spec  cgramap.GridSpec
+	}
+	candidates := []candidate{
+		{"cheapest ", cgramap.GridSpec{Rows: 4, Cols: 4, Contexts: 1}},
+		{"+diagonal", cgramap.GridSpec{Rows: 4, Cols: 4, Contexts: 1, Interconnect: cgramap.Diagonal}},
+		{"+homogen ", cgramap.GridSpec{Rows: 4, Cols: 4, Contexts: 1, Homogeneous: true}},
+		{"+both    ", cgramap.GridSpec{Rows: 4, Cols: 4, Contexts: 1, Interconnect: cgramap.Diagonal, Homogeneous: true}},
+		{"2 ctx    ", cgramap.GridSpec{Rows: 4, Cols: 4, Contexts: 2, Homogeneous: true, Interconnect: cgramap.Diagonal}},
+	}
+
+	fmt.Printf("%-10s", "arch")
+	for _, k := range kernels {
+		fmt.Printf(" %-8s", k)
+	}
+	fmt.Println(" verdict")
+	for _, cand := range candidates {
+		device := cgramap.MustMRRG(cgramap.MustGrid(cand.spec))
+		fmt.Printf("%-10s", cand.label)
+		allMapped := true
+		for _, k := range kernels {
+			g, err := cgramap.Benchmark(k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			res, err := cgramap.Map(ctx, g, device, cgramap.MapOptions{})
+			cancel()
+			if err != nil {
+				log.Fatal(err)
+			}
+			mark := "no"
+			if res.Feasible() {
+				mark = "yes"
+			} else if res.Status == cgramap.StatusUnknown {
+				mark = "t/o"
+			}
+			allMapped = allMapped && res.Feasible()
+			fmt.Printf(" %-8s", mark)
+		}
+		if allMapped {
+			fmt.Println(" <- sufficient: stop paying for more flexibility")
+			return
+		}
+		fmt.Println()
+	}
+	fmt.Println("no candidate maps the whole kernel set")
+}

@@ -1,0 +1,69 @@
+// Customdfg: author a kernel in the textual DFG format, map it with the
+// routing-minimisation objective (the paper's eq. 10), and compare the
+// optimal routing cost against a plain feasibility solution.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"cgramap"
+)
+
+// A small Horner-evaluation kernel in the textual DFG format. Operands
+// name the producing operation; '#' starts a comment.
+const kernelText = `
+dfg horner3
+# p(x) = ((c3*x + c2)*x + c1)
+input x
+input c1
+input c2
+input c3
+mul t1 c3 x
+add t2 t1 c2
+mul t3 t2 x
+add t4 t3 c1
+output p t4
+`
+
+func main() {
+	app, err := cgramap.ParseDFG(strings.NewReader(kernelText))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := app.Stats()
+	fmt.Printf("parsed %s: %d I/Os, %d ops (%d multiplies)\n", app.Name, st.IOs, st.Ops, st.Multiplies)
+
+	device := cgramap.MustMRRG(cgramap.MustGrid(cgramap.GridSpec{
+		Rows: 4, Cols: 4,
+		Interconnect: cgramap.Diagonal,
+		Homogeneous:  true,
+		Contexts:     1,
+	}))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	feas, err := cgramap.Map(ctx, app, device, cgramap.MapOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !feas.Feasible() {
+		log.Fatalf("unmappable: %v %s", feas.Status, feas.Reason)
+	}
+	fmt.Printf("feasibility solve:  status %-10v routing cost %d\n", feas.Status, feas.Mapping.RoutingCost())
+
+	opt, err := cgramap.Map(ctx, app, device, cgramap.MapOptions{Objective: cgramap.MinimizeRouting})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimised solve:    status %-10v routing cost %d\n", opt.Status, opt.Mapping.RoutingCost())
+	fmt.Println()
+	if err := opt.Mapping.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

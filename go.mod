@@ -1,0 +1,3 @@
+module cgramap
+
+go 1.24

@@ -1,0 +1,78 @@
+package anneal
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+)
+
+// randomKernel builds a small random DFG over ALU-mappable operations.
+func randomKernel(seed int64, maxOps int) *dfg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := dfg.New("rk")
+	nIn := 1 + rng.Intn(3)
+	vals := make([]*dfg.Value, 0, 16)
+	for i := 0; i < nIn; i++ {
+		vals = append(vals, g.In(fmt.Sprintf("in%d", i)))
+	}
+	kinds := []dfg.Kind{dfg.Add, dfg.Sub, dfg.Mul, dfg.Xor, dfg.And, dfg.Shr}
+	nOps := rng.Intn(maxOps)
+	for i := 0; i < nOps; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		a := vals[rng.Intn(len(vals))]
+		b := vals[rng.Intn(len(vals))]
+		op, err := g.AddOp(fmt.Sprintf("op%d", i), k, a, b)
+		if err != nil {
+			panic(err)
+		}
+		vals = append(vals, op.Out)
+	}
+	g.Out("out", vals[len(vals)-1])
+	return g
+}
+
+// TestPropertyHeuristicNeverBeatsProof: if the annealer finds a mapping,
+// the ILP mapper cannot have proven the instance infeasible — an SA
+// success is a constructive existence proof.
+func TestPropertyHeuristicNeverBeatsProof(t *testing.T) {
+	a, err := arch.Grid(arch.GridSpec{Rows: 3, Cols: 3, Interconnect: arch.Orthogonal, Homogeneous: false, Contexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		g := randomKernel(seed, 4)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		ilpRes, err := mapper.Map(ctx, g, mg, mapper.Options{})
+		if err != nil {
+			t.Logf("seed %d: ilp: %v", seed, err)
+			return false
+		}
+		saRes, err := Map(ctx, g, mg, Options{Seed: seed + 1, MovesPerTemp: 150})
+		if err != nil {
+			t.Logf("seed %d: sa: %v", seed, err)
+			return false
+		}
+		if saRes.Feasible && ilpRes.Status == ilp.Infeasible {
+			t.Logf("seed %d: SA mapped an instance the ILP proved infeasible", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

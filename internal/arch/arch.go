@@ -1,0 +1,308 @@
+// Package arch models CGRA architectures generically, in the spirit of the
+// CGRA-ME framework the paper builds on: an architecture is a netlist of
+// coarse-grained primitives (functional units, multiplexers, registers and
+// wires) from which a Modulo Routing Resource Graph can be generated for
+// any number of execution contexts.
+//
+// The package also provides the grid composer that builds the paper's
+// eight 4x4 test architectures (grid.go) and an XML description language
+// for architectures (xml.go), mirroring CGRA-ME's high-level XML input.
+package arch
+
+import (
+	"fmt"
+
+	"cgramap/internal/dfg"
+)
+
+// Kind classifies an architecture primitive.
+type Kind int
+
+const (
+	// FU is a functional unit: it executes DFG operations. Each input
+	// port corresponds to one operand index.
+	FU Kind = iota + 1
+	// Mux is a dynamically reconfigurable n-to-1 routing multiplexer;
+	// on any cycle it routes exactly one of its inputs (paper Fig. 1).
+	Mux
+	// Reg is a register: it moves a value from one cycle (context) to
+	// the next (paper Fig. 1).
+	Reg
+	// Wire is a combinational 1-to-1 routing resource.
+	Wire
+)
+
+var kindNames = map[Kind]string{FU: "fu", Mux: "mux", Reg: "reg", Wire: "wire"}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// KindFromString resolves a name produced by Kind.String.
+func KindFromString(s string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("arch: unknown primitive kind %q", s)
+}
+
+// Prim is one architecture primitive. Every primitive has NIn input ports
+// and exactly one output.
+type Prim struct {
+	// Name is the unique hierarchical name, e.g. "pe_1_2.mux_a".
+	Name string
+	// Kind is the primitive class.
+	Kind Kind
+	// NIn is the number of input ports. For FUs, port p carries
+	// operand p of the executed operation.
+	NIn int
+	// Ops lists the operation kinds an FU can execute (FU only).
+	Ops []dfg.Kind
+	// Latency is the cycles from operand consumption to result
+	// availability (FU only; registers implicitly have latency 1).
+	Latency int
+	// II is the initiation interval: the FU accepts new operands every
+	// II cycles (FU only; paper Fig. 2).
+	II int
+	// Cost is the routing-objective weight of the primitive's routing
+	// resources (paper eq. 10 discussion); defaults to 1.
+	Cost int
+}
+
+// SupportsOp reports whether an FU primitive can execute operations of
+// kind k.
+func (p *Prim) SupportsOp(k dfg.Kind) bool {
+	for _, o := range p.Ops {
+		if o == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Prim) String() string { return fmt.Sprintf("%s(%s)", p.Name, p.Kind) }
+
+// Conn connects the output of primitive Src to input port DstPort of
+// primitive Dst. Primitives are identified by index into Arch.Prims.
+type Conn struct {
+	Src     int
+	Dst     int
+	DstPort int
+}
+
+// Arch is a complete architecture: a primitive netlist plus the number of
+// execution contexts it is operated with. Arch values are immutable after
+// Build; the exported slices must not be modified.
+type Arch struct {
+	// Name identifies the architecture.
+	Name string
+	// Contexts is the number of execution contexts (>= 1); the CGRA
+	// cycles through them with initiation interval II = Contexts.
+	Contexts int
+	// Prims is the primitive list; Conns the connection list.
+	Prims []*Prim
+	Conns []Conn
+
+	byName map[string]int
+}
+
+// PrimIndex returns the index of the named primitive, or -1.
+func (a *Arch) PrimIndex(name string) int {
+	if i, ok := a.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// PrimByName returns the named primitive, or nil.
+func (a *Arch) PrimByName(name string) *Prim {
+	if i, ok := a.byName[name]; ok {
+		return a.Prims[i]
+	}
+	return nil
+}
+
+// Stats summarises an architecture.
+type Stats struct {
+	FUs, Muxes, Regs, Wires int
+	Conns                   int
+	// FUsByOp counts how many FUs support each operation kind.
+	FUsByOp map[dfg.Kind]int
+}
+
+// Stats computes summary counts.
+func (a *Arch) Stats() Stats {
+	s := Stats{FUsByOp: make(map[dfg.Kind]int), Conns: len(a.Conns)}
+	for _, p := range a.Prims {
+		switch p.Kind {
+		case FU:
+			s.FUs++
+			for _, op := range p.Ops {
+				s.FUsByOp[op]++
+			}
+		case Mux:
+			s.Muxes++
+		case Reg:
+			s.Regs++
+		case Wire:
+			s.Wires++
+		}
+	}
+	return s
+}
+
+// Validate checks structural invariants: unique names, legal primitive
+// parameters, in-range connections, and that every input port has exactly
+// one driver.
+func (a *Arch) Validate() error {
+	if a.Contexts < 1 {
+		return fmt.Errorf("arch %s: contexts = %d, want >= 1", a.Name, a.Contexts)
+	}
+	seen := make(map[string]bool, len(a.Prims))
+	for i, p := range a.Prims {
+		if p.Name == "" {
+			return fmt.Errorf("arch %s: primitive %d has empty name", a.Name, i)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("arch %s: duplicate primitive name %q", a.Name, p.Name)
+		}
+		seen[p.Name] = true
+		if a.byName != nil && a.byName[p.Name] != i {
+			return fmt.Errorf("arch %s: name index stale for %q", a.Name, p.Name)
+		}
+		switch p.Kind {
+		case FU:
+			if len(p.Ops) == 0 {
+				return fmt.Errorf("arch %s: FU %q supports no operations", a.Name, p.Name)
+			}
+			if p.Latency < 0 {
+				return fmt.Errorf("arch %s: FU %q has negative latency", a.Name, p.Name)
+			}
+			if p.II < 1 {
+				return fmt.Errorf("arch %s: FU %q has II %d, want >= 1", a.Name, p.Name, p.II)
+			}
+			for _, op := range p.Ops {
+				if p.NIn < op.NumOperands() {
+					return fmt.Errorf("arch %s: FU %q has %d input ports but supports %s (%d operands)",
+						a.Name, p.Name, p.NIn, op, op.NumOperands())
+				}
+			}
+		case Mux:
+			if p.NIn < 1 {
+				return fmt.Errorf("arch %s: mux %q has %d inputs, want >= 1", a.Name, p.Name, p.NIn)
+			}
+		case Reg, Wire:
+			if p.NIn != 1 {
+				return fmt.Errorf("arch %s: %s %q has %d inputs, want 1", a.Name, p.Kind, p.Name, p.NIn)
+			}
+		default:
+			return fmt.Errorf("arch %s: primitive %q has invalid kind", a.Name, p.Name)
+		}
+		if p.Cost < 0 {
+			return fmt.Errorf("arch %s: primitive %q has negative cost", a.Name, p.Name)
+		}
+	}
+	driven := make(map[[2]int]bool, len(a.Conns))
+	for _, c := range a.Conns {
+		if c.Src < 0 || c.Src >= len(a.Prims) || c.Dst < 0 || c.Dst >= len(a.Prims) {
+			return fmt.Errorf("arch %s: connection %v out of range", a.Name, c)
+		}
+		if c.DstPort < 0 || c.DstPort >= a.Prims[c.Dst].NIn {
+			return fmt.Errorf("arch %s: connection to %q port %d out of range (NIn=%d)",
+				a.Name, a.Prims[c.Dst].Name, c.DstPort, a.Prims[c.Dst].NIn)
+		}
+		key := [2]int{c.Dst, c.DstPort}
+		if driven[key] {
+			return fmt.Errorf("arch %s: %q port %d driven more than once", a.Name, a.Prims[c.Dst].Name, c.DstPort)
+		}
+		driven[key] = true
+	}
+	for i, p := range a.Prims {
+		for port := 0; port < p.NIn; port++ {
+			if !driven[[2]int{i, port}] {
+				return fmt.Errorf("arch %s: %q port %d undriven", a.Name, p.Name, port)
+			}
+		}
+	}
+	return nil
+}
+
+// PrimID identifies a primitive during construction.
+type PrimID int
+
+// Builder incrementally assembles an Arch. Errors are accumulated and
+// reported by Build, keeping construction code linear.
+type Builder struct {
+	arch *Arch
+	errs []error
+}
+
+// NewBuilder starts a new architecture with the given name and context
+// count.
+func NewBuilder(name string, contexts int) *Builder {
+	return &Builder{arch: &Arch{
+		Name:     name,
+		Contexts: contexts,
+		byName:   make(map[string]int),
+	}}
+}
+
+func (b *Builder) add(p *Prim) PrimID {
+	if _, dup := b.arch.byName[p.Name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate primitive %q", p.Name))
+		return PrimID(-1)
+	}
+	if p.Cost == 0 {
+		p.Cost = 1
+	}
+	id := len(b.arch.Prims)
+	b.arch.byName[p.Name] = id
+	b.arch.Prims = append(b.arch.Prims, p)
+	return PrimID(id)
+}
+
+// FU adds a functional unit supporting the given operations.
+func (b *Builder) FU(name string, ops []dfg.Kind, nIn, latency, ii int) PrimID {
+	return b.add(&Prim{Name: name, Kind: FU, NIn: nIn, Ops: ops, Latency: latency, II: ii})
+}
+
+// Mux adds an n-to-1 multiplexer.
+func (b *Builder) Mux(name string, nIn int) PrimID {
+	return b.add(&Prim{Name: name, Kind: Mux, NIn: nIn})
+}
+
+// Reg adds a register.
+func (b *Builder) Reg(name string) PrimID {
+	return b.add(&Prim{Name: name, Kind: Reg, NIn: 1})
+}
+
+// Wire adds a combinational wire.
+func (b *Builder) Wire(name string) PrimID {
+	return b.add(&Prim{Name: name, Kind: Wire, NIn: 1})
+}
+
+// Connect wires the output of src to input port dstPort of dst.
+func (b *Builder) Connect(src, dst PrimID, dstPort int) {
+	if src < 0 || dst < 0 {
+		b.errs = append(b.errs, fmt.Errorf("connect with invalid primitive id"))
+		return
+	}
+	b.arch.Conns = append(b.arch.Conns, Conn{Src: int(src), Dst: int(dst), DstPort: dstPort})
+}
+
+// Build validates and returns the architecture.
+func (b *Builder) Build() (*Arch, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("arch %s: %d construction errors, first: %w", b.arch.Name, len(b.errs), b.errs[0])
+	}
+	if err := b.arch.Validate(); err != nil {
+		return nil, err
+	}
+	return b.arch, nil
+}

@@ -1,0 +1,291 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+
+	"cgramap/internal/dfg"
+)
+
+// tinyArch builds a minimal legal architecture: one input-capable FU
+// feeding an ALU through a mux, with a register loop.
+func tinyArch(t *testing.T) *Arch {
+	t.Helper()
+	b := NewBuilder("tiny", 1)
+	io := b.FU("io", []dfg.Kind{dfg.Input, dfg.Output}, 1, 0, 1)
+	mux := b.Mux("mux", 2)
+	alu := b.FU("alu", []dfg.Kind{dfg.Add, dfg.Mul}, 2, 0, 1)
+	reg := b.Reg("reg")
+	b.Connect(io, mux, 0)
+	b.Connect(reg, mux, 1)
+	b.Connect(mux, alu, 0)
+	b.Connect(mux, alu, 1)
+	b.Connect(alu, reg, 0)
+	b.Connect(alu, io, 0)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return a
+}
+
+func TestBuilderAndValidate(t *testing.T) {
+	a := tinyArch(t)
+	if a.PrimByName("alu") == nil || a.PrimIndex("alu") < 0 {
+		t.Error("lookup of alu failed")
+	}
+	if a.PrimByName("nope") != nil || a.PrimIndex("nope") != -1 {
+		t.Error("lookup of missing primitive should fail")
+	}
+	st := a.Stats()
+	if st.FUs != 2 || st.Muxes != 1 || st.Regs != 1 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if st.FUsByOp[dfg.Mul] != 1 || st.FUsByOp[dfg.Input] != 1 {
+		t.Errorf("FUsByOp = %v", st.FUsByOp)
+	}
+	if !a.PrimByName("alu").SupportsOp(dfg.Add) || a.PrimByName("alu").SupportsOp(dfg.Sub) {
+		t.Error("SupportsOp wrong")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Arch, error)
+	}{
+		{"undriven port", func() (*Arch, error) {
+			b := NewBuilder("x", 1)
+			b.Mux("m", 2)
+			return b.Build()
+		}},
+		{"double driver", func() (*Arch, error) {
+			b := NewBuilder("x", 1)
+			w1 := b.Wire("w1")
+			w2 := b.Wire("w2")
+			b.Connect(w1, w2, 0)
+			b.Connect(w2, w1, 0)
+			b.Connect(w2, w1, 0)
+			return b.Build()
+		}},
+		{"duplicate name", func() (*Arch, error) {
+			b := NewBuilder("x", 1)
+			b.Wire("w")
+			b.Wire("w")
+			return b.Build()
+		}},
+		{"fu no ops", func() (*Arch, error) {
+			b := NewBuilder("x", 1)
+			b.FU("f", nil, 2, 0, 1)
+			return b.Build()
+		}},
+		{"fu bad ii", func() (*Arch, error) {
+			b := NewBuilder("x", 1)
+			b.FU("f", []dfg.Kind{dfg.Add}, 2, 0, 0)
+			return b.Build()
+		}},
+		{"fu too few ports", func() (*Arch, error) {
+			b := NewBuilder("x", 1)
+			b.FU("f", []dfg.Kind{dfg.Add}, 1, 0, 1)
+			return b.Build()
+		}},
+		{"zero contexts", func() (*Arch, error) {
+			b := NewBuilder("x", 0)
+			return b.Build()
+		}},
+		{"port out of range", func() (*Arch, error) {
+			b := NewBuilder("x", 1)
+			w1 := b.Wire("w1")
+			w2 := b.Wire("w2")
+			b.Connect(w1, w2, 5)
+			b.Connect(w2, w1, 0)
+			return b.Build()
+		}},
+	}
+	for _, c := range cases {
+		if _, err := c.build(); err == nil {
+			t.Errorf("%s: Build succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestPaperArchitectures(t *testing.T) {
+	specs := PaperArchitectures()
+	if len(specs) != 8 {
+		t.Fatalf("len = %d, want 8", len(specs))
+	}
+	wantNames := []string{
+		"hetero-orth-c1-4x4", "hetero-diag-c1-4x4", "homo-orth-c1-4x4", "homo-diag-c1-4x4",
+		"hetero-orth-c2-4x4", "hetero-diag-c2-4x4", "homo-orth-c2-4x4", "homo-diag-c2-4x4",
+	}
+	for i, s := range specs {
+		if s.Name() != wantNames[i] {
+			t.Errorf("spec %d name = %q, want %q", i, s.Name(), wantNames[i])
+		}
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	for _, spec := range PaperArchitectures() {
+		a, err := Grid(spec)
+		if err != nil {
+			t.Errorf("%s: %v", spec.Name(), err)
+			continue
+		}
+		st := a.Stats()
+		// 16 ALUs + 16 I/O blocks + 4 memory ports.
+		if st.FUs != 36 {
+			t.Errorf("%s: FUs = %d, want 36", spec.Name(), st.FUs)
+		}
+		wantMul := 8
+		if spec.Homogeneous {
+			wantMul = 16
+		}
+		if st.FUsByOp[dfg.Mul] != wantMul {
+			t.Errorf("%s: multiplier FUs = %d, want %d", spec.Name(), st.FUsByOp[dfg.Mul], wantMul)
+		}
+		if st.FUsByOp[dfg.Input] != 16 || st.FUsByOp[dfg.Load] != 4 {
+			t.Errorf("%s: io FUs = %d, mem FUs = %d, want 16/4",
+				spec.Name(), st.FUsByOp[dfg.Input], st.FUsByOp[dfg.Load])
+		}
+		if st.Regs != 16 {
+			t.Errorf("%s: regs = %d, want 16", spec.Name(), st.Regs)
+		}
+		if a.Contexts != spec.Contexts {
+			t.Errorf("%s: contexts = %d, want %d", spec.Name(), a.Contexts, spec.Contexts)
+		}
+	}
+}
+
+func TestGridMuxWidths(t *testing.T) {
+	orth, err := Grid(GridSpec{Rows: 4, Cols: 4, Interconnect: Orthogonal, Homogeneous: true, Contexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := Grid(GridSpec{Rows: 4, Cols: 4, Interconnect: Diagonal, Homogeneous: true, Contexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orthogonal interior block: 4 neighbours + mem + reg = 6 operand
+	// mux inputs; diagonal interior adds 4 more.
+	if got := orth.PrimByName("pe_1_1.mux_a").NIn; got != 6 {
+		t.Errorf("orth pe_1_1.mux_a NIn = %d, want 6", got)
+	}
+	if got := diag.PrimByName("pe_1_1.mux_a").NIn; got != 10 {
+		t.Errorf("diag pe_1_1.mux_a NIn = %d, want 10 (paper: diagonal widens muxes)", got)
+	}
+	// Corner block: 3 neighbours, 4 I/O blocks, memory, register.
+	if got := diag.PrimByName("pe_0_0.mux_a").NIn; got != 9 {
+		t.Errorf("diag pe_0_0.mux_a NIn = %d, want 9", got)
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	if _, err := Grid(GridSpec{Rows: 0, Cols: 4, Contexts: 1}); err == nil {
+		t.Error("rows=0 accepted")
+	}
+	if _, err := Grid(GridSpec{Rows: 4, Cols: 4, Contexts: 0}); err == nil {
+		t.Error("contexts=0 accepted")
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	for _, spec := range []GridSpec{
+		{Rows: 2, Cols: 2, Interconnect: Orthogonal, Homogeneous: true, Contexts: 1},
+		{Rows: 4, Cols: 4, Interconnect: Diagonal, Homogeneous: false, Contexts: 2},
+	} {
+		a, err := Grid(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := a.WriteXML(&sb); err != nil {
+			t.Fatalf("%s: WriteXML: %v", spec.Name(), err)
+		}
+		a2, err := ParseXMLString(sb.String())
+		if err != nil {
+			t.Fatalf("%s: ReadXML: %v", spec.Name(), err)
+		}
+		if a2.Name != a.Name || a2.Contexts != a.Contexts {
+			t.Errorf("%s: header changed", spec.Name())
+		}
+		if len(a2.Prims) != len(a.Prims) || len(a2.Conns) != len(a.Conns) {
+			t.Fatalf("%s: prims %d->%d conns %d->%d", spec.Name(),
+				len(a.Prims), len(a2.Prims), len(a.Conns), len(a2.Conns))
+		}
+		for i, p := range a.Prims {
+			q := a2.Prims[i]
+			if p.Name != q.Name || p.Kind != q.Kind || p.NIn != q.NIn ||
+				p.Latency != q.Latency || p.II != q.II || p.Cost != q.Cost ||
+				len(p.Ops) != len(q.Ops) {
+				t.Errorf("%s: prim %d differs: %+v vs %+v", spec.Name(), i, p, q)
+			}
+		}
+		var sb2 strings.Builder
+		if err := a2.WriteXML(&sb2); err != nil {
+			t.Fatal(err)
+		}
+		if sb.String() != sb2.String() {
+			t.Errorf("%s: XML not stable across round trip", spec.Name())
+		}
+	}
+}
+
+func TestXMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "not xml at all",
+		"bad kind":     `<cgra name="x" contexts="1"><prim name="p" kind="zorp"/></cgra>`,
+		"bad op":       `<cgra name="x" contexts="1"><prim name="f" kind="fu" nin="2" ops="frob"/></cgra>`,
+		"unknown from": `<cgra name="x" contexts="1"><prim name="w" kind="wire"/><conn from="q" to="w" port="0"/></cgra>`,
+		"unknown to":   `<cgra name="x" contexts="1"><prim name="w" kind="wire"/><conn from="w" to="q" port="0"/></cgra>`,
+		"invalid arch": `<cgra name="x" contexts="1"><prim name="w" kind="wire"/></cgra>`,
+	}
+	for name, src := range cases {
+		if _, err := ParseXMLString(src); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestHasMultiplierCheckerboard(t *testing.T) {
+	s := GridSpec{Rows: 4, Cols: 4}
+	count := 0
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if s.HasMultiplier(r, c) {
+				count++
+			}
+		}
+	}
+	if count != 8 {
+		t.Errorf("heterogeneous multiplier count = %d, want 8 (half)", count)
+	}
+	s.Homogeneous = true
+	if !s.HasMultiplier(0, 1) {
+		t.Error("homogeneous block missing multiplier")
+	}
+}
+
+func TestTorusWrapsInterconnect(t *testing.T) {
+	spec := GridSpec{Rows: 4, Cols: 4, Interconnect: Orthogonal, Homogeneous: true, Contexts: 1, Torus: true}
+	if spec.Name() != "homo-orth-torus-c1-4x4" {
+		t.Errorf("Name = %q", spec.Name())
+	}
+	a, err := Grid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A corner block now has four block neighbours (wrapped) plus its
+	// four I/O blocks, the memory port and the register feedback.
+	if got := a.PrimByName("pe_0_0.mux_a").NIn; got != 10 {
+		t.Errorf("torus corner mux_a NIn = %d, want 10", got)
+	}
+	// Degenerate wraps are deduplicated on tiny grids.
+	tiny, err := Grid(GridSpec{Rows: 2, Cols: 2, Contexts: 1, Torus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.PrimByName("pe_0_0.mux_a") == nil {
+		t.Fatal("tiny torus missing block")
+	}
+}

@@ -1,0 +1,308 @@
+package arch
+
+import (
+	"fmt"
+
+	"cgramap/internal/dfg"
+)
+
+// Interconnect selects the inter-block routing style of a grid
+// architecture (paper §5).
+type Interconnect int
+
+const (
+	// Orthogonal connects each block to its four nearest neighbours
+	// (paper Fig. 6).
+	Orthogonal Interconnect = iota
+	// Diagonal adds connectivity to the four diagonal neighbours,
+	// widening each block's input multiplexers.
+	Diagonal
+)
+
+// String returns "orth" or "diag".
+func (ic Interconnect) String() string {
+	if ic == Diagonal {
+		return "diag"
+	}
+	return "orth"
+}
+
+// GridSpec parameterises the family of test architectures from the
+// paper's experimental study: an RxC array of functional blocks
+// (Fig. 3) with peripheral I/O and one shared memory port per row
+// (Fig. 6).
+type GridSpec struct {
+	// Rows and Cols give the array dimensions (the paper uses 4x4).
+	Rows, Cols int
+	// Interconnect selects Orthogonal or Diagonal connectivity.
+	Interconnect Interconnect
+	// Homogeneous gives every ALU a multiplier; otherwise only the
+	// checkerboard half of the blocks can multiply (Heterogeneous).
+	Homogeneous bool
+	// Contexts is the number of execution contexts (1 or 2 in the
+	// paper; II equals the context count).
+	Contexts int
+	// Torus wraps the block-to-block interconnect around the array
+	// edges (an extension beyond the paper's architectures, for
+	// architecture-exploration studies).
+	Torus bool
+}
+
+// Name derives a canonical architecture name, e.g. "homo-diag-c2-4x4".
+func (s GridSpec) Name() string {
+	fb := "hetero"
+	if s.Homogeneous {
+		fb = "homo"
+	}
+	torus := ""
+	if s.Torus {
+		torus = "-torus"
+	}
+	return fmt.Sprintf("%s-%s%s-c%d-%dx%d", fb, s.Interconnect, torus, s.Contexts, s.Rows, s.Cols)
+}
+
+// PaperArchitectures returns the eight architecture configurations of the
+// paper's Table 2, in the table's column order: single context
+// {Hetero-Orth, Hetero-Diag, Homo-Orth, Homo-Diag}, then the same four
+// with two contexts.
+func PaperArchitectures() []GridSpec {
+	var specs []GridSpec
+	for _, contexts := range []int{1, 2} {
+		for _, homo := range []bool{false, true} {
+			for _, ic := range []Interconnect{Orthogonal, Diagonal} {
+				specs = append(specs, GridSpec{
+					Rows: 4, Cols: 4,
+					Interconnect: ic,
+					Homogeneous:  homo,
+					Contexts:     contexts,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// baseALUOps are the RISC-like operations every functional block supports
+// (paper Fig. 3: "add, mul, shl, etc." — multiplication is added
+// separately depending on the Homogeneous axis).
+var baseALUOps = []dfg.Kind{
+	dfg.Add, dfg.Sub, dfg.Shl, dfg.Shr, dfg.And, dfg.Or, dfg.Xor, dfg.Not,
+}
+
+// aluOps returns the operation set of the block at (r, c).
+func (s GridSpec) aluOps(r, c int) []dfg.Kind {
+	ops := append([]dfg.Kind(nil), baseALUOps...)
+	if s.Homogeneous || (r+c)%2 == 0 {
+		ops = append(ops, dfg.Mul)
+	}
+	return ops
+}
+
+// HasMultiplier reports whether the block at (r, c) contains a multiplier
+// under this spec.
+func (s GridSpec) HasMultiplier(r, c int) bool {
+	return s.Homogeneous || (r+c)%2 == 0
+}
+
+// Grid builds the architecture described by spec.
+//
+// Per functional block (paper Fig. 3): two operand input multiplexers
+// feeding an ALU with latency 0; an output register whose write
+// multiplexer selects the ALU result or any block input; and an output
+// multiplexer selecting the ALU result or the register. There is no
+// combinational input-to-output bypass: forwarding a neighbour's value
+// through a block ("router mode") captures it in the register and
+// occupies the block's single output bus — the resource tension that
+// makes single-context mapping hard in the paper's Table 2.
+//
+// Periphery (paper Fig. 6): one I/O block per edge-adjacent array
+// position (16 for a 4x4 array), each wired to the up-to-three nearest
+// edge blocks of its side; one memory port per row, modelled as a
+// load/store functional unit whose two operand multiplexers select among
+// the row's block outputs and whose result fans back to every block in
+// the row.
+func Grid(spec GridSpec) (*Arch, error) {
+	if spec.Rows < 1 || spec.Cols < 1 {
+		return nil, fmt.Errorf("arch: grid %dx%d invalid", spec.Rows, spec.Cols)
+	}
+	if spec.Contexts < 1 {
+		return nil, fmt.Errorf("arch: grid with %d contexts invalid", spec.Contexts)
+	}
+	b := NewBuilder(spec.Name(), spec.Contexts)
+
+	type pe struct {
+		muxA, muxB, muxR, muxOut, alu, reg PrimID
+	}
+	pes := make([][]pe, spec.Rows)
+	idx := func(r, c int) int { return r*spec.Cols + c }
+	peOut := func(r, c int) string { return fmt.Sprintf("pe_%d_%d.mux_out", r, c) }
+	peReg := func(r, c int) string { return fmt.Sprintf("pe_%d_%d.reg", r, c) }
+
+	// Peripheral I/O adjacency: each I/O block serves the up-to-three
+	// nearest blocks of its edge. ioPEs[ioName] lists (r, c) of served
+	// blocks; peIOs mirrors it per block.
+	ioPEs := make(map[string][][2]int)
+	peIOs := make([][][]string, spec.Rows)
+	for r := range peIOs {
+		peIOs[r] = make([][]string, spec.Cols)
+	}
+	clip := func(i, n int) bool { return i >= 0 && i < n }
+	addIO := func(name string, r, c int) {
+		ioPEs[name] = append(ioPEs[name], [2]int{r, c})
+		peIOs[r][c] = append(peIOs[r][c], name)
+	}
+	var ioNames []string
+	for c := 0; c < spec.Cols; c++ {
+		name := fmt.Sprintf("io_top_%d", c)
+		ioNames = append(ioNames, name)
+		for d := -1; d <= 1; d++ {
+			if clip(c+d, spec.Cols) {
+				addIO(name, 0, c+d)
+			}
+		}
+	}
+	for r := 0; r < spec.Rows; r++ {
+		name := fmt.Sprintf("io_right_%d", r)
+		ioNames = append(ioNames, name)
+		for d := -1; d <= 1; d++ {
+			if clip(r+d, spec.Rows) {
+				addIO(name, r+d, spec.Cols-1)
+			}
+		}
+	}
+	for c := 0; c < spec.Cols; c++ {
+		name := fmt.Sprintf("io_bot_%d", c)
+		ioNames = append(ioNames, name)
+		for d := -1; d <= 1; d++ {
+			if clip(c+d, spec.Cols) {
+				addIO(name, spec.Rows-1, c+d)
+			}
+		}
+	}
+	for r := 0; r < spec.Rows; r++ {
+		name := fmt.Sprintf("io_left_%d", r)
+		ioNames = append(ioNames, name)
+		for d := -1; d <= 1; d++ {
+			if clip(r+d, spec.Rows) {
+				addIO(name, r+d, 0)
+			}
+		}
+	}
+
+	// Routing inputs of each block: neighbouring block outputs, served
+	// I/O blocks, and the row's memory port result.
+	inputsOf := make([][]string, spec.Rows*spec.Cols)
+	for r := 0; r < spec.Rows; r++ {
+		for c := 0; c < spec.Cols; c++ {
+			var in []string
+			type nb struct{ dr, dc int }
+			nbs := []nb{{-1, 0}, {1, 0}, {0, -1}, {0, 1}}
+			if spec.Interconnect == Diagonal {
+				nbs = append(nbs, nb{-1, -1}, nb{-1, 1}, nb{1, -1}, nb{1, 1})
+			}
+			seen := map[string]bool{}
+			for _, n := range nbs {
+				nr, nc := r+n.dr, c+n.dc
+				if spec.Torus {
+					nr = (nr + spec.Rows) % spec.Rows
+					nc = (nc + spec.Cols) % spec.Cols
+					if nr == r && nc == c {
+						continue // degenerate wrap on tiny grids
+					}
+				} else if !clip(nr, spec.Rows) || !clip(nc, spec.Cols) {
+					continue
+				}
+				name := peOut(nr, nc)
+				if !seen[name] {
+					seen[name] = true
+					in = append(in, name)
+				}
+			}
+			for _, io := range peIOs[r][c] {
+				in = append(in, io+".fu")
+			}
+			in = append(in, fmt.Sprintf("mem_%d.fu", r))
+			inputsOf[idx(r, c)] = in
+		}
+	}
+
+	// Create primitives: I/O blocks, memory ports, then functional
+	// blocks.
+	for _, name := range ioNames {
+		b.Mux(name+".mux", len(ioPEs[name]))
+		b.FU(name+".fu", []dfg.Kind{dfg.Input, dfg.Output}, 1, 0, 1)
+	}
+	memMuxA := make([]PrimID, spec.Rows)
+	memMuxB := make([]PrimID, spec.Rows)
+	memFU := make([]PrimID, spec.Rows)
+	for r := 0; r < spec.Rows; r++ {
+		base := fmt.Sprintf("mem_%d", r)
+		memMuxA[r] = b.Mux(base+".mux_addr", spec.Cols)
+		memMuxB[r] = b.Mux(base+".mux_data", spec.Cols)
+		memFU[r] = b.FU(base+".fu", []dfg.Kind{dfg.Load, dfg.Store}, 2, 0, 1)
+	}
+	for r := 0; r < spec.Rows; r++ {
+		pes[r] = make([]pe, spec.Cols)
+		for c := 0; c < spec.Cols; c++ {
+			base := fmt.Sprintf("pe_%d_%d", r, c)
+			nIn := len(inputsOf[idx(r, c)])
+			pes[r][c] = pe{
+				muxA:   b.Mux(base+".mux_a", nIn+1),
+				muxB:   b.Mux(base+".mux_b", nIn+1),
+				alu:    b.FU(base+".alu", spec.aluOps(r, c), 2, 0, 1),
+				muxR:   b.Mux(base+".mux_r", nIn+1),
+				reg:    b.Reg(base + ".reg"),
+				muxOut: b.Mux(base+".mux_out", 2),
+			}
+		}
+	}
+
+	// Connections.
+	prim := func(name string) PrimID {
+		id, ok := b.arch.byName[name]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("grid: unknown primitive %q", name))
+			return -1
+		}
+		return PrimID(id)
+	}
+	for r := 0; r < spec.Rows; r++ {
+		for c := 0; c < spec.Cols; c++ {
+			p := pes[r][c]
+			in := inputsOf[idx(r, c)]
+			for i, s := range in {
+				b.Connect(prim(s), p.muxA, i)
+				b.Connect(prim(s), p.muxB, i)
+				b.Connect(prim(s), p.muxR, i+1)
+			}
+			reg := prim(peReg(r, c))
+			b.Connect(reg, p.muxA, len(in))
+			b.Connect(reg, p.muxB, len(in))
+			b.Connect(p.muxA, p.alu, 0)
+			b.Connect(p.muxB, p.alu, 1)
+			b.Connect(p.alu, p.muxR, 0)
+			b.Connect(p.muxR, p.reg, 0)
+			b.Connect(p.alu, p.muxOut, 0)
+			b.Connect(reg, p.muxOut, 1)
+		}
+	}
+	// I/O blocks consume from their served blocks through their input
+	// mux.
+	for _, name := range ioNames {
+		mux := prim(name + ".mux")
+		for i, rc := range ioPEs[name] {
+			b.Connect(prim(peOut(rc[0], rc[1])), mux, i)
+		}
+		b.Connect(mux, prim(name+".fu"), 0)
+	}
+	// Memory port operand muxes select among the row's block outputs.
+	for r := 0; r < spec.Rows; r++ {
+		for c := 0; c < spec.Cols; c++ {
+			b.Connect(pes[r][c].muxOut, memMuxA[r], c)
+			b.Connect(pes[r][c].muxOut, memMuxB[r], c)
+		}
+		b.Connect(memMuxA[r], memFU[r], 0)
+		b.Connect(memMuxB[r], memFU[r], 1)
+	}
+	return b.Build()
+}

@@ -1,0 +1,149 @@
+package arch
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"cgramap/internal/dfg"
+)
+
+// The XML architecture description language mirrors CGRA-ME's approach of
+// specifying CGRAs in a high-level XML language from which an MRRG is
+// generated. A description is a flat primitive netlist:
+//
+//	<cgra name="homo-orth-c1-4x4" contexts="1">
+//	  <prim name="pe_0_0.mux_a" kind="mux" nin="6"/>
+//	  <prim name="pe_0_0.alu" kind="fu" nin="2" latency="0" ii="1"
+//	        ops="add sub shl shr and or xor not mul"/>
+//	  <prim name="pe_0_0.reg" kind="reg"/>
+//	  <conn from="pe_0_0.mux_a" to="pe_0_0.alu" port="0"/>
+//	  ...
+//	</cgra>
+
+type xmlCGRA struct {
+	XMLName  xml.Name  `xml:"cgra"`
+	Name     string    `xml:"name,attr"`
+	Contexts int       `xml:"contexts,attr"`
+	Prims    []xmlPrim `xml:"prim"`
+	Conns    []xmlConn `xml:"conn"`
+}
+
+type xmlPrim struct {
+	Name    string `xml:"name,attr"`
+	Kind    string `xml:"kind,attr"`
+	NIn     int    `xml:"nin,attr,omitempty"`
+	Latency int    `xml:"latency,attr,omitempty"`
+	II      int    `xml:"ii,attr,omitempty"`
+	Cost    int    `xml:"cost,attr,omitempty"`
+	Ops     string `xml:"ops,attr,omitempty"`
+}
+
+type xmlConn struct {
+	From string `xml:"from,attr"`
+	To   string `xml:"to,attr"`
+	Port int    `xml:"port,attr"`
+}
+
+// WriteXML serialises the architecture in the XML description language.
+func (a *Arch) WriteXML(w io.Writer) error {
+	doc := xmlCGRA{Name: a.Name, Contexts: a.Contexts}
+	for _, p := range a.Prims {
+		xp := xmlPrim{Name: p.Name, Kind: p.Kind.String()}
+		switch p.Kind {
+		case FU:
+			xp.NIn = p.NIn
+			xp.Latency = p.Latency
+			xp.II = p.II
+			ops := make([]string, len(p.Ops))
+			for i, op := range p.Ops {
+				ops[i] = op.String()
+			}
+			xp.Ops = strings.Join(ops, " ")
+		case Mux:
+			xp.NIn = p.NIn
+		}
+		if p.Cost != 1 {
+			xp.Cost = p.Cost
+		}
+		doc.Prims = append(doc.Prims, xp)
+	}
+	for _, c := range a.Conns {
+		doc.Conns = append(doc.Conns, xmlConn{
+			From: a.Prims[c.Src].Name,
+			To:   a.Prims[c.Dst].Name,
+			Port: c.DstPort,
+		})
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return fmt.Errorf("arch: writing XML: %w", err)
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("arch: encoding XML: %w", err)
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return fmt.Errorf("arch: writing XML: %w", err)
+	}
+	return nil
+}
+
+// ReadXML parses an architecture from its XML description and validates
+// it.
+func ReadXML(r io.Reader) (*Arch, error) {
+	var doc xmlCGRA
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("arch: decoding XML: %w", err)
+	}
+	b := NewBuilder(doc.Name, doc.Contexts)
+	for _, xp := range doc.Prims {
+		kind, err := KindFromString(xp.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("arch: primitive %q: %w", xp.Name, err)
+		}
+		var id PrimID
+		switch kind {
+		case FU:
+			var ops []dfg.Kind
+			for _, s := range strings.Fields(xp.Ops) {
+				op, err := dfg.KindFromString(s)
+				if err != nil {
+					return nil, fmt.Errorf("arch: FU %q: %w", xp.Name, err)
+				}
+				ops = append(ops, op)
+			}
+			ii := xp.II
+			if ii == 0 {
+				ii = 1
+			}
+			id = b.FU(xp.Name, ops, xp.NIn, xp.Latency, ii)
+		case Mux:
+			id = b.Mux(xp.Name, xp.NIn)
+		case Reg:
+			id = b.Reg(xp.Name)
+		case Wire:
+			id = b.Wire(xp.Name)
+		}
+		if xp.Cost != 0 {
+			b.arch.Prims[id].Cost = xp.Cost
+		}
+	}
+	for _, xc := range doc.Conns {
+		src, okSrc := b.arch.byName[xc.From]
+		dst, okDst := b.arch.byName[xc.To]
+		if !okSrc {
+			return nil, fmt.Errorf("arch: connection from unknown primitive %q", xc.From)
+		}
+		if !okDst {
+			return nil, fmt.Errorf("arch: connection to unknown primitive %q", xc.To)
+		}
+		b.Connect(PrimID(src), PrimID(dst), xc.Port)
+	}
+	return b.Build()
+}
+
+// ParseXMLString is ReadXML over a string.
+func ParseXMLString(s string) (*Arch, error) { return ReadXML(strings.NewReader(s)) }

@@ -1,0 +1,443 @@
+// Package bench provides the 19 benchmark data-flow graphs evaluated in
+// the paper (Table 1).
+//
+// The paper's DFGs were produced by an LLVM-based flow plus hand-crafted
+// kernels; the exact graph topologies are not published. Each benchmark
+// here is synthesised so that its I/O count, internal operation count and
+// multiply count match Table 1 exactly, with graph structure chosen to
+// reflect the benchmark's nature (adder/multiplier chains, Taylor-series
+// polynomial kernels, a high-fanout routing stress case, ...). See
+// DESIGN.md for the substitution rationale.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"cgramap/internal/dfg"
+)
+
+// Characteristics mirrors one row of the paper's Table 1.
+type Characteristics struct {
+	Name       string
+	IOs        int
+	Ops        int
+	Multiplies int
+}
+
+// Table1 lists the published benchmark characteristics in paper order.
+var Table1 = []Characteristics{
+	{"accum", 10, 8, 4},
+	{"mac", 1, 9, 3},
+	{"add_10", 10, 10, 0},
+	{"add_14", 14, 14, 0},
+	{"add_16", 16, 16, 0},
+	{"mult_10", 10, 9, 9},
+	{"mult_14", 14, 13, 13},
+	{"mult_16", 16, 15, 15},
+	{"2x2-f", 5, 5, 1},
+	{"2x2-p", 6, 6, 1},
+	{"cos_4", 5, 14, 12},
+	{"cosh_4", 5, 14, 12},
+	{"exp_4", 4, 9, 5},
+	{"exp_5", 5, 12, 9},
+	{"exp_6", 6, 15, 14},
+	{"sinh_4", 5, 13, 9},
+	{"tay_4", 5, 10, 6},
+	{"extreme", 16, 19, 4},
+	{"weighted_sum", 16, 16, 8},
+}
+
+var builders = map[string]func() *dfg.Graph{
+	"accum":        buildAccum,
+	"mac":          buildMAC,
+	"add_10":       func() *dfg.Graph { return buildAddChain("add_10", 10) },
+	"add_14":       func() *dfg.Graph { return buildAddChain("add_14", 14) },
+	"add_16":       func() *dfg.Graph { return buildAddChain("add_16", 16) },
+	"mult_10":      func() *dfg.Graph { return buildMulChain("mult_10", 9) },
+	"mult_14":      func() *dfg.Graph { return buildMulChain("mult_14", 13) },
+	"mult_16":      func() *dfg.Graph { return buildMulChain("mult_16", 15) },
+	"2x2-f":        build2x2F,
+	"2x2-p":        build2x2P,
+	"cos_4":        func() *dfg.Graph { return buildTrig4("cos_4") },
+	"cosh_4":       func() *dfg.Graph { return buildTrig4("cosh_4") },
+	"exp_4":        buildExp4,
+	"exp_5":        buildExp5,
+	"exp_6":        buildExp6,
+	"sinh_4":       buildSinh4,
+	"tay_4":        buildTay4,
+	"extreme":      buildExtreme,
+	"weighted_sum": buildWeightedSum,
+}
+
+// Names returns all benchmark names in Table 1 (paper) order.
+func Names() []string {
+	names := make([]string, len(Table1))
+	for i, c := range Table1 {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Get builds the named benchmark DFG.
+func Get(name string) (*dfg.Graph, error) {
+	b, ok := builders[name]
+	if !ok {
+		known := make([]string, 0, len(builders))
+		for n := range builders {
+			known = append(known, n)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("bench: unknown benchmark %q (known: %v)", name, known)
+	}
+	return b(), nil
+}
+
+// MustGet is Get but panics on unknown names; for use with the fixed
+// benchmark list.
+func MustGet(name string) *dfg.Graph {
+	g, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// All builds every benchmark in Table 1 order.
+func All() []*dfg.Graph {
+	gs := make([]*dfg.Graph, len(Table1))
+	for i, c := range Table1 {
+		gs[i] = MustGet(c.Name)
+	}
+	return gs
+}
+
+// buildAccum: an alternating multiply/accumulate chain,
+// t = ((((in0*in1)+in2)*in3)+in4)..., the running-sum form such kernels
+// compile to. 9 inputs + 1 output = 10 I/Os; 4 mul + 4 add = 8 ops.
+func buildAccum() *dfg.Graph {
+	g := dfg.New("accum")
+	in := inputs(g, 9)
+	t := g.Mul("t1", in[0], in[1])
+	for i := 2; i <= 8; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if i%2 == 0 {
+			t = g.Add(name, t, in[i])
+		} else {
+			t = g.Mul(name, t, in[i])
+		}
+	}
+	g.Out("out0", t)
+	return g
+}
+
+// buildMAC: a memory-resident multiply-accumulate. A single address input,
+// two loads, three multiply-accumulate rounds and a store back:
+// 1 I/O; 2 load + 3 mul + 3 add + 1 store = 9 ops.
+func buildMAC() *dfg.Graph {
+	g := dfg.New("mac")
+	addr := g.In("addr")
+	a := g.Load("lda", addr)
+	b := g.Load("ldb", addr)
+	m1 := g.Mul("m1", a, b)
+	s1 := g.Add("s1", m1, a)
+	m2 := g.Mul("m2", s1, b)
+	s2 := g.Add("s2", m2, m1)
+	m3 := g.Mul("m3", s2, a)
+	s3 := g.Add("s3", m3, s2)
+	g.Store("st", addr, s3)
+	return g
+}
+
+// buildReduceTree builds an nOps-operation reduction of nIn inputs using
+// the given binary operation: pairwise leaf reductions, a combining
+// tree over the partial results and any leftover leaf, one chain step
+// consuming the final input, then result-doubling steps
+// (t+t / t*t) to reach the exact published operation count.
+func buildReduceTree(g *dfg.Graph, combine func(name string, a, b *dfg.Value) *dfg.Value, nIn, nOps int) *dfg.Value {
+	in := inputs(g, nIn)
+	nLeaf := (nIn - 1) / 2
+	ops := 0
+	step := func(a, b *dfg.Value) *dfg.Value {
+		ops++
+		return combine(fmt.Sprintf("t%d", ops), a, b)
+	}
+	level := make([]*dfg.Value, 0, nLeaf)
+	for i := 0; i < nLeaf; i++ {
+		level = append(level, step(in[2*i], in[2*i+1]))
+	}
+	for len(level) > 1 {
+		next := level[:0:0]
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, step(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	t := step(level[0], in[nIn-1])
+	for ops < nOps {
+		t = step(t, t)
+	}
+	return t
+}
+
+// buildAddChain: an n-operation addition reduction of n-1 inputs
+// (I/Os = (n-1)+1 = n; ops = n adds).
+func buildAddChain(name string, n int) *dfg.Graph {
+	g := dfg.New(name)
+	t := buildReduceTree(g, g.Add, n-1, n)
+	g.Out("out0", t)
+	return g
+}
+
+// buildMulChain: an n-operation multiplication reduction of n inputs plus
+// one output (I/Os = n+1, matching the mult_10/14/16 rows).
+func buildMulChain(name string, n int) *dfg.Graph {
+	g := dfg.New(name)
+	t := buildReduceTree(g, g.Mul, n, n)
+	g.Out("out0", t)
+	return g
+}
+
+// build2x2F: small 2x2 filter: one product feeding an accumulation chain.
+// 4 inputs + 1 output = 5 I/Os; 1 mul + 4 add = 5 ops.
+func build2x2F() *dfg.Graph {
+	g := dfg.New("2x2-f")
+	in := inputs(g, 4)
+	m := g.Mul("m", in[0], in[1])
+	a1 := g.Add("a1", m, in[2])
+	a2 := g.Add("a2", a1, in[3])
+	a3 := g.Add("a3", a2, a2)
+	a4 := g.Add("a4", a3, a3)
+	g.Out("out0", a4)
+	return g
+}
+
+// build2x2P: the 2x2-f structure with one more tap.
+// 5 inputs + 1 output = 6 I/Os; 1 mul + 5 add = 6 ops.
+func build2x2P() *dfg.Graph {
+	g := dfg.New("2x2-p")
+	in := inputs(g, 5)
+	m := g.Mul("m", in[0], in[1])
+	a1 := g.Add("a1", m, in[2])
+	a2 := g.Add("a2", a1, in[3])
+	a3 := g.Add("a3", a2, in[4])
+	a4 := g.Add("a4", a3, a3)
+	a5 := g.Add("a5", a4, a4)
+	g.Out("out0", a5)
+	return g
+}
+
+// buildTrig4: 4-term even-power Taylor kernel (cos/cosh shape):
+// k0 + c1*x^2 + c2*x^4 + c3*x^6 with every power chain recomputed from x
+// (no sharing), the multiply-heavy form the paper's counts imply.
+// Inputs x,c1,c2,c3 + 1 output = 5 I/Os; 12 mul + 2 add = 14 ops.
+func buildTrig4(name string) *dfg.Graph {
+	g := dfg.New(name)
+	x := g.In("x")
+	c1 := g.In("c1")
+	c2 := g.In("c2")
+	c3 := g.In("c3")
+	// term 1: x^2 * c1 (2 muls)
+	p1 := g.Mul("p1", x, x)
+	t1 := g.Mul("t1", p1, c1)
+	// term 2: x^4 * c2 without reuse (4 muls)
+	q1 := g.Mul("q1", x, x)
+	q2 := g.Mul("q2", q1, x)
+	q3 := g.Mul("q3", q2, x)
+	t2 := g.Mul("t2", q3, c2)
+	// term 3: x^6 * c3 without reuse (6 muls)
+	r1 := g.Mul("r1", x, x)
+	r2 := g.Mul("r2", r1, x)
+	r3 := g.Mul("r3", r2, x)
+	r4 := g.Mul("r4", r3, x)
+	r5 := g.Mul("r5", r4, x)
+	t3 := g.Mul("t3", r5, c3)
+	s1 := g.Add("s1", t1, t2)
+	s2 := g.Add("s2", s1, t3)
+	g.Out("out0", s2)
+	return g
+}
+
+// buildExp4: 4-term exponential Taylor kernel.
+// Inputs x,c2,c3 + 1 output = 4 I/Os; 5 mul + 4 add = 9 ops.
+func buildExp4() *dfg.Graph {
+	g := dfg.New("exp_4")
+	x := g.In("x")
+	c2 := g.In("c2")
+	c3 := g.In("c3")
+	p1 := g.Mul("p1", x, x)
+	t2 := g.Mul("t2", p1, c2)
+	q1 := g.Mul("q1", x, x)
+	q2 := g.Mul("q2", q1, x)
+	t3 := g.Mul("t3", q2, c3)
+	a1 := g.Add("a1", x, x)
+	a2 := g.Add("a2", a1, t2)
+	a3 := g.Add("a3", a2, t3)
+	a4 := g.Add("a4", a3, a3)
+	g.Out("out0", a4)
+	return g
+}
+
+// buildExp5: 5-term exponential Taylor kernel.
+// Inputs x,c2,c3,c4 + 1 output = 5 I/Os; 9 mul + 3 add = 12 ops.
+func buildExp5() *dfg.Graph {
+	g := dfg.New("exp_5")
+	x := g.In("x")
+	c2 := g.In("c2")
+	c3 := g.In("c3")
+	c4 := g.In("c4")
+	p1 := g.Mul("p1", x, x)
+	t2 := g.Mul("t2", p1, c2)
+	q1 := g.Mul("q1", x, x)
+	q2 := g.Mul("q2", q1, x)
+	t3 := g.Mul("t3", q2, c3)
+	r1 := g.Mul("r1", x, x)
+	r2 := g.Mul("r2", r1, x)
+	r3 := g.Mul("r3", r2, x)
+	t4 := g.Mul("t4", r3, c4)
+	a1 := g.Add("a1", x, t2)
+	a2 := g.Add("a2", a1, t3)
+	a3 := g.Add("a3", a2, t4)
+	g.Out("out0", a3)
+	return g
+}
+
+// buildExp6: 6-term exponential kernel in a deep product chain (the
+// multiply-dominated form the published counts imply: a single addition).
+// Inputs x,c2,c3,c4,c5 + 1 output = 6 I/Os; 14 mul + 1 add = 15 ops.
+func buildExp6() *dfg.Graph {
+	g := dfg.New("exp_6")
+	x := g.In("x")
+	c2 := g.In("c2")
+	c3 := g.In("c3")
+	c4 := g.In("c4")
+	c5 := g.In("c5")
+	p := make([]*dfg.Value, 0, 14)
+	t := g.Mul("p1", x, x)
+	p = append(p, t)
+	mulBy := []*dfg.Value{c2, x, c3, x, c4, x, c5}
+	for i, v := range mulBy {
+		t = g.Mul(fmt.Sprintf("p%d", i+2), t, v)
+		p = append(p, t)
+	}
+	// Keep multiplying by earlier partial products (re-normalisation
+	// chain); consumes every intermediate value.
+	for i := 0; i < 6; i++ {
+		t = g.Mul(fmt.Sprintf("p%d", i+9), t, p[i])
+	}
+	a1 := g.Add("a1", t, p[6])
+	g.Out("out0", a1)
+	return g
+}
+
+// buildSinh4: 4-term odd-power Taylor kernel with partial power reuse.
+// Inputs x,c3,c5,c7 + 1 output = 5 I/Os; 9 mul + 4 add = 13 ops.
+func buildSinh4() *dfg.Graph {
+	g := dfg.New("sinh_4")
+	x := g.In("x")
+	c3 := g.In("c3")
+	c5 := g.In("c5")
+	c7 := g.In("c7")
+	m1 := g.Mul("m1", x, x)   // x^2
+	m2 := g.Mul("m2", m1, x)  // x^3
+	t3 := g.Mul("t3", m2, c3) // term 3
+	m4 := g.Mul("m4", m1, m1) // x^4
+	m5 := g.Mul("m5", m4, x)  // x^5
+	t5 := g.Mul("t5", m5, c5) // term 5
+	m7 := g.Mul("m7", m4, m1) // x^6
+	m8 := g.Mul("m8", m7, x)  // x^7
+	t7 := g.Mul("t7", m8, c7) // term 7
+	s1 := g.Add("s1", x, t3)
+	s2 := g.Add("s2", s1, t5)
+	s3 := g.Add("s3", s2, t7)
+	s4 := g.Add("s4", s3, s3)
+	g.Out("out0", s4)
+	return g
+}
+
+// buildTay4: generic 4-term Taylor kernel with full power reuse.
+// Inputs x,c2,c3,c5 + 1 output = 5 I/Os; 6 mul + 4 add = 10 ops.
+func buildTay4() *dfg.Graph {
+	g := dfg.New("tay_4")
+	x := g.In("x")
+	ca := g.In("ca")
+	cb := g.In("cb")
+	cc := g.In("cc")
+	m1 := g.Mul("m1", x, x)   // x^2
+	t2 := g.Mul("t2", m1, ca) // term 2
+	m3 := g.Mul("m3", m1, x)  // x^3
+	t3 := g.Mul("t3", m3, cb) // term 3
+	m5 := g.Mul("m5", m3, m1) // x^5
+	t5 := g.Mul("t5", m5, cc) // term 5
+	s1 := g.Add("s1", x, t2)
+	s2 := g.Add("s2", s1, t3)
+	s3 := g.Add("s3", s2, t5)
+	s4 := g.Add("s4", s3, s3)
+	g.Out("out0", s4)
+	return g
+}
+
+// buildExtreme: routing stress case with a fanout-7 internal value and
+// four result streams. 12 inputs + 4 outputs = 16 I/Os;
+// 4 mul + 9 add + 1 xor + 1 or + 1 and + 2 shift = 19 ops.
+func buildExtreme() *dfg.Graph {
+	g := dfg.New("extreme")
+	in := inputs(g, 12)
+	p1 := g.Add("p1", in[0], in[1])
+	p2 := g.Add("p2", in[2], in[3])
+	p3 := g.Add("p3", in[4], in[5])
+	p4 := g.Add("p4", in[6], in[7])
+	h := g.Add("h", p1, p2) // high-fanout hub (7 consumers)
+	m1 := g.Mul("m1", h, in[8])
+	m2 := g.Mul("m2", h, in[9])
+	m3 := g.Mul("m3", h, in[10])
+	m4 := g.Mul("m4", h, in[11])
+	q1 := g.Add("q1", m1, p3)
+	q2 := g.Add("q2", m2, p4)
+	q3 := g.Add("q3", m3, h)
+	q4 := g.Add("q4", m4, h)
+	r1, _ := g.AddOp("r1", dfg.Xor, q1, q2)
+	r2, _ := g.AddOp("r2", dfg.Or, q3, q4)
+	r3, _ := g.AddOp("r3", dfg.And, r1.Out, r2.Out)
+	r4 := g.Add("r4", r3.Out, h)
+	s1 := g.Shr("sr", r4, in[8])
+	s2 := g.Shl("sl", r4, in[9])
+	g.Out("out0", s1)
+	g.Out("out1", s2)
+	g.Out("out2", r1.Out)
+	g.Out("out3", r2.Out)
+	return g
+}
+
+// buildWeightedSum: a Horner-style nested weighting chain alternating
+// multiply and add, t = (((in0*in1)+in2)*in3 + in4)..., with two closing
+// self-combinations. 15 inputs + 1 output = 16 I/Os; 8 mul + 8 add = 16
+// ops.
+func buildWeightedSum() *dfg.Graph {
+	g := dfg.New("weighted_sum")
+	in := inputs(g, 15)
+	t := g.Mul("t1", in[0], in[1])
+	for i := 2; i <= 14; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if i%2 == 0 {
+			t = g.Add(name, t, in[i])
+		} else {
+			t = g.Mul(name, t, in[i])
+		}
+	}
+	t = g.Mul("t15", t, t)
+	t = g.Add("t16", t, t)
+	g.Out("out0", t)
+	return g
+}
+
+func inputs(g *dfg.Graph, n int) []*dfg.Value {
+	vals := make([]*dfg.Value, n)
+	for i := range vals {
+		vals[i] = g.In(fmt.Sprintf("in%d", i))
+	}
+	return vals
+}

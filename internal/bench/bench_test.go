@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"testing"
+
+	"cgramap/internal/dfg"
+)
+
+// TestTable1Exact verifies that every synthesised benchmark reproduces the
+// published Table 1 characteristics exactly.
+func TestTable1Exact(t *testing.T) {
+	for _, want := range Table1 {
+		g, err := Get(want.Name)
+		if err != nil {
+			t.Errorf("%s: %v", want.Name, err)
+			continue
+		}
+		st := g.Stats()
+		if st.IOs != want.IOs || st.Ops != want.Ops || st.Multiplies != want.Multiplies {
+			t.Errorf("%s: got {IOs:%d Ops:%d Mul:%d}, want {IOs:%d Ops:%d Mul:%d}",
+				want.Name, st.IOs, st.Ops, st.Multiplies, want.IOs, want.Ops, want.Multiplies)
+		}
+	}
+}
+
+func TestAllValidAcyclic(t *testing.T) {
+	for _, g := range All() {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+		if !g.Acyclic() {
+			t.Errorf("%s: unexpected cycle", g.Name)
+		}
+	}
+}
+
+func TestNamesMatchTable(t *testing.T) {
+	names := Names()
+	if len(names) != 19 {
+		t.Fatalf("len(Names()) = %d, want 19", len(names))
+	}
+	for i, n := range names {
+		if n != Table1[i].Name {
+			t.Errorf("Names()[%d] = %q, want %q", i, n, Table1[i].Name)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get(nope) succeeded")
+	}
+}
+
+func TestMACUsesMemoryOps(t *testing.T) {
+	g := MustGet("mac")
+	if g.OpsOfKind(dfg.Load) != 2 || g.OpsOfKind(dfg.Store) != 1 {
+		t.Errorf("mac: loads=%d stores=%d, want 2/1",
+			g.OpsOfKind(dfg.Load), g.OpsOfKind(dfg.Store))
+	}
+}
+
+func TestExtremeHasHighFanout(t *testing.T) {
+	g := MustGet("extreme")
+	h := g.OpByName("h")
+	if h == nil || h.Out == nil {
+		t.Fatal("extreme: hub op missing")
+	}
+	if len(h.Out.Uses) < 6 {
+		t.Errorf("extreme hub fanout = %d, want >= 6 (routing stress)", len(h.Out.Uses))
+	}
+}
+
+func TestTextRoundTripAllBenchmarks(t *testing.T) {
+	for _, g := range All() {
+		text := g.FormatString()
+		g2, err := dfg.ParseString(text)
+		if err != nil {
+			t.Errorf("%s: reparse: %v", g.Name, err)
+			continue
+		}
+		if g.Stats() != g2.Stats() || g.NumSubVals() != g2.NumSubVals() {
+			t.Errorf("%s: round trip changed characteristics", g.Name)
+		}
+	}
+}

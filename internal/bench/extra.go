@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"cgramap/internal/dfg"
+)
+
+// Extra kernels beyond the paper's Table 1 suite: realistic workloads for
+// the examples, the extended tests and architecture-exploration studies.
+// They exercise parts of the system the Table 1 set does not — multiple
+// outputs, loop-carried recurrences, strided memory traffic.
+
+var extraBuilders = map[string]func() *dfg.Graph{
+	"fir4":       buildFIR4,
+	"complexmul": buildComplexMul,
+	"matvec2":    buildMatVec2,
+	"horner4":    buildHorner4,
+	"iir1":       buildIIR1,
+	"memstride":  buildMemStride,
+}
+
+// ExtraNames lists the extended kernels in a stable order.
+func ExtraNames() []string {
+	names := make([]string, 0, len(extraBuilders))
+	for n := range extraBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GetExtra builds one of the extended kernels.
+func GetExtra(name string) (*dfg.Graph, error) {
+	b, ok := extraBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown extra kernel %q (known: %v)", name, ExtraNames())
+	}
+	return b(), nil
+}
+
+// buildFIR4: four-tap finite impulse response filter,
+// y = sum(w_i * x_i), evaluated as a multiply/accumulate chain.
+func buildFIR4() *dfg.Graph {
+	g := dfg.New("fir4")
+	acc := g.Mul("m0", g.In("w0"), g.In("x0"))
+	for i := 1; i < 4; i++ {
+		m := g.Mul(fmt.Sprintf("m%d", i), g.In(fmt.Sprintf("w%d", i)), g.In(fmt.Sprintf("x%d", i)))
+		acc = g.Add(fmt.Sprintf("a%d", i), acc, m)
+	}
+	g.Out("y", acc)
+	return g
+}
+
+// buildComplexMul: complex multiplication
+// (a+bi)(c+di) = (ac-bd) + (ad+bc)i — two outputs sharing four products.
+func buildComplexMul() *dfg.Graph {
+	g := dfg.New("complexmul")
+	a := g.In("a")
+	b := g.In("b")
+	c := g.In("c")
+	d := g.In("d")
+	ac := g.Mul("ac", a, c)
+	bd := g.Mul("bd", b, d)
+	ad := g.Mul("ad", a, d)
+	bc := g.Mul("bc", b, c)
+	g.Out("re", g.Sub("res", ac, bd))
+	g.Out("im", g.Add("ims", ad, bc))
+	return g
+}
+
+// buildMatVec2: 2x2 matrix-vector product — two independent dot products
+// over a shared input vector (fanout on x0/x1).
+func buildMatVec2() *dfg.Graph {
+	g := dfg.New("matvec2")
+	x0 := g.In("x0")
+	x1 := g.In("x1")
+	for r := 0; r < 2; r++ {
+		a := g.In(fmt.Sprintf("a%d0", r))
+		b := g.In(fmt.Sprintf("a%d1", r))
+		y := g.Add(fmt.Sprintf("y%d", r),
+			g.Mul(fmt.Sprintf("p%d0", r), a, x0),
+			g.Mul(fmt.Sprintf("p%d1", r), b, x1))
+		g.Out(fmt.Sprintf("out%d", r), y)
+	}
+	return g
+}
+
+// buildHorner4: degree-4 polynomial by Horner's rule,
+// p = (((c4*x + c3)*x + c2)*x + c1)*x + c0.
+func buildHorner4() *dfg.Graph {
+	g := dfg.New("horner4")
+	x := g.In("x")
+	acc := g.In("c4")
+	for i := 3; i >= 0; i-- {
+		m := g.Mul(fmt.Sprintf("m%d", i), acc, x)
+		acc = g.Add(fmt.Sprintf("s%d", i), m, g.In(fmt.Sprintf("c%d", i)))
+	}
+	g.Out("p", acc)
+	return g
+}
+
+// buildIIR1: first-order infinite impulse response filter
+// y = a*y_prev + b*x — a loop-carried recurrence (back-edge), exercising
+// cross-context register routing (RecMII = 2: multiply then add on the
+// cycle).
+func buildIIR1() *dfg.Graph {
+	g := dfg.New("iir1")
+	a := g.In("a")
+	b := g.In("b")
+	x := g.In("x")
+	bx := g.Mul("bx", b, x)
+	// ay = a * y  (y wired below as a back-edge)
+	ay, err := g.AddOp("ay", dfg.Mul, a, a) // placeholder second operand
+	if err != nil {
+		panic(err)
+	}
+	y, err := g.AddOp("y", dfg.Add, ay.Out, bx)
+	if err != nil {
+		panic(err)
+	}
+	// Rewire ay's second operand to y's output (the recurrence).
+	old := ay.In[1]
+	ay.In[1] = y.Out
+	old.Uses = old.Uses[:1]
+	y.Out.Uses = append(y.Out.Uses, dfg.Use{Op: ay, Operand: 1})
+	g.Out("out", y.Out)
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// buildMemStride: strided memory traffic — load two elements, combine,
+// store to a derived address. Exercises the row-shared memory ports.
+func buildMemStride() *dfg.Graph {
+	g := dfg.New("memstride")
+	base := g.In("base")
+	one := g.In("one")
+	a := g.Load("lda", base)
+	next := g.Add("next", base, one)
+	b := g.Load("ldb", next)
+	sum := g.Add("sum", a, b)
+	dst := g.Add("dst", next, one)
+	g.Store("st", dst, sum)
+	return g
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"testing"
+
+	"cgramap/internal/dfg"
+)
+
+func TestExtraKernelsValid(t *testing.T) {
+	for _, name := range ExtraNames() {
+		g, err := GetExtra(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := GetExtra("nope"); err == nil {
+		t.Error("unknown extra kernel accepted")
+	}
+}
+
+func TestExtraKernelShapes(t *testing.T) {
+	fir, _ := GetExtra("fir4")
+	st := fir.Stats()
+	if st.Multiplies != 4 || st.IOs != 9 {
+		t.Errorf("fir4 stats %+v", st)
+	}
+	cm, _ := GetExtra("complexmul")
+	outs := 0
+	for _, op := range cm.Ops() {
+		if op.Kind == dfg.Output {
+			outs++
+		}
+	}
+	if outs != 2 {
+		t.Errorf("complexmul outputs = %d, want 2", outs)
+	}
+	iir, _ := GetExtra("iir1")
+	if iir.Acyclic() {
+		t.Error("iir1 should carry a recurrence back-edge")
+	}
+	ms, _ := GetExtra("memstride")
+	if ms.OpsOfKind(dfg.Load) != 2 || ms.OpsOfKind(dfg.Store) != 1 {
+		t.Errorf("memstride memory ops wrong")
+	}
+}
+
+func TestExtraKernelsEvaluate(t *testing.T) {
+	fir, _ := GetExtra("fir4")
+	res, err := fir.Eval(map[string]uint32{
+		"w0": 1, "x0": 10, "w1": 2, "x1": 20, "w2": 3, "x2": 30, "w3": 4, "x3": 40,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["y"] != 1*10+2*20+3*30+4*40 {
+		t.Errorf("fir4 y = %d", res.Outputs["y"])
+	}
+	cm, _ := GetExtra("complexmul")
+	res, err = cm.Eval(map[string]uint32{"a": 5, "b": 2, "c": 7, "d": 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["re"] != 5*7-2*3 || res.Outputs["im"] != 5*3+2*7 {
+		t.Errorf("complexmul = %v", res.Outputs)
+	}
+	hz, _ := GetExtra("horner4")
+	res, err = hz.Eval(map[string]uint32{"x": 2, "c4": 1, "c3": 0, "c2": 0, "c1": 0, "c0": 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["p"] != 16+5 {
+		t.Errorf("horner4 p = %d, want 21", res.Outputs["p"])
+	}
+}

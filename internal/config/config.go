@@ -1,0 +1,179 @@
+// Package config extracts CGRA configurations from verified mappings:
+// the per-context multiplexer selections and functional-unit opcodes that
+// would be loaded into the fabric's configuration memory to execute the
+// mapped kernel. This is the artifact a downstream user ultimately wants
+// from a mapper, and it is what the functional simulator
+// (internal/sim) executes to validate mappings end to end.
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/dfg"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+)
+
+// Key addresses one primitive in one execution context.
+type Key struct {
+	Prim    int
+	Context int
+}
+
+// FUSetting is the configuration of one functional unit in one context.
+type FUSetting struct {
+	// Op is the DFG operation executed in this slot.
+	Op *dfg.Op
+	// Swapped is true when the operands of a (commutative) binary
+	// operation arrive on opposite ports.
+	Swapped bool
+}
+
+// Config is a complete fabric configuration: every used multiplexer's
+// selected input and every used functional unit's opcode, per context.
+type Config struct {
+	// Arch is the configured architecture; Contexts its context count.
+	Arch     *arch.Arch
+	Contexts int
+	// MuxSel maps used multiplexers to their selected input port.
+	MuxSel map[Key]int
+	// FU maps used functional units to their executed operation.
+	FU map[Key]FUSetting
+}
+
+// Extract derives the configuration from a mapping. The mapping must be
+// valid (Extract re-verifies it) and every used multiplexer must be
+// entered by exactly one pin — which the ILP's Multiplexer Input
+// Exclusivity constraint guarantees.
+func Extract(m *mapper.Mapping) (*Config, error) {
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("config: mapping invalid: %w", err)
+	}
+	mg := m.MRRG
+	cfg := &Config{
+		Arch:     mg.Arch,
+		Contexts: mg.Contexts,
+		MuxSel:   make(map[Key]int),
+		FU:       make(map[Key]FUSetting),
+	}
+
+	// Node ownership across all values.
+	owner := make(map[int]*dfg.Value)
+	for _, v := range m.DFG.Vals() {
+		for _, n := range m.RouteNodesOf(v) {
+			owner[n] = v
+		}
+	}
+
+	// Multiplexer selections: a used mux node must have exactly one
+	// used pin (its entry point); the pin index is the selection.
+	for n, v := range owner {
+		node := mg.Nodes[n]
+		if mg.Arch.Prims[node.Prim].Kind != arch.Mux || node.PinPort >= 0 {
+			continue // only internal mux nodes here
+		}
+		sel := -1
+		for _, pin := range node.Fanins {
+			if owner[pin] == v {
+				if sel >= 0 {
+					return nil, fmt.Errorf("config: mux %s entered by two pins for value %s", node.Name, v.Name)
+				}
+				sel = mg.Nodes[pin].PinPort
+			}
+		}
+		if sel < 0 {
+			return nil, fmt.Errorf("config: mux %s used by value %s without an entry pin", node.Name, v.Name)
+		}
+		key := Key{Prim: node.Prim, Context: node.Context}
+		if prev, dup := cfg.MuxSel[key]; dup && prev != sel {
+			return nil, fmt.Errorf("config: conflicting selections for mux %s", node.Name)
+		}
+		cfg.MuxSel[key] = sel
+	}
+
+	// Functional-unit opcodes and operand orientation.
+	for _, op := range m.DFG.Ops() {
+		fuNode := mg.Nodes[m.Placement[op.ID]]
+		key := Key{Prim: fuNode.Prim, Context: fuNode.Context}
+		if prev, dup := cfg.FU[key]; dup {
+			return nil, fmt.Errorf("config: ops %s and %s share FU slot %s", prev.Op.Name, op.Name, fuNode.Name)
+		}
+		setting := FUSetting{Op: op}
+		if len(op.In) == 2 {
+			set0 := terminalPorts(m, op, 0, fuNode)
+			set1 := terminalPorts(m, op, 1, fuNode)
+			switch {
+			case set0[0] && set1[1]:
+				setting.Swapped = false
+			case set0[1] && set1[0]:
+				setting.Swapped = true
+			default:
+				return nil, fmt.Errorf("config: operands of %s cannot be assigned distinct ports of %s",
+					op.Name, fuNode.Name)
+			}
+		}
+		cfg.FU[key] = setting
+	}
+	return cfg, nil
+}
+
+// terminalPorts reports which operand ports of fu the route of operand s
+// of op reaches (a route set may brush several ports when it carries a
+// whole routing tree, e.g. from the annealer; the caller picks a distinct
+// assignment).
+func terminalPorts(m *mapper.Mapping, op *dfg.Op, s int, fu *mrrg.Node) map[int]bool {
+	ports := make(map[int]bool)
+	v := op.In[s]
+	for i, u := range v.Uses {
+		if u.Op != op || u.Operand != s {
+			continue
+		}
+		for _, n := range m.Routes[v.ID][i] {
+			node := m.MRRG.Nodes[n]
+			if node.FUNode == fu.ID && node.OperandPort >= 0 &&
+				m.MRRG.CompatibleSink(node, op, s) {
+				ports[node.OperandPort] = true
+			}
+		}
+	}
+	return ports
+}
+
+// Render prints the configuration as a per-context table.
+func (c *Config) Render(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "configuration of %s (%d contexts): %d FU slots, %d mux selections\n",
+		c.Arch.Name, c.Contexts, len(c.FU), len(c.MuxSel))
+	for ctx := 0; ctx < c.Contexts; ctx++ {
+		fmt.Fprintf(bw, "context %d:\n", ctx)
+		var fuKeys, muxKeys []Key
+		for k := range c.FU {
+			if k.Context == ctx {
+				fuKeys = append(fuKeys, k)
+			}
+		}
+		for k := range c.MuxSel {
+			if k.Context == ctx {
+				muxKeys = append(muxKeys, k)
+			}
+		}
+		sort.Slice(fuKeys, func(i, j int) bool { return fuKeys[i].Prim < fuKeys[j].Prim })
+		sort.Slice(muxKeys, func(i, j int) bool { return muxKeys[i].Prim < muxKeys[j].Prim })
+		for _, k := range fuKeys {
+			s := c.FU[k]
+			swap := ""
+			if s.Swapped {
+				swap = " (operands swapped)"
+			}
+			fmt.Fprintf(bw, "  fu  %-22s %s = %s%s\n", c.Arch.Prims[k.Prim].Name, s.Op.Kind, s.Op.Name, swap)
+		}
+		for _, k := range muxKeys {
+			fmt.Fprintf(bw, "  mux %-22s select input %d\n", c.Arch.Prims[k.Prim].Name, c.MuxSel[k])
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,155 @@
+package config
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"cgramap/internal/anneal"
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/dfg"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+)
+
+func mapBenchmark(t *testing.T, name string, spec arch.GridSpec) *mapper.Mapping {
+	t.Helper()
+	a, err := arch.Grid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := bench.MustGet(name)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := mapper.Map(ctx, g, mg, mapper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() {
+		t.Fatalf("%s unmappable: %v (%s)", name, res.Status, res.Reason)
+	}
+	return res.Mapping
+}
+
+func TestExtractAccum(t *testing.T) {
+	m := mapBenchmark(t, "accum", arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 2})
+	cfg, err := Extract(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One FU slot per operation.
+	if len(cfg.FU) != m.DFG.NumOps() {
+		t.Errorf("FU settings = %d, want %d", len(cfg.FU), m.DFG.NumOps())
+	}
+	// Every op appears exactly once with its own kind.
+	seen := map[string]bool{}
+	for k, s := range cfg.FU {
+		if seen[s.Op.Name] {
+			t.Errorf("op %s configured twice", s.Op.Name)
+		}
+		seen[s.Op.Name] = true
+		prim := cfg.Arch.Prims[k.Prim]
+		if !prim.SupportsOp(s.Op.Kind) {
+			t.Errorf("op %s (%s) configured on incompatible %s", s.Op.Name, s.Op.Kind, prim.Name)
+		}
+	}
+	if len(cfg.MuxSel) == 0 {
+		t.Error("no mux selections extracted")
+	}
+	for k, sel := range cfg.MuxSel {
+		prim := cfg.Arch.Prims[k.Prim]
+		if prim.Kind != arch.Mux {
+			t.Errorf("selection on non-mux %s", prim.Name)
+		}
+		if sel < 0 || sel >= prim.NIn {
+			t.Errorf("mux %s selection %d out of range", prim.Name, sel)
+		}
+	}
+	var sb strings.Builder
+	if err := cfg.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"configuration of", "context 0", "context 1", "mul", "select input"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+}
+
+func TestExtractFromAnnealer(t *testing.T) {
+	a, err := arch.Grid(arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := anneal.Map(ctx, bench.MustGet("2x2-f"), mg, anneal.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Skip("annealer missed; nothing to extract")
+	}
+	if _, err := Extract(res.Mapping); err != nil {
+		t.Errorf("annealer mapping not extractable: %v", err)
+	}
+}
+
+func TestExtractSwappedOperands(t *testing.T) {
+	// x*x forces the two sub-values onto distinct ports; extraction
+	// must succeed regardless of which port got which.
+	b := arch.NewBuilder("sq", 1)
+	in := b.FU("in", []dfg.Kind{dfg.Input}, 0, 0, 1)
+	muxA := b.Mux("mux_a", 1)
+	muxB := b.Mux("mux_b", 1)
+	alu := b.FU("alu", []dfg.Kind{dfg.Mul}, 2, 0, 1)
+	out := b.FU("out", []dfg.Kind{dfg.Output}, 1, 0, 1)
+	b.Connect(in, muxA, 0)
+	b.Connect(in, muxB, 0)
+	b.Connect(muxA, alu, 0)
+	b.Connect(muxB, alu, 1)
+	b.Connect(alu, out, 0)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dfg.New("sq")
+	x := g.In("x")
+	g.Out("o", g.Mul("m", x, x))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := mapper.Map(ctx, g, mg, mapper.Options{})
+	if err != nil || !res.Feasible() {
+		t.Fatalf("map: %v %v", err, res)
+	}
+	cfg, err := Extract(res.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.FU) != 3 {
+		t.Errorf("FU settings = %d, want 3", len(cfg.FU))
+	}
+}
+
+func TestExtractRejectsCorruptMapping(t *testing.T) {
+	m := mapBenchmark(t, "2x2-f", arch.GridSpec{Rows: 4, Cols: 4, Homogeneous: true, Contexts: 1})
+	// Corrupt: point two ops at the same FU.
+	m.Placement[1] = m.Placement[2]
+	if _, err := Extract(m); err == nil {
+		t.Error("corrupt mapping extracted")
+	}
+}

@@ -1,0 +1,448 @@
+// Package dfg implements the data-flow graph (DFG) representation used as
+// the application input to CGRA mapping.
+//
+// A DFG is a directed graph whose vertices are operations and whose edges
+// are data dependencies between operations (paper §3.1). Multi-fanout
+// values are first-class: an operation produces at most one Value, and a
+// Value records every (operation, operand-index) use. During mapping each
+// use becomes a sub-value — an independent source-to-sink routing demand
+// (paper Fig. 5).
+package dfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind identifies the operation performed by a DFG node.
+type Kind int
+
+// Operation kinds. Input and Output are the I/O operations counted in the
+// "I/Os" column of the paper's Table 1; loads and stores are internal
+// operations executed on memory-port functional units.
+const (
+	Invalid Kind = iota
+	Input
+	Output
+	Const
+	Add
+	Sub
+	Mul
+	Div
+	Shl
+	Shr
+	And
+	Or
+	Xor
+	Not
+	Load
+	Store
+)
+
+var kindNames = map[Kind]string{
+	Invalid: "invalid",
+	Input:   "input",
+	Output:  "output",
+	Const:   "const",
+	Add:     "add",
+	Sub:     "sub",
+	Mul:     "mul",
+	Div:     "div",
+	Shl:     "shl",
+	Shr:     "shr",
+	And:     "and",
+	Or:      "or",
+	Xor:     "xor",
+	Not:     "not",
+	Load:    "load",
+	Store:   "store",
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// Kinds returns every valid operation kind in a stable order.
+func Kinds() []Kind {
+	ks := make([]Kind, 0, len(kindNames)-1)
+	for k := range kindNames {
+		if k != Invalid {
+			ks = append(ks, k)
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// String returns the lower-case mnemonic of the kind (e.g. "mul").
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// KindFromString resolves a mnemonic produced by Kind.String.
+func KindFromString(s string) (Kind, error) {
+	if k, ok := kindByName[s]; ok && k != Invalid {
+		return k, nil
+	}
+	return Invalid, fmt.Errorf("dfg: unknown operation kind %q", s)
+}
+
+// NumOperands reports how many ordered operands an operation of this kind
+// consumes.
+func (k Kind) NumOperands() int {
+	switch k {
+	case Input, Const:
+		return 0
+	case Output, Not, Load:
+		return 1
+	case Store:
+		return 2
+	default:
+		return 2
+	}
+}
+
+// ProducesValue reports whether operations of this kind define a value.
+// Output and Store operations are pure sinks.
+func (k Kind) ProducesValue() bool {
+	return k != Output && k != Store
+}
+
+// Commutative reports whether the two operands of a binary operation of
+// this kind may be exchanged. The mapper uses this for operand-port
+// correctness (paper constraint 6).
+func (k Kind) Commutative() bool {
+	switch k {
+	case Add, Mul, And, Or, Xor:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsIO reports whether the kind is an external I/O operation (counted in
+// the "I/Os" column of Table 1).
+func (k Kind) IsIO() bool { return k == Input || k == Output }
+
+// IsMemory reports whether the kind accesses memory and therefore must be
+// placed on a memory-port functional unit.
+func (k Kind) IsMemory() bool { return k == Load || k == Store }
+
+// Op is one operation vertex of a DFG.
+type Op struct {
+	// ID is the dense index of the operation within its graph.
+	ID int
+	// Name is the unique, human-readable name of the operation.
+	Name string
+	// Kind is the operation performed.
+	Kind Kind
+	// In holds the ordered operand values. len(In) == Kind.NumOperands().
+	In []*Value
+	// Out is the value defined by this operation, or nil when
+	// Kind.ProducesValue() is false.
+	Out *Value
+}
+
+func (o *Op) String() string { return fmt.Sprintf("%s(%s)", o.Name, o.Kind) }
+
+// Use records one consumption of a value: operand Operand of operation Op.
+type Use struct {
+	Op      *Op
+	Operand int
+}
+
+// Value is a value produced by an operation and consumed by zero or more
+// operations. Each element of Uses is one sub-value (source-to-sink
+// routing demand) during mapping.
+type Value struct {
+	// ID is the dense index of the value within its graph.
+	ID int
+	// Name is the unique name of the value (derived from its producer).
+	Name string
+	// Def is the operation defining this value.
+	Def *Op
+	// Uses lists every (op, operand) consumption in creation order.
+	Uses []Use
+}
+
+func (v *Value) String() string { return v.Name }
+
+// Graph is a data-flow graph. The zero value is unusable; create graphs
+// with New.
+type Graph struct {
+	// Name identifies the kernel (e.g. a benchmark name).
+	Name string
+
+	ops    []*Op
+	vals   []*Value
+	byName map[string]*Op
+}
+
+// New returns an empty DFG with the given kernel name.
+func New(name string) *Graph {
+	return &Graph{Name: name, byName: make(map[string]*Op)}
+}
+
+// Ops returns the operations in creation order. The slice must not be
+// modified.
+func (g *Graph) Ops() []*Op { return g.ops }
+
+// Vals returns the values in creation order. The slice must not be
+// modified.
+func (g *Graph) Vals() []*Value { return g.vals }
+
+// NumOps returns the number of operations.
+func (g *Graph) NumOps() int { return len(g.ops) }
+
+// NumVals returns the number of values.
+func (g *Graph) NumVals() int { return len(g.vals) }
+
+// OpByName returns the operation with the given name, or nil.
+func (g *Graph) OpByName(name string) *Op { return g.byName[name] }
+
+// AddOp appends an operation consuming the given operand values and
+// returns it. The operand count must match kind.NumOperands(), the name
+// must be unique within the graph, and every operand must belong to this
+// graph.
+func (g *Graph) AddOp(name string, kind Kind, operands ...*Value) (*Op, error) {
+	if kind == Invalid {
+		return nil, fmt.Errorf("dfg: op %q has invalid kind", name)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("dfg: op name must be non-empty")
+	}
+	if _, dup := g.byName[name]; dup {
+		return nil, fmt.Errorf("dfg: duplicate op name %q", name)
+	}
+	if got, want := len(operands), kind.NumOperands(); got != want {
+		return nil, fmt.Errorf("dfg: op %q (%s) takes %d operands, got %d", name, kind, want, got)
+	}
+	for i, v := range operands {
+		if v == nil {
+			return nil, fmt.Errorf("dfg: op %q operand %d is nil", name, i)
+		}
+		if v.ID >= len(g.vals) || g.vals[v.ID] != v {
+			return nil, fmt.Errorf("dfg: op %q operand %d (%s) belongs to a different graph", name, i, v)
+		}
+	}
+	op := &Op{ID: len(g.ops), Name: name, Kind: kind, In: operands}
+	for i, v := range operands {
+		v.Uses = append(v.Uses, Use{Op: op, Operand: i})
+	}
+	if kind.ProducesValue() {
+		val := &Value{ID: len(g.vals), Name: name, Def: op}
+		op.Out = val
+		g.vals = append(g.vals, val)
+	}
+	g.ops = append(g.ops, op)
+	g.byName[name] = op
+	return op, nil
+}
+
+// mustOp wraps AddOp for the fluent builder helpers; the helpers are used
+// with programmatically constructed graphs where the error conditions are
+// programming errors.
+func (g *Graph) mustOp(name string, kind Kind, operands ...*Value) *Value {
+	op, err := g.AddOp(name, kind, operands...)
+	if err != nil {
+		panic(err)
+	}
+	return op.Out
+}
+
+// In adds an input operation and returns its value.
+func (g *Graph) In(name string) *Value { return g.mustOp(name, Input) }
+
+// Out adds an output operation consuming v.
+func (g *Graph) Out(name string, v *Value) { g.mustOp(name, Output, v) }
+
+// Add adds an addition and returns its result value.
+func (g *Graph) Add(name string, a, b *Value) *Value { return g.mustOp(name, Add, a, b) }
+
+// Sub adds a subtraction and returns its result value.
+func (g *Graph) Sub(name string, a, b *Value) *Value { return g.mustOp(name, Sub, a, b) }
+
+// Mul adds a multiplication and returns its result value.
+func (g *Graph) Mul(name string, a, b *Value) *Value { return g.mustOp(name, Mul, a, b) }
+
+// Shl adds a left shift and returns its result value.
+func (g *Graph) Shl(name string, a, b *Value) *Value { return g.mustOp(name, Shl, a, b) }
+
+// Shr adds a right shift and returns its result value.
+func (g *Graph) Shr(name string, a, b *Value) *Value { return g.mustOp(name, Shr, a, b) }
+
+// Load adds a memory load from address addr and returns the loaded value.
+func (g *Graph) Load(name string, addr *Value) *Value { return g.mustOp(name, Load, addr) }
+
+// Store adds a memory store of data to address addr.
+func (g *Graph) Store(name string, addr, data *Value) { g.mustOp(name, Store, addr, data) }
+
+// Stats summarises a DFG the way the paper's Table 1 does.
+type Stats struct {
+	// IOs counts input and output operations.
+	IOs int
+	// Ops counts internal operations (everything that is not an I/O;
+	// loads and stores are internal, matching Table 1).
+	Ops int
+	// Multiplies counts multiplication operations.
+	Multiplies int
+}
+
+// Stats computes Table 1-style characteristics of the graph.
+func (g *Graph) Stats() Stats {
+	var s Stats
+	for _, op := range g.ops {
+		switch {
+		case op.Kind.IsIO():
+			s.IOs++
+		default:
+			s.Ops++
+		}
+		if op.Kind == Mul {
+			s.Multiplies++
+		}
+	}
+	return s
+}
+
+// OpsOfKind returns the number of operations of the given kind.
+func (g *Graph) OpsOfKind(k Kind) int {
+	n := 0
+	for _, op := range g.ops {
+		if op.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// NumSubVals returns the total number of sub-values (source-to-sink
+// routing demands) in the graph.
+func (g *Graph) NumSubVals() int {
+	n := 0
+	for _, v := range g.vals {
+		n += len(v.Uses)
+	}
+	return n
+}
+
+// Validate checks the structural invariants of the graph: operand counts,
+// def-use consistency and dense IDs. It does not require acyclicity —
+// back-edges express loop-carried dependencies (paper §3.1).
+func (g *Graph) Validate() error {
+	for i, op := range g.ops {
+		if op.ID != i {
+			return fmt.Errorf("dfg %s: op %q has ID %d, want %d", g.Name, op.Name, op.ID, i)
+		}
+		if got, want := len(op.In), op.Kind.NumOperands(); got != want {
+			return fmt.Errorf("dfg %s: op %q (%s) has %d operands, want %d", g.Name, op.Name, op.Kind, got, want)
+		}
+		if op.Kind.ProducesValue() != (op.Out != nil) {
+			return fmt.Errorf("dfg %s: op %q (%s) output presence mismatch", g.Name, op.Name, op.Kind)
+		}
+		if g.byName[op.Name] != op {
+			return fmt.Errorf("dfg %s: op %q not registered under its name", g.Name, op.Name)
+		}
+		for idx, v := range op.In {
+			found := false
+			for _, u := range v.Uses {
+				if u.Op == op && u.Operand == idx {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("dfg %s: op %q operand %d (%s) missing reciprocal use", g.Name, op.Name, idx, v)
+			}
+		}
+	}
+	for i, v := range g.vals {
+		if v.ID != i {
+			return fmt.Errorf("dfg %s: value %q has ID %d, want %d", g.Name, v.Name, v.ID, i)
+		}
+		if v.Def == nil || v.Def.Out != v {
+			return fmt.Errorf("dfg %s: value %q def link broken", g.Name, v.Name)
+		}
+		for _, u := range v.Uses {
+			if u.Operand < 0 || u.Operand >= len(u.Op.In) || u.Op.In[u.Operand] != v {
+				return fmt.Errorf("dfg %s: value %q use by %q operand %d inconsistent", g.Name, v.Name, u.Op.Name, u.Operand)
+			}
+		}
+	}
+	return nil
+}
+
+// Acyclic reports whether the graph has no data-dependence cycles
+// (i.e. no loop-carried back-edges).
+func (g *Graph) Acyclic() bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := make([]int, len(g.ops))
+	var visit func(op *Op) bool
+	visit = func(op *Op) bool {
+		state[op.ID] = grey
+		if op.Out != nil {
+			for _, u := range op.Out.Uses {
+				switch state[u.Op.ID] {
+				case grey:
+					return false
+				case white:
+					if !visit(u.Op) {
+						return false
+					}
+				}
+			}
+		}
+		state[op.ID] = black
+		return true
+	}
+	for _, op := range g.ops {
+		if state[op.ID] == white && !visit(op) {
+			return false
+		}
+	}
+	return true
+}
+
+// CriticalPathLength returns the number of operations on the longest
+// acyclic dependence chain. It reports an error if the graph has cycles.
+func (g *Graph) CriticalPathLength() (int, error) {
+	if !g.Acyclic() {
+		return 0, fmt.Errorf("dfg %s: critical path undefined on cyclic graph", g.Name)
+	}
+	memo := make([]int, len(g.ops))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var depth func(op *Op) int
+	depth = func(op *Op) int {
+		if memo[op.ID] >= 0 {
+			return memo[op.ID]
+		}
+		best := 0
+		for _, v := range op.In {
+			if d := depth(v.Def); d > best {
+				best = d
+			}
+		}
+		memo[op.ID] = best + 1
+		return best + 1
+	}
+	longest := 0
+	for _, op := range g.ops {
+		if d := depth(op); d > longest {
+			longest = d
+		}
+	}
+	return longest, nil
+}

@@ -1,0 +1,285 @@
+package dfg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildMAC(t *testing.T) *Graph {
+	t.Helper()
+	g := New("mac")
+	a := g.In("a")
+	b := g.In("b")
+	p := g.Mul("p", a, b)
+	s := g.Add("s", p, a)
+	g.Out("o", s)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := buildMAC(t)
+	if got := g.NumOps(); got != 5 {
+		t.Errorf("NumOps = %d, want 5", got)
+	}
+	if got := g.NumVals(); got != 4 {
+		t.Errorf("NumVals = %d, want 4 (output produces none)", got)
+	}
+	st := g.Stats()
+	if st.IOs != 3 || st.Ops != 2 || st.Multiplies != 1 {
+		t.Errorf("Stats = %+v, want {IOs:3 Ops:2 Multiplies:1}", st)
+	}
+	if !g.Acyclic() {
+		t.Error("Acyclic = false, want true")
+	}
+	if cp, err := g.CriticalPathLength(); err != nil || cp != 4 {
+		t.Errorf("CriticalPathLength = %d, %v; want 4 (in,mul,add,out)", cp, err)
+	}
+}
+
+func TestMultiFanoutSubValues(t *testing.T) {
+	g := buildMAC(t)
+	a := g.OpByName("a").Out
+	// a feeds the mul and the add: two sub-values.
+	if len(a.Uses) != 2 {
+		t.Fatalf("value a has %d uses, want 2", len(a.Uses))
+	}
+	if g.NumSubVals() != 5 {
+		t.Errorf("NumSubVals = %d, want 5", g.NumSubVals())
+	}
+}
+
+func TestSameValueBothOperands(t *testing.T) {
+	g := New("square")
+	x := g.In("x")
+	sq := g.Mul("sq", x, x)
+	g.Out("o", sq)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(x.Uses) != 2 {
+		t.Fatalf("x.Uses = %d, want 2 (one sub-value per operand slot)", len(x.Uses))
+	}
+	if x.Uses[0].Operand == x.Uses[1].Operand {
+		t.Error("both uses claim the same operand slot")
+	}
+}
+
+func TestAddOpErrors(t *testing.T) {
+	g := New("err")
+	a := g.In("a")
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"duplicate name", func() error { _, err := g.AddOp("a", Input); return err }},
+		{"wrong operand count", func() error { _, err := g.AddOp("x", Add, a); return err }},
+		{"invalid kind", func() error { _, err := g.AddOp("x", Invalid); return err }},
+		{"empty name", func() error { _, err := g.AddOp("", Input); return err }},
+		{"nil operand", func() error { _, err := g.AddOp("x", Not, nil); return err }},
+	}
+	for _, c := range cases {
+		if err := c.fn(); err == nil {
+			t.Errorf("%s: want error, got nil", c.name)
+		}
+	}
+	// Foreign value detection.
+	h := New("other")
+	b := h.In("b")
+	if _, err := g.AddOp("y", Not, b); err == nil {
+		t.Error("foreign operand accepted")
+	}
+}
+
+func TestKindProperties(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := KindFromString(k.String())
+		if err != nil || got != k {
+			t.Errorf("KindFromString(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := KindFromString("bogus"); err == nil {
+		t.Error("KindFromString(bogus) succeeded")
+	}
+	if !Add.Commutative() || Sub.Commutative() || Shl.Commutative() {
+		t.Error("commutativity table wrong for add/sub/shl")
+	}
+	if Input.NumOperands() != 0 || Store.NumOperands() != 2 || Load.NumOperands() != 1 {
+		t.Error("operand counts wrong for input/store/load")
+	}
+	if Output.ProducesValue() || Store.ProducesValue() || !Load.ProducesValue() {
+		t.Error("ProducesValue wrong for output/store/load")
+	}
+	if !Load.IsMemory() || !Store.IsMemory() || Add.IsMemory() {
+		t.Error("IsMemory wrong")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New("loop")
+	a := g.In("a")
+	// Manually wire a loop-carried dependence: acc = add(a, acc).
+	op, err := g.AddOp("acc", Add, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewire second operand to the op's own output (a back-edge).
+	old := op.In[1]
+	op.In[1] = op.Out
+	// Fix use lists to keep the graph valid.
+	old.Uses = old.Uses[:1]
+	op.Out.Uses = append(op.Out.Uses, Use{Op: op, Operand: 1})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate on back-edge graph: %v", err)
+	}
+	if g.Acyclic() {
+		t.Error("Acyclic = true on a graph with a back-edge")
+	}
+	if _, err := g.CriticalPathLength(); err == nil {
+		t.Error("CriticalPathLength on cyclic graph should error")
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	src := `
+# multiply-accumulate
+dfg mac
+input a
+input b
+mul p a b
+add s p a
+output o s
+`
+	g, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.Name != "mac" || g.NumOps() != 5 {
+		t.Fatalf("parsed %s with %d ops", g.Name, g.NumOps())
+	}
+	text := g.FormatString()
+	g2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if g2.FormatString() != text {
+		t.Errorf("format not stable:\n%s\nvs\n%s", text, g2.FormatString())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"no header":         "input a\n",
+		"bad header":        "dfg\n",
+		"bad kind":          "dfg x\nfrobnicate a\n",
+		"missing name":      "dfg x\ninput\n",
+		"undefined operand": "dfg x\noutput o missing\n",
+		"no value operand":  "dfg x\ninput a\noutput o a\noutput p o\n",
+		"operand count":     "dfg x\ninput a\nadd s a\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := buildMAC(t)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{"digraph", `"a" -> "p"`, "shape=box"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// randomGraph builds a random acyclic DFG from a seed. Used by the
+// property tests below.
+func randomGraph(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New("rand")
+	nIn := 1 + rng.Intn(6)
+	vals := make([]*Value, 0, 32)
+	for i := 0; i < nIn; i++ {
+		vals = append(vals, g.In(names("in", i)))
+	}
+	kinds := []Kind{Add, Sub, Mul, Shl, Shr, And, Or, Xor, Not, Load}
+	nOps := rng.Intn(20)
+	for i := 0; i < nOps; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		var operands []*Value
+		for j := 0; j < k.NumOperands(); j++ {
+			operands = append(operands, vals[rng.Intn(len(vals))])
+		}
+		op, err := g.AddOp(names("op", i), k, operands...)
+		if err != nil {
+			panic(err)
+		}
+		vals = append(vals, op.Out)
+	}
+	nOut := 1 + rng.Intn(3)
+	for i := 0; i < nOut; i++ {
+		g.Out(names("out", i), vals[rng.Intn(len(vals))])
+	}
+	return g
+}
+
+func names(prefix string, i int) string {
+	return prefix + "_" + string(rune('a'+i%26)) + string(rune('0'+i/26%10))
+}
+
+func TestRandomGraphInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomGraph(seed)
+		if err := g.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !g.Acyclic() {
+			t.Logf("seed %d: builder produced a cycle", seed)
+			return false
+		}
+		// Sub-value count equals total operand edges.
+		edges := 0
+		for _, op := range g.Ops() {
+			edges += len(op.In)
+		}
+		return g.NumSubVals() == edges
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomGraphTextRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomGraph(seed)
+		text := g.FormatString()
+		g2, err := ParseString(text)
+		if err != nil {
+			t.Logf("seed %d: reparse: %v", seed, err)
+			return false
+		}
+		if g2.FormatString() != text {
+			return false
+		}
+		s1, s2 := g.Stats(), g2.Stats()
+		return s1 == s2 && g.NumSubVals() == g2.NumSubVals()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package dfg
+
+import "fmt"
+
+// EvalOp computes the 32-bit result of a binary/unary operation kind.
+// Shift amounts use the low five bits, mirroring RISC semantics.
+func EvalOp(k Kind, a, b uint32) (uint32, error) {
+	switch k {
+	case Add:
+		return a + b, nil
+	case Sub:
+		return a - b, nil
+	case Mul:
+		return a * b, nil
+	case Div:
+		if b == 0 {
+			return 0, fmt.Errorf("dfg: division by zero")
+		}
+		return a / b, nil
+	case Shl:
+		return a << (b & 31), nil
+	case Shr:
+		return a >> (b & 31), nil
+	case And:
+		return a & b, nil
+	case Or:
+		return a | b, nil
+	case Xor:
+		return a ^ b, nil
+	case Not:
+		return ^a, nil
+	default:
+		return 0, fmt.Errorf("dfg: %s is not an ALU operation", k)
+	}
+}
+
+// EvalResult holds the observable effects of one kernel iteration.
+type EvalResult struct {
+	// Outputs maps output-operation names to the value they consumed.
+	Outputs map[string]uint32
+	// Stores maps addresses written by store operations to the stored
+	// values.
+	Stores map[uint32]uint32
+}
+
+// Eval executes one iteration of an acyclic DFG with the given input
+// values (keyed by input-operation name) and initial memory. Loads read
+// the initial memory; stores are collected into the result (the
+// single-iteration memory model also used by the mapped-configuration
+// simulator).
+func (g *Graph) Eval(inputs map[string]uint32, mem map[uint32]uint32) (*EvalResult, error) {
+	if !g.Acyclic() {
+		return nil, fmt.Errorf("dfg %s: Eval requires an acyclic graph", g.Name)
+	}
+	res := &EvalResult{
+		Outputs: make(map[string]uint32),
+		Stores:  make(map[uint32]uint32),
+	}
+	vals := make([]uint32, g.NumVals())
+	done := make([]bool, g.NumVals())
+
+	var eval func(v *Value) (uint32, error)
+	evalOpNode := func(op *Op) (uint32, error) {
+		var in [2]uint32
+		for i, v := range op.In {
+			x, err := eval(v)
+			if err != nil {
+				return 0, err
+			}
+			in[i] = x
+		}
+		switch op.Kind {
+		case Input:
+			x, ok := inputs[op.Name]
+			if !ok {
+				return 0, fmt.Errorf("dfg %s: no input value for %q", g.Name, op.Name)
+			}
+			return x, nil
+		case Const:
+			return 0, nil
+		case Load:
+			return mem[in[0]], nil
+		default:
+			return EvalOp(op.Kind, in[0], in[1])
+		}
+	}
+	eval = func(v *Value) (uint32, error) {
+		if done[v.ID] {
+			return vals[v.ID], nil
+		}
+		x, err := evalOpNode(v.Def)
+		if err != nil {
+			return 0, err
+		}
+		vals[v.ID] = x
+		done[v.ID] = true
+		return x, nil
+	}
+
+	for _, op := range g.Ops() {
+		switch op.Kind {
+		case Output:
+			x, err := eval(op.In[0])
+			if err != nil {
+				return nil, err
+			}
+			res.Outputs[op.Name] = x
+		case Store:
+			addr, err := eval(op.In[0])
+			if err != nil {
+				return nil, err
+			}
+			data, err := eval(op.In[1])
+			if err != nil {
+				return nil, err
+			}
+			res.Stores[addr] = data
+		default:
+			if op.Out != nil {
+				if _, err := eval(op.Out); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package dfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalOpSemantics(t *testing.T) {
+	cases := []struct {
+		k       Kind
+		a, b    uint32
+		want    uint32
+		wantErr bool
+	}{
+		{Add, 3, 4, 7, false},
+		{Sub, 3, 4, 0xffffffff, false},
+		{Mul, 6, 7, 42, false},
+		{Div, 42, 6, 7, false},
+		{Div, 1, 0, 0, true},
+		{Shl, 1, 4, 16, false},
+		{Shl, 1, 36, 16, false}, // amount masked to 5 bits
+		{Shr, 16, 4, 1, false},
+		{And, 0b1100, 0b1010, 0b1000, false},
+		{Or, 0b1100, 0b1010, 0b1110, false},
+		{Xor, 0b1100, 0b1010, 0b0110, false},
+		{Not, 0, 0, 0xffffffff, false},
+		{Input, 0, 0, 0, true},
+	}
+	for _, c := range cases {
+		got, err := EvalOp(c.k, c.a, c.b)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: err = %v", c.k, err)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.k, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalMAC(t *testing.T) {
+	g := New("mac")
+	a := g.In("a")
+	b := g.In("b")
+	p := g.Mul("p", a, b)
+	s := g.Add("s", p, a)
+	g.Out("o", s)
+	res, err := g.Eval(map[string]uint32{"a": 3, "b": 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["o"] != 18 {
+		t.Errorf("o = %d, want 18", res.Outputs["o"])
+	}
+}
+
+func TestEvalMemory(t *testing.T) {
+	g := New("memcopy")
+	addr := g.In("addr")
+	v := g.Load("ld", addr)
+	two := g.Add("two", addr, addr)
+	g.Store("st", two, v)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Eval(map[string]uint32{"addr": 10}, map[uint32]uint32{10: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stores[20] != 99 {
+		t.Errorf("stores = %v, want 20->99", res.Stores)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	g := New("e")
+	x := g.In("x")
+	g.Out("o", x)
+	if _, err := g.Eval(map[string]uint32{}, nil); err == nil {
+		t.Error("missing input accepted")
+	}
+	// Cyclic graph rejected.
+	g2 := New("loop")
+	a := g2.In("a")
+	op, _ := g2.AddOp("acc", Add, a, a)
+	old := op.In[1]
+	op.In[1] = op.Out
+	old.Uses = old.Uses[:1]
+	op.Out.Uses = append(op.Out.Uses, Use{Op: op, Operand: 1})
+	if _, err := g2.Eval(map[string]uint32{"a": 1}, nil); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+	// Division by zero propagates.
+	g3 := New("div")
+	n := g3.In("n")
+	d := g3.In("d")
+	q, _ := g3.AddOp("q", Div, n, d)
+	g3.Out("o", q.Out)
+	if _, err := g3.Eval(map[string]uint32{"n": 1, "d": 0}, nil); err == nil {
+		t.Error("division by zero accepted")
+	}
+}
+
+// TestEvalDeterministic: evaluation is a pure function of inputs.
+func TestEvalDeterministic(t *testing.T) {
+	prop := func(seed int64, a, b, c uint32) bool {
+		g := randomGraph(seed)
+		inputs := map[string]uint32{}
+		vals := []uint32{a, b, c, a ^ b, b ^ c, a + c}
+		i := 0
+		for _, op := range g.Ops() {
+			if op.Kind == Input {
+				inputs[op.Name] = vals[i%len(vals)]
+				i++
+			}
+		}
+		mem := map[uint32]uint32{0: 1, 1: 2}
+		r1, err1 := g.Eval(inputs, mem)
+		r2, err2 := g.Eval(inputs, mem)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true // e.g. division by zero: consistent failure is fine
+		}
+		for k, v := range r1.Outputs {
+			if r2.Outputs[k] != v {
+				return false
+			}
+		}
+		return len(r1.Outputs) == len(r2.Outputs)
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

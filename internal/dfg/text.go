@@ -1,0 +1,136 @@
+package dfg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The textual DFG format is line oriented:
+//
+//	dfg <kernel-name>
+//	<kind> <op-name> [operand-op-name...]
+//
+// Operands name the *operation* that produces the consumed value, so an
+// operation must be declared before it is used (back-edges can be added
+// only programmatically). '#' starts a comment; blank lines are ignored.
+//
+// Example (multiply-accumulate fragment):
+//
+//	dfg mac
+//	input a
+//	input b
+//	mul t a b
+//	add s t a
+//	output o s
+
+// Parse reads a DFG in the textual format from r.
+func Parse(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var g *Graph
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if g == nil {
+			if fields[0] != "dfg" || len(fields) != 2 {
+				return nil, fmt.Errorf("dfg: line %d: expected header \"dfg <name>\", got %q", lineNo, line)
+			}
+			g = New(fields[1])
+			continue
+		}
+		kind, err := KindFromString(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("dfg: line %d: %v", lineNo, err)
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dfg: line %d: missing op name", lineNo)
+		}
+		name := fields[1]
+		operands := make([]*Value, 0, len(fields)-2)
+		for _, opnd := range fields[2:] {
+			src := g.OpByName(opnd)
+			if src == nil {
+				return nil, fmt.Errorf("dfg: line %d: op %q uses undefined operand %q", lineNo, name, opnd)
+			}
+			if src.Out == nil {
+				return nil, fmt.Errorf("dfg: line %d: op %q uses %q, which produces no value", lineNo, name, opnd)
+			}
+			operands = append(operands, src.Out)
+		}
+		if _, err := g.AddOp(name, kind, operands...); err != nil {
+			return nil, fmt.Errorf("dfg: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dfg: reading input: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("dfg: empty input, expected \"dfg <name>\" header")
+	}
+	return g, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Graph, error) { return Parse(strings.NewReader(s)) }
+
+// Format writes the graph in the textual format accepted by Parse.
+// Operations are emitted in creation order, which for graphs built through
+// AddOp is a valid definition-before-use order when the graph is acyclic.
+func (g *Graph) Format(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "dfg %s\n", g.Name)
+	for _, op := range g.ops {
+		fmt.Fprintf(bw, "%s %s", op.Kind, op.Name)
+		for _, v := range op.In {
+			fmt.Fprintf(bw, " %s", v.Def.Name)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// FormatString returns the textual form of the graph.
+func (g *Graph) FormatString() string {
+	var sb strings.Builder
+	if err := g.Format(&sb); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+// WriteDOT emits a Graphviz rendering of the DFG: boxes for I/O
+// operations, ellipses for compute, with operand indices on edges of
+// non-commutative consumers.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", g.Name)
+	fmt.Fprintf(bw, "  rankdir=TB;\n")
+	for _, op := range g.ops {
+		shape := "ellipse"
+		if op.Kind.IsIO() {
+			shape = "box"
+		}
+		fmt.Fprintf(bw, "  %q [label=\"%s\\n%s\", shape=%s];\n", op.Name, op.Name, op.Kind, shape)
+	}
+	for _, v := range g.vals {
+		for _, u := range v.Uses {
+			if u.Op.Kind.Commutative() || len(u.Op.In) < 2 {
+				fmt.Fprintf(bw, "  %q -> %q;\n", v.Def.Name, u.Op.Name)
+			} else {
+				fmt.Fprintf(bw, "  %q -> %q [label=\"%d\"];\n", v.Def.Name, u.Op.Name, u.Operand)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

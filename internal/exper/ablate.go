@@ -1,0 +1,151 @@
+package exper
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+	"cgramap/internal/solve/bb"
+)
+
+// AblationRow compares one mapping instance across mapper configurations
+// (the design-choice studies DESIGN.md calls out).
+type AblationRow struct {
+	Benchmark string
+	Arch      string
+	Config    string
+	Status    ilp.Status
+	Vars      int
+	Consts    int
+	Elapsed   time.Duration
+}
+
+// RunPruningAblation measures the effect of sub-value reachability
+// pruning and the counting presolve on model size and runtime, over a set
+// of representative benchmark/architecture pairs.
+func RunPruningAblation(ctx context.Context, timeout time.Duration, benchmarks []string, spec arch.GridSpec) ([]AblationRow, error) {
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	a, err := arch.Grid(spec)
+	if err != nil {
+		return nil, err
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		return nil, err
+	}
+	configs := []struct {
+		name string
+		opts mapper.Options
+	}{
+		{"pruned+presolve", mapper.Options{}},
+		{"pruned", mapper.Options{DisablePresolve: true}},
+		{"unpruned", mapper.Options{DisablePruning: true, DisablePresolve: true}},
+	}
+	var rows []AblationRow
+	for _, name := range benchmarks {
+		g, err := bench.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range configs {
+			cellCtx, cancel := context.WithTimeout(ctx, timeout)
+			start := time.Now()
+			res, err := mapper.Map(cellCtx, g, mg, cfg.opts)
+			cancel()
+			if err != nil {
+				return nil, fmt.Errorf("exper: ablation %s/%s: %w", name, cfg.name, err)
+			}
+			rows = append(rows, AblationRow{
+				Benchmark: name,
+				Arch:      spec.Name(),
+				Config:    cfg.name,
+				Status:    res.Status,
+				Vars:      res.Vars,
+				Consts:    res.Constraints,
+				Elapsed:   time.Since(start),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RunEngineAblation cross-checks the default CDCL engine against the
+// LP-relaxation branch-and-bound engine on small mapping instances (a
+// tiny grid keeps the B&B tractable). It returns rows plus an error if
+// the engines ever disagree on feasibility.
+func RunEngineAblation(ctx context.Context, timeout time.Duration, benchmarks []string) ([]AblationRow, error) {
+	if timeout == 0 {
+		timeout = 60 * time.Second
+	}
+	spec := arch.GridSpec{Rows: 2, Cols: 2, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 1}
+	a, err := arch.Grid(spec)
+	if err != nil {
+		return nil, err
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, name := range benchmarks {
+		g, err := bench.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		var statuses []ilp.Status
+		for _, cfg := range []struct {
+			name string
+			opts mapper.Options
+		}{
+			{"cdcl", mapper.Options{}},
+			{"branch-and-bound", mapper.Options{Solver: bb.New()}},
+		} {
+			cellCtx, cancel := context.WithTimeout(ctx, timeout)
+			start := time.Now()
+			res, err := mapper.Map(cellCtx, g, mg, cfg.opts)
+			cancel()
+			if err != nil {
+				return nil, fmt.Errorf("exper: engine ablation %s/%s: %w", name, cfg.name, err)
+			}
+			statuses = append(statuses, res.Status)
+			rows = append(rows, AblationRow{
+				Benchmark: name,
+				Arch:      spec.Name(),
+				Config:    cfg.name,
+				Status:    res.Status,
+				Vars:      res.Vars,
+				Consts:    res.Constraints,
+				Elapsed:   time.Since(start),
+			})
+		}
+		if decided(statuses[0]) && decided(statuses[1]) && feasible(statuses[0]) != feasible(statuses[1]) {
+			return rows, fmt.Errorf("exper: engines disagree on %s: cdcl=%v bb=%v", name, statuses[0], statuses[1])
+		}
+	}
+	return rows, nil
+}
+
+func decided(s ilp.Status) bool  { return s != ilp.Unknown }
+func feasible(s ilp.Status) bool { return s == ilp.Optimal || s == ilp.Feasible }
+
+// RenderAblation prints ablation rows as a table.
+func RenderAblation(w io.Writer, rows []AblationRow) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%-14s %-20s %-18s %-10s %8s %8s %10s\n",
+		"Benchmark", "Arch", "Config", "Status", "Vars", "Consts", "Time")
+	for _, r := range rows {
+		fmt.Fprintf(bw, "%-14s %-20s %-18s %-10s %8d %8d %9.1fms\n",
+			r.Benchmark, r.Arch, r.Config, r.Status, r.Vars, r.Consts,
+			float64(r.Elapsed.Microseconds())/1000)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,161 @@
+package exper
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"cgramap/internal/anneal"
+	"cgramap/internal/arch"
+)
+
+var smallSpecs = []arch.GridSpec{
+	{Rows: 3, Cols: 3, Interconnect: arch.Orthogonal, Homogeneous: true, Contexts: 1},
+	{Rows: 3, Cols: 3, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 2},
+}
+
+func TestRunSweepSmall(t *testing.T) {
+	sweep, err := RunSweep(context.Background(), SweepOptions{
+		Timeout:    20 * time.Second,
+		Benchmarks: []string{"2x2-f", "accum", "mult_16"},
+		Specs:      smallSpecs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Cells) != 3 || len(sweep.Cells[0]) != 2 {
+		t.Fatalf("grid shape %dx%d", len(sweep.Cells), len(sweep.Cells[0]))
+	}
+	// mult_16 needs 15 multipliers; a 3x3 grid has at most 9 ALUs per
+	// context.
+	if sweep.Cells[2][0].Status.String() != "infeasible" {
+		t.Errorf("mult_16 on 3x3 c1 = %v, want infeasible", sweep.Cells[2][0].Status)
+	}
+	totals := sweep.FeasibleTotals()
+	if len(totals) != 2 {
+		t.Fatalf("totals %v", totals)
+	}
+
+	var tbl strings.Builder
+	if err := sweep.RenderTable2(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Benchmark", "Total Feasible", "2x2-f", "homo-diag-c2-3x3"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+	var rt strings.Builder
+	if err := sweep.RuntimeSummary(&rt, time.Second, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rt.String(), "slowest run") {
+		t.Errorf("runtime summary:\n%s", rt.String())
+	}
+}
+
+func TestRenderTable1MatchesPaper(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderTable1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("Table 1 deviates from the paper:\n%s", out)
+	}
+	if !strings.Contains(out, "weighted_sum") {
+		t.Errorf("Table 1 incomplete:\n%s", out)
+	}
+}
+
+func TestRunFig8Small(t *testing.T) {
+	rows, sweep, err := RunFig8(context.Background(), Fig8Options{
+		Sweep: SweepOptions{
+			Timeout:    20 * time.Second,
+			Benchmarks: []string{"2x2-f", "2x2-p"},
+			Specs:      smallSpecs,
+		},
+		SA:        anneal.Options{MovesPerTemp: 60, InitialTemp: 4},
+		SATimeout: 15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || sweep == nil {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, r := range rows {
+		if r.SA < 0 || r.SA > 2 || r.ILP < 0 || r.ILP > 2 {
+			t.Errorf("row out of range: %+v", r)
+		}
+	}
+	var sb strings.Builder
+	if err := RenderFig8(&sb, rows, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ILP") || !strings.Contains(sb.String(), "SA") {
+		t.Errorf("fig8 rendering:\n%s", sb.String())
+	}
+}
+
+func TestVerifyILPAtLeastSA(t *testing.T) {
+	rows := []Fig8Row{{Arch: "a", ILP: 3, SA: 2}, {Arch: "b", ILP: 1, SA: 2}}
+	anom := VerifyILPAtLeastSA(rows)
+	if len(anom) != 1 || anom[0] != "b" {
+		t.Errorf("anomalies = %v", anom)
+	}
+}
+
+func TestPruningAblation(t *testing.T) {
+	rows, err := RunPruningAblation(context.Background(), 20*time.Second,
+		[]string{"2x2-f"}, arch.GridSpec{Rows: 3, Cols: 3, Interconnect: arch.Orthogonal, Homogeneous: true, Contexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 configs", len(rows))
+	}
+	var pruned, unpruned int
+	for _, r := range rows {
+		switch r.Config {
+		case "pruned+presolve":
+			pruned = r.Vars
+		case "unpruned":
+			unpruned = r.Vars
+		}
+	}
+	if pruned >= unpruned {
+		t.Errorf("pruning did not shrink the model: %d vs %d", pruned, unpruned)
+	}
+	var sb strings.Builder
+	if err := RenderAblation(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "unpruned") {
+		t.Errorf("ablation rendering:\n%s", sb.String())
+	}
+}
+
+func TestEngineAblationAgrees(t *testing.T) {
+	rows, err := RunEngineAblation(context.Background(), 45*time.Second, []string{"2x2-f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestRunSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunSweep(ctx, SweepOptions{
+		Timeout:    time.Second,
+		Benchmarks: []string{"accum"},
+		Specs:      smallSpecs,
+	})
+	if err == nil {
+		t.Error("cancelled sweep returned no error")
+	}
+}

@@ -1,0 +1,133 @@
+package exper
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"cgramap/internal/anneal"
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/mrrg"
+)
+
+// Fig8Row is one architecture's bar pair in the paper's Fig. 8: how many
+// of the benchmarks each mapper could map.
+type Fig8Row struct {
+	Arch string
+	ILP  int
+	SA   int
+}
+
+// Fig8Options configures the mapper-comparison experiment.
+type Fig8Options struct {
+	// ILPSweep supplies the ILP mapper results; when nil, RunFig8 runs
+	// the sweep itself with Sweep options.
+	ILPSweep *Sweep
+	// Sweep configures the ILP side when ILPSweep is nil.
+	Sweep SweepOptions
+	// SA carries the annealer's "moderate parameters" (paper §5);
+	// zero values select the defaults.
+	SA anneal.Options
+	// SATimeout bounds each annealing run.
+	SATimeout time.Duration
+	// Progress, when non-nil, receives one line per completed SA cell.
+	Progress io.Writer
+}
+
+// RunFig8 reproduces the paper's Fig. 8: feasible-mapping counts per
+// architecture for the ILP mapper versus the simulated-annealing mapper
+// on the same benchmarks.
+func RunFig8(ctx context.Context, opts Fig8Options) ([]Fig8Row, *Sweep, error) {
+	sweep := opts.ILPSweep
+	if sweep == nil {
+		var err error
+		sweep, err = RunSweep(ctx, opts.Sweep)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if opts.SATimeout == 0 {
+		opts.SATimeout = 60 * time.Second
+	}
+	ilpTotals := sweep.FeasibleTotals()
+
+	rows := make([]Fig8Row, len(sweep.Specs))
+	mrrgs := make([]*mrrg.Graph, len(sweep.Specs))
+	for i, spec := range sweep.Specs {
+		a, err := arch.Grid(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		if mrrgs[i], err = mrrg.Generate(a); err != nil {
+			return nil, nil, err
+		}
+		rows[i] = Fig8Row{Arch: spec.Name(), ILP: ilpTotals[i]}
+	}
+	for _, name := range sweep.Benchmarks {
+		g, err := bench.Get(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := range sweep.Specs {
+			saCtx, cancel := context.WithTimeout(ctx, opts.SATimeout)
+			start := time.Now()
+			res, err := anneal.Map(saCtx, g, mrrgs[i], opts.SA)
+			cancel()
+			if err != nil {
+				return nil, nil, fmt.Errorf("exper: SA %s on %s: %w", name, rows[i].Arch, err)
+			}
+			if res.Feasible {
+				rows[i].SA++
+			}
+			if opts.Progress != nil {
+				mark := "0"
+				if res.Feasible {
+					mark = "1"
+				}
+				fmt.Fprintf(opts.Progress, "SA %-14s %-20s %s %8.1fms (%d moves)\n",
+					name, rows[i].Arch, mark,
+					float64(time.Since(start).Microseconds())/1000, res.Moves)
+			}
+			if ctx.Err() != nil {
+				return nil, nil, ctx.Err()
+			}
+		}
+	}
+	return rows, sweep, nil
+}
+
+// RenderFig8 prints the comparison as a horizontal text bar chart, one
+// pair of bars per architecture (the paper's grouped bar graph).
+func RenderFig8(w io.Writer, rows []Fig8Row, total int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Feasible mappings out of %d benchmarks (ILP mapper vs SA mapper)\n\n", total)
+	for _, r := range rows {
+		fmt.Fprintf(bw, "%-20s ILP %2d |%s\n", r.Arch, r.ILP, strings.Repeat("#", r.ILP))
+		fmt.Fprintf(bw, "%-20s SA  %2d |%s\n\n", "", r.SA, strings.Repeat("=", r.SA))
+	}
+	wins := 0
+	for _, r := range rows {
+		if r.ILP >= r.SA {
+			wins++
+		}
+	}
+	fmt.Fprintf(bw, "ILP finds at least as many mappings as SA on %d/%d architectures\n", wins, len(rows))
+	return bw.Flush()
+}
+
+// VerifyILPAtLeastSA reports the architectures where SA beat the ILP
+// mapper — possible only through solver timeouts (an SA success is a
+// constructive feasibility proof the ILP run failed to reach in budget).
+func VerifyILPAtLeastSA(rows []Fig8Row) []string {
+	var anomalies []string
+	for _, r := range rows {
+		if r.SA > r.ILP {
+			anomalies = append(anomalies, r.Arch)
+		}
+	}
+	return anomalies
+}

@@ -1,0 +1,280 @@
+// Package ilp provides a solver-independent modelling layer for 0-1
+// integer linear programs: binary variables, linear constraints, a linear
+// objective, feasibility checking, and an LP-format writer.
+//
+// The paper formulates CGRA mapping as an ILP over three families of
+// binary variables and solves it with Gurobi; this package is the
+// modelling seam that lets the formulation (internal/mapper) be solved by
+// the repository's own engines (internal/solve/...) or exported in LP
+// format for an external solver.
+package ilp
+
+import (
+	"context"
+	"fmt"
+)
+
+// Var identifies a binary decision variable within a Model.
+type Var int
+
+// Term is one coefficient*variable product of a linear expression.
+type Term struct {
+	Var  Var
+	Coef int
+}
+
+// Rel is a linear constraint relation.
+type Rel int
+
+const (
+	// LE is "less than or equal".
+	LE Rel = iota
+	// GE is "greater than or equal".
+	GE
+	// EQ is "equal".
+	EQ
+)
+
+// String returns the mathematical symbol of the relation.
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("rel(%d)", int(r))
+	}
+}
+
+// Constraint is a linear constraint sum(Terms) Rel RHS.
+type Constraint struct {
+	// Name labels the constraint for diagnostics (e.g. the paper
+	// constraint family it came from).
+	Name  string
+	Terms []Term
+	Rel   Rel
+	RHS   int
+}
+
+// Model is a 0-1 integer linear program. All variables are binary.
+type Model struct {
+	// Name labels the model.
+	Name string
+	// Objective is minimised; an empty objective makes the model a
+	// pure feasibility problem.
+	Objective []Term
+
+	varNames    []string
+	priorities  map[Var]int
+	phaseHints  map[Var]bool
+	Constraints []Constraint
+}
+
+// NewModel returns an empty model.
+func NewModel(name string) *Model {
+	return &Model{Name: name}
+}
+
+// Binary adds a binary variable with the given diagnostic name.
+func (m *Model) Binary(name string) Var {
+	m.varNames = append(m.varNames, name)
+	return Var(len(m.varNames) - 1)
+}
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.varNames) }
+
+// VarName returns the diagnostic name of v.
+func (m *Model) VarName(v Var) string {
+	if int(v) < 0 || int(v) >= len(m.varNames) {
+		return fmt.Sprintf("x%d", int(v))
+	}
+	return m.varNames[v]
+}
+
+// SetBranchPriority advises solvers to branch on higher-priority
+// variables first (the analogue of Gurobi's BranchPriority attribute).
+// The default priority is 0.
+func (m *Model) SetBranchPriority(v Var, pri int) {
+	if m.priorities == nil {
+		m.priorities = make(map[Var]int)
+	}
+	m.priorities[v] = pri
+}
+
+// BranchPriority returns the branch priority of v.
+func (m *Model) BranchPriority(v Var) int { return m.priorities[v] }
+
+// SetPhaseHint advises solvers to try the given value first when
+// branching on v (the analogue of a solution hint). The default is false.
+func (m *Model) SetPhaseHint(v Var, val bool) {
+	if m.phaseHints == nil {
+		m.phaseHints = make(map[Var]bool)
+	}
+	m.phaseHints[v] = val
+}
+
+// PhaseHint returns the phase hint of v.
+func (m *Model) PhaseHint(v Var) bool { return m.phaseHints[v] }
+
+// Add appends the constraint sum(terms) rel rhs.
+func (m *Model) Add(name string, terms []Term, rel Rel, rhs int) {
+	m.Constraints = append(m.Constraints, Constraint{Name: name, Terms: terms, Rel: rel, RHS: rhs})
+}
+
+// AddLE appends sum(terms) <= rhs.
+func (m *Model) AddLE(name string, terms []Term, rhs int) { m.Add(name, terms, LE, rhs) }
+
+// AddGE appends sum(terms) >= rhs.
+func (m *Model) AddGE(name string, terms []Term, rhs int) { m.Add(name, terms, GE, rhs) }
+
+// AddEQ appends sum(terms) = rhs.
+func (m *Model) AddEQ(name string, terms []Term, rhs int) { m.Add(name, terms, EQ, rhs) }
+
+// Sum builds a unit-coefficient term list over vars.
+func Sum(vars ...Var) []Term {
+	ts := make([]Term, len(vars))
+	for i, v := range vars {
+		ts[i] = Term{Var: v, Coef: 1}
+	}
+	return ts
+}
+
+// Validate checks that every term references a declared variable and has
+// a non-zero coefficient.
+func (m *Model) Validate() error {
+	check := func(where string, terms []Term) error {
+		for _, t := range terms {
+			if int(t.Var) < 0 || int(t.Var) >= len(m.varNames) {
+				return fmt.Errorf("ilp %s: %s references undeclared variable %d", m.Name, where, int(t.Var))
+			}
+			if t.Coef == 0 {
+				return fmt.Errorf("ilp %s: %s has zero coefficient on %s", m.Name, where, m.VarName(t.Var))
+			}
+		}
+		return nil
+	}
+	for i, c := range m.Constraints {
+		if err := check(fmt.Sprintf("constraint %d (%s)", i, c.Name), c.Terms); err != nil {
+			return err
+		}
+	}
+	return check("objective", m.Objective)
+}
+
+// Stats summarises a model: variable count and constraints grouped by
+// their diagnostic name (for mapping models, the paper's constraint
+// families).
+type Stats struct {
+	Vars              int
+	Constraints       int
+	ByName            map[string]int
+	Terms             int
+	LongestConstraint int
+}
+
+// Stats computes model statistics.
+func (m *Model) Stats() Stats {
+	s := Stats{Vars: m.NumVars(), Constraints: len(m.Constraints), ByName: make(map[string]int)}
+	for i := range m.Constraints {
+		c := &m.Constraints[i]
+		s.ByName[c.Name]++
+		s.Terms += len(c.Terms)
+		if len(c.Terms) > s.LongestConstraint {
+			s.LongestConstraint = len(c.Terms)
+		}
+	}
+	return s
+}
+
+// Assignment is a candidate solution: one boolean per variable.
+type Assignment []bool
+
+// Eval computes the value of a linear expression under the assignment.
+func (a Assignment) Eval(terms []Term) int {
+	sum := 0
+	for _, t := range terms {
+		if a[t.Var] {
+			sum += t.Coef
+		}
+	}
+	return sum
+}
+
+// Check reports the first violated constraint, or nil if the assignment
+// is feasible.
+func (m *Model) Check(a Assignment) error {
+	if len(a) != len(m.varNames) {
+		return fmt.Errorf("ilp %s: assignment has %d values, want %d", m.Name, len(a), len(m.varNames))
+	}
+	for i, c := range m.Constraints {
+		lhs := a.Eval(c.Terms)
+		ok := false
+		switch c.Rel {
+		case LE:
+			ok = lhs <= c.RHS
+		case GE:
+			ok = lhs >= c.RHS
+		case EQ:
+			ok = lhs == c.RHS
+		}
+		if !ok {
+			return fmt.Errorf("ilp %s: constraint %d (%s) violated: %d %s %d", m.Name, i, c.Name, lhs, c.Rel, c.RHS)
+		}
+	}
+	return nil
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// Unknown means the solver could not decide within its budget
+	// (e.g. timeout with no incumbent) — the paper's "T" entries.
+	Unknown Status = iota
+	// Infeasible means the model provably has no feasible assignment.
+	Infeasible
+	// Feasible means a feasible assignment was found but optimality
+	// was not proven (e.g. timeout during objective tightening).
+	Feasible
+	// Optimal means the returned assignment is provably optimal (any
+	// feasible assignment when the objective is empty).
+	Optimal
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Unknown:
+		return "unknown"
+	case Infeasible:
+		return "infeasible"
+	case Feasible:
+		return "feasible"
+	case Optimal:
+		return "optimal"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Solution is a solver result. Assignment and Objective are meaningful
+// only for Feasible and Optimal statuses.
+type Solution struct {
+	Status     Status
+	Assignment Assignment
+	Objective  int
+	// Stats carries engine-specific counters for diagnostics.
+	Stats map[string]int64
+}
+
+// Solver is implemented by the repository's ILP engines.
+type Solver interface {
+	// Solve decides m, respecting ctx cancellation/deadline. A
+	// cancelled solve returns the best known solution with status
+	// Feasible or Unknown rather than an error.
+	Solve(ctx context.Context, m *Model) (*Solution, error)
+}

@@ -1,0 +1,162 @@
+package ilp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func smallModel() (*Model, Var, Var, Var) {
+	m := NewModel("small")
+	x := m.Binary("x")
+	y := m.Binary("y")
+	z := m.Binary("z")
+	m.AddEQ("pick-one", Sum(x, y, z), 1)
+	m.AddLE("cap", []Term{{x, 2}, {y, 1}}, 2)
+	m.Objective = []Term{{x, 3}, {y, 1}, {z, 2}}
+	return m, x, y, z
+}
+
+func TestModelBasics(t *testing.T) {
+	m, x, _, _ := smallModel()
+	if m.NumVars() != 3 {
+		t.Fatalf("NumVars = %d", m.NumVars())
+	}
+	if m.VarName(x) != "x" {
+		t.Errorf("VarName = %q", m.VarName(x))
+	}
+	if m.VarName(Var(99)) == "" {
+		t.Error("out-of-range VarName should still return something")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	m := NewModel("bad")
+	x := m.Binary("x")
+	m.AddLE("oops", []Term{{Var(7), 1}}, 1)
+	if err := m.Validate(); err == nil {
+		t.Error("undeclared variable accepted")
+	}
+	m2 := NewModel("bad2")
+	m2.Binary("x")
+	m2.Objective = []Term{{x, 0}}
+	if err := m2.Validate(); err == nil {
+		t.Error("zero coefficient accepted")
+	}
+}
+
+func TestCheckAndEval(t *testing.T) {
+	m, _, _, _ := smallModel()
+	feasible := Assignment{false, true, false} // y
+	if err := m.Check(feasible); err != nil {
+		t.Errorf("feasible assignment rejected: %v", err)
+	}
+	if got := feasible.Eval(m.Objective); got != 1 {
+		t.Errorf("objective = %d, want 1", got)
+	}
+	for name, a := range map[string]Assignment{
+		"none picked": {false, false, false},
+		"two picked":  {true, true, false},
+	} {
+		if err := m.Check(a); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := m.Check(Assignment{true}); err == nil {
+		t.Error("wrong-length assignment accepted")
+	}
+}
+
+func TestRelAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Rel strings wrong")
+	}
+	for s, want := range map[Status]string{
+		Unknown: "unknown", Infeasible: "infeasible", Feasible: "feasible", Optimal: "optimal",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestWriteLP(t *testing.T) {
+	m, _, _, _ := smallModel()
+	var sb strings.Builder
+	if err := m.WriteLP(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Minimize", "Subject To", "Binary", "End", "x_v0", "= 1", "<= 2", "+ 3 x_v0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LP output missing %q:\n%s", want, out)
+		}
+	}
+	// Names with exotic characters must be sanitised but stay unique.
+	m2 := NewModel("weird")
+	a := m2.Binary("F[c0.pe/1,op:2]")
+	b := m2.Binary("F[c0.pe/1;op:2]")
+	m2.AddLE("c", Sum(a, b), 1)
+	var sb2 strings.Builder
+	if err := m2.WriteLP(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), "_v0") || !strings.Contains(sb2.String(), "_v1") {
+		t.Errorf("sanitised names lost uniqueness:\n%s", sb2.String())
+	}
+	// Empty objective still writes a syntactically plausible section.
+	m3 := NewModel("feas")
+	m3.Binary("x")
+	var sb3 strings.Builder
+	if err := m3.WriteLP(&sb3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb3.String(), "Minimize") {
+		t.Error("empty-objective LP missing Minimize section")
+	}
+}
+
+// TestEvalLinearity: Eval is linear in the term list.
+func TestEvalLinearity(t *testing.T) {
+	prop := func(bits []bool, coefs []int8) bool {
+		n := len(bits)
+		if n == 0 {
+			return true
+		}
+		m := NewModel("p")
+		for i := 0; i < n; i++ {
+			m.Binary("v")
+		}
+		var t1, t2 []Term
+		for i, c := range coefs {
+			term := Term{Var: Var(i % n), Coef: int(c)}
+			if i%2 == 0 {
+				t1 = append(t1, term)
+			} else {
+				t2 = append(t2, term)
+			}
+		}
+		a := Assignment(bits)
+		return a.Eval(append(append([]Term{}, t1...), t2...)) == a.Eval(t1)+a.Eval(t2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m, _, _, _ := smallModel()
+	s := m.Stats()
+	if s.Vars != 3 || s.Constraints != 2 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.ByName["pick-one"] != 1 || s.ByName["cap"] != 1 {
+		t.Errorf("ByName %v", s.ByName)
+	}
+	if s.LongestConstraint != 3 || s.Terms != 5 {
+		t.Errorf("terms %d longest %d", s.Terms, s.LongestConstraint)
+	}
+}

@@ -1,0 +1,67 @@
+package ilp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+)
+
+var lpSafe = regexp.MustCompile(`[^A-Za-z0-9_.]`)
+
+// lpName sanitises a variable name for the LP file format, appending the
+// variable index to keep names unique after sanitisation.
+func (m *Model) lpName(v Var) string {
+	return fmt.Sprintf("%s_v%d", lpSafe.ReplaceAllString(m.VarName(v), "_"), int(v))
+}
+
+// WriteLP serialises the model in the CPLEX LP file format, so that
+// formulations can be inspected or handed to an external solver (the
+// paper used Gurobi, which reads this format).
+func (m *Model) WriteLP(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "\\ Model: %s (%d binaries, %d constraints)\n", m.Name, m.NumVars(), len(m.Constraints))
+	fmt.Fprintln(bw, "Minimize")
+	fmt.Fprint(bw, " obj:")
+	if len(m.Objective) == 0 {
+		fmt.Fprint(bw, " 0")
+		if m.NumVars() > 0 {
+			// LP format needs at least one variable reference.
+			fmt.Fprintf(bw, " %s", m.lpName(0))
+			fmt.Fprintf(bw, " - %s", m.lpName(0))
+		}
+	} else {
+		writeTerms(bw, m, m.Objective)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintln(bw, "Subject To")
+	for i, c := range m.Constraints {
+		fmt.Fprintf(bw, " c%d:", i)
+		writeTerms(bw, m, c.Terms)
+		if len(c.Terms) == 0 {
+			fmt.Fprint(bw, " 0")
+		}
+		fmt.Fprintf(bw, " %s %d\n", c.Rel, c.RHS)
+	}
+	fmt.Fprintln(bw, "Binary")
+	for v := 0; v < m.NumVars(); v++ {
+		fmt.Fprintf(bw, " %s\n", m.lpName(Var(v)))
+	}
+	fmt.Fprintln(bw, "End")
+	return bw.Flush()
+}
+
+func writeTerms(w io.Writer, m *Model, terms []Term) {
+	for _, t := range terms {
+		switch {
+		case t.Coef == 1:
+			fmt.Fprintf(w, " + %s", m.lpName(t.Var))
+		case t.Coef == -1:
+			fmt.Fprintf(w, " - %s", m.lpName(t.Var))
+		case t.Coef < 0:
+			fmt.Fprintf(w, " - %d %s", -t.Coef, m.lpName(t.Var))
+		default:
+			fmt.Fprintf(w, " + %d %s", t.Coef, m.lpName(t.Var))
+		}
+	}
+}

@@ -1,0 +1,368 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize   c·x
+//	subject to A·x (<=|>=|=) b,  0 <= x <= u
+//
+// It is the relaxation substrate of the branch-and-bound ILP engine
+// (internal/solve/bb), which serves as the textbook-ILP cross-check for
+// the CDCL engine on reduced problem instances. Dantzig pricing with a
+// Bland's-rule fallback guarantees termination.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+const (
+	// LE is "less than or equal".
+	LE Rel = iota
+	// GE is "greater than or equal".
+	GE
+	// EQ is "equal".
+	EQ
+)
+
+// Constraint is one row: sum(Coefs[j]*x[j]) Rel RHS. Coefs must have
+// length NumVars of the owning problem.
+type Constraint struct {
+	Coefs []float64
+	Rel   Rel
+	RHS   float64
+}
+
+// Problem is a linear program. Variables are bounded to [0, Upper[j]]
+// (Upper nil means every variable is bounded to [0, 1], the relaxation of
+// a 0-1 program).
+type Problem struct {
+	NumVars int
+	Obj     []float64
+	Rows    []Constraint
+	Upper   []float64
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// Optimal: an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraints admit no solution.
+	Infeasible
+	// Unbounded: the objective is unbounded below (cannot happen for
+	// bounded-variable problems but is reported defensively).
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Solution is a solver result.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	Iters  int
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase primal simplex on p.
+func Solve(p *Problem) (*Solution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	n := p.NumVars
+	upper := p.Upper
+	if upper == nil {
+		upper = make([]float64, n)
+		for i := range upper {
+			upper[i] = 1
+		}
+	}
+
+	// Assemble rows: the user's rows plus one x_j <= u_j bound row per
+	// finite upper bound.
+	type row struct {
+		coefs []float64
+		rel   Rel
+		rhs   float64
+	}
+	var rows []row
+	for _, r := range p.Rows {
+		rows = append(rows, row{coefs: r.Coefs, rel: r.Rel, rhs: r.RHS})
+	}
+	for j := 0; j < n; j++ {
+		if math.IsInf(upper[j], 1) {
+			continue
+		}
+		coefs := make([]float64, n)
+		coefs[j] = 1
+		rows = append(rows, row{coefs: coefs, rel: LE, rhs: upper[j]})
+	}
+	m := len(rows)
+
+	// Count slack and artificial columns. Every row gets either a
+	// slack that can serve as the initial basis (<= with rhs >= 0) or
+	// an artificial variable.
+	// Normalise RHS >= 0 first (flipping the relation).
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			c := make([]float64, n)
+			for j, v := range rows[i].coefs {
+				c[j] = -v
+			}
+			rows[i].coefs = c
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].rel {
+			case LE:
+				rows[i].rel = GE
+			case GE:
+				rows[i].rel = LE
+			}
+		}
+	}
+	nSlack := 0
+	nArt := 0
+	for _, r := range rows {
+		switch r.rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	// Tableau: m rows of total+1 (last column RHS), plus objective row.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := n
+	artCol := n + nSlack
+	artCols := make([]int, 0, nArt)
+	for i, r := range rows {
+		t[i] = make([]float64, total+1)
+		copy(t[i], r.coefs)
+		t[i][total] = r.rhs
+		switch r.rel {
+		case LE:
+			t[i][slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			t[i][slackCol] = -1
+			slackCol++
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCols = append(artCols, artCol)
+			artCol++
+		case EQ:
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCols = append(artCols, artCol)
+			artCol++
+		}
+	}
+
+	iters := 0
+	// Phase 1: minimise the sum of artificials.
+	if nArt > 0 {
+		obj := make([]float64, total+1)
+		for _, c := range artCols {
+			obj[c] = 1
+		}
+		// Price out basic artificials.
+		for i, b := range basis {
+			if obj[b] != 0 {
+				sub(obj, t[i], obj[b])
+			}
+		}
+		it, unb := pivotLoop(t, basis, obj, total)
+		iters += it
+		if unb {
+			return nil, fmt.Errorf("lp: phase-1 unbounded (internal error)")
+		}
+		if -obj[total] > 1e-7 {
+			return &Solution{Status: Infeasible, Iters: iters}, nil
+		}
+		// Drive any artificial still in the basis out (degenerate).
+		for i, b := range basis {
+			if !isArt(b, n+nSlack) {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(t[i][j]) > eps {
+					pivot(t, basis, obj, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; harmless to leave (its RHS
+				// is ~0 and the artificial stays at 0).
+				_ = i
+			}
+		}
+	}
+
+	// Phase 2: original objective (artificial columns frozen at 0 by
+	// removing them from pricing).
+	obj := make([]float64, total+1)
+	copy(obj, p.Obj)
+	for i, b := range basis {
+		if obj[b] != 0 {
+			sub(obj, t[i], obj[b])
+		}
+	}
+	limit := n + nSlack // exclude artificial columns from entering
+	it, unb := pivotLoop(t, basis, obj, limit)
+	iters += it
+	if unb {
+		return &Solution{Status: Unbounded, Iters: iters}, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = t[i][total]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < n; j++ {
+		objVal += p.Obj[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Obj: objVal, Iters: iters}, nil
+}
+
+func isArt(col, firstArt int) bool { return col >= firstArt }
+
+func validate(p *Problem) error {
+	if p.NumVars < 0 {
+		return fmt.Errorf("lp: negative variable count")
+	}
+	if len(p.Obj) != p.NumVars {
+		return fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.Obj), p.NumVars)
+	}
+	if p.Upper != nil && len(p.Upper) != p.NumVars {
+		return fmt.Errorf("lp: upper bounds have %d entries, want %d", len(p.Upper), p.NumVars)
+	}
+	if p.Upper != nil {
+		for j, u := range p.Upper {
+			if u < 0 || math.IsNaN(u) {
+				return fmt.Errorf("lp: upper bound %d is %v", j, u)
+			}
+		}
+	}
+	for i, r := range p.Rows {
+		if len(r.Coefs) != p.NumVars {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(r.Coefs), p.NumVars)
+		}
+	}
+	return nil
+}
+
+// sub performs obj -= factor*row.
+func sub(obj, row []float64, factor float64) {
+	for j := range obj {
+		obj[j] -= factor * row[j]
+	}
+}
+
+// pivotLoop runs primal simplex pivots until optimality (no negative
+// reduced cost among columns [0, limit)) or unboundedness. It uses
+// Dantzig pricing for the first 5000 iterations, then Bland's rule for
+// guaranteed termination.
+func pivotLoop(t [][]float64, basis []int, obj []float64, limit int) (iters int, unbounded bool) {
+	m := len(t)
+	total := len(obj) - 1
+	const blandAfter = 5000
+	for {
+		// Entering column.
+		enter := -1
+		if iters < blandAfter {
+			best := -eps
+			for j := 0; j < limit; j++ {
+				if obj[j] < best {
+					best = obj[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < limit; j++ {
+				if obj[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return iters, false
+		}
+		// Leaving row: minimum ratio; ties by smallest basis index
+		// (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > eps {
+				ratio := t[i][total] / t[i][enter]
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return iters, true
+		}
+		pivot(t, basis, obj, leave, enter)
+		iters++
+	}
+}
+
+// pivot makes (row, col) the new basic entry.
+func pivot(t [][]float64, basis []int, obj []float64, row, col int) {
+	pr := t[row]
+	inv := 1 / pr[col]
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // exact
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= f * pr[j]
+		}
+		t[i][col] = 0
+	}
+	if f := obj[col]; f != 0 {
+		for j := range obj {
+			obj[j] -= f * pr[j]
+		}
+		obj[col] = 0
+	}
+	basis[row] = col
+}

@@ -1,0 +1,217 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleLP(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6, 0<=x,y<=inf  => min -(x+y)
+	// Optimum at intersection: x=8/5, y=6/5, obj=-14/5.
+	p := &Problem{
+		NumVars: 2,
+		Obj:     []float64{-1, -1},
+		Rows: []Constraint{
+			{Coefs: []float64{1, 2}, Rel: LE, RHS: 4},
+			{Coefs: []float64{3, 1}, Rel: LE, RHS: 6},
+		},
+		Upper: []float64{math.Inf(1), math.Inf(1)},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Obj, -14.0/5) {
+		t.Errorf("status=%v obj=%v, want optimal -2.8", sol.Status, sol.Obj)
+	}
+	if !approx(sol.X[0], 1.6) || !approx(sol.X[1], 1.2) {
+		t.Errorf("x = %v, want [1.6 1.2]", sol.X)
+	}
+}
+
+func TestDefaultUnitBox(t *testing.T) {
+	// Upper nil => [0,1] box. min -(x+y) with x+y >= 0 trivially, so
+	// optimum is the corner (1,1).
+	p := &Problem{
+		NumVars: 2,
+		Obj:     []float64{-1, -1},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Obj, -2) {
+		t.Errorf("got %v obj %v, want optimal -2", sol.Status, sol.Obj)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x+y s.t. x+y = 1, x >= 0.3, box [0,1].
+	p := &Problem{
+		NumVars: 2,
+		Obj:     []float64{1, 1},
+		Rows: []Constraint{
+			{Coefs: []float64{1, 1}, Rel: EQ, RHS: 1},
+			{Coefs: []float64{1, 0}, Rel: GE, RHS: 0.3},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Obj, 1) {
+		t.Errorf("status=%v obj=%v, want optimal 1", sol.Status, sol.Obj)
+	}
+	if sol.X[0] < 0.3-1e-9 {
+		t.Errorf("x[0] = %v violates >= 0.3", sol.X[0])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars: 1,
+		Obj:     []float64{1},
+		Rows: []Constraint{
+			{Coefs: []float64{1}, Rel: GE, RHS: 2}, // x >= 2 vs box [0,1]
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars: 1,
+		Obj:     []float64{-1},
+		Upper:   []float64{math.Inf(1)},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x <= -0.5  <=>  x >= 0.5.
+	p := &Problem{
+		NumVars: 1,
+		Obj:     []float64{1},
+		Rows: []Constraint{
+			{Coefs: []float64{-1}, Rel: LE, RHS: -0.5},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Obj, 0.5) {
+		t.Errorf("status=%v obj=%v, want optimal 0.5", sol.Status, sol.Obj)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*Problem{
+		{NumVars: 2, Obj: []float64{1}},
+		{NumVars: 1, Obj: []float64{1}, Rows: []Constraint{{Coefs: []float64{1, 2}, Rel: LE, RHS: 1}}},
+		{NumVars: 1, Obj: []float64{1}, Upper: []float64{-1}},
+		{NumVars: 1, Obj: []float64{1}, Upper: []float64{1, 2}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("case %d: invalid problem accepted", i)
+		}
+	}
+}
+
+func TestDegenerateCycleGuard(t *testing.T) {
+	// A classic degenerate LP (Beale-like); must terminate.
+	p := &Problem{
+		NumVars: 4,
+		Obj:     []float64{-0.75, 150, -0.02, 6},
+		Rows: []Constraint{
+			{Coefs: []float64{0.25, -60, -0.04, 9}, Rel: LE, RHS: 0},
+			{Coefs: []float64{0.5, -90, -0.02, 3}, Rel: LE, RHS: 0},
+			{Coefs: []float64{0, 0, 1, 0}, Rel: LE, RHS: 1},
+		},
+		Upper: []float64{math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Obj, -0.05) {
+		t.Errorf("status=%v obj=%v, want optimal -0.05", sol.Status, sol.Obj)
+	}
+}
+
+// TestFeasibilityOfReturnedPoint: for random box LPs, a returned optimal
+// point satisfies every constraint.
+func TestFeasibilityOfReturnedPoint(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := rng.Intn(8)
+		p := &Problem{NumVars: n, Obj: make([]float64, n)}
+		for j := range p.Obj {
+			p.Obj[j] = float64(rng.Intn(11) - 5)
+		}
+		for i := 0; i < m; i++ {
+			c := Constraint{Coefs: make([]float64, n), Rel: Rel(rng.Intn(3))}
+			for j := range c.Coefs {
+				c.Coefs[j] = float64(rng.Intn(7) - 3)
+			}
+			// Keep RHS achievable reasonably often.
+			c.RHS = float64(rng.Intn(5) - 1)
+			p.Rows = append(p.Rows, c)
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if sol.Status != Optimal {
+			return true // infeasible is a legal outcome; nothing to check
+		}
+		for j, x := range sol.X {
+			if x < -1e-7 || x > 1+1e-7 {
+				t.Logf("seed %d: x[%d]=%v out of box", seed, j, x)
+				return false
+			}
+		}
+		for i, r := range p.Rows {
+			lhs := 0.0
+			for j := range r.Coefs {
+				lhs += r.Coefs[j] * sol.X[j]
+			}
+			ok := false
+			switch r.Rel {
+			case LE:
+				ok = lhs <= r.RHS+1e-6
+			case GE:
+				ok = lhs >= r.RHS-1e-6
+			case EQ:
+				ok = math.Abs(lhs-r.RHS) <= 1e-6
+			}
+			if !ok {
+				t.Logf("seed %d: row %d violated: %v %v %v", seed, i, lhs, r.Rel, r.RHS)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

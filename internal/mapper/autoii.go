@@ -1,0 +1,90 @@
+package mapper
+
+import (
+	"context"
+	"fmt"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mrrg"
+	"cgramap/internal/sched"
+)
+
+// AutoResult reports an automatic II search.
+type AutoResult struct {
+	// II is the initiation interval (context count) of the returned
+	// mapping.
+	II int
+	// Result is the successful mapping attempt at that II.
+	*Result
+	// Tried records the status of every attempted II in order.
+	Tried []ilp.Status
+}
+
+// MapAuto searches for the smallest initiation interval that maps g onto
+// the architecture, in the DRESC tradition: start at the
+// modulo-scheduling lower bound MII and increase the context count until
+// the ILP mapper finds a mapping (or maxII is exceeded). Because the ILP
+// answers are proofs, the result is the provably minimal II for this
+// architecture and kernel — the quantity a CGRA compiler ultimately
+// optimises.
+//
+// The architecture is taken as a template: its Contexts field is
+// overridden by each attempt. Every FU's own initiation interval must
+// divide the attempted context count, so IIs that violate that are
+// skipped.
+func MapAuto(ctx context.Context, g *dfg.Graph, a *arch.Arch, maxII int, opts Options) (*AutoResult, error) {
+	if maxII < 1 {
+		return nil, fmt.Errorf("mapper: maxII %d < 1", maxII)
+	}
+	start := 1
+	single := *a
+	single.Contexts = 1
+	if mg1, err := mrrg.Generate(&single); err == nil {
+		if mii, err := sched.MII(g, mg1); err == nil {
+			start = mii
+		}
+	}
+	if start > maxII {
+		return &AutoResult{
+			Result: &Result{Status: ilp.Infeasible,
+				Reason: fmt.Sprintf("minimum initiation interval %d exceeds maxII %d", start, maxII)},
+		}, nil
+	}
+	auto := &AutoResult{}
+	for ii := start; ii <= maxII; ii++ {
+		attempt := *a
+		attempt.Contexts = ii
+		mg, err := mrrg.Generate(&attempt)
+		if err != nil {
+			// FU IIs incompatible with this context count.
+			auto.Tried = append(auto.Tried, ilp.Infeasible)
+			continue
+		}
+		res, err := Map(ctx, g, mg, opts)
+		if err != nil {
+			return nil, err
+		}
+		auto.Tried = append(auto.Tried, res.Status)
+		if res.Feasible() {
+			auto.II = ii
+			auto.Result = res
+			return auto, nil
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	auto.Result = &Result{Status: ilp.Infeasible,
+		Reason: fmt.Sprintf("no feasible mapping up to II=%d", maxII)}
+	// If any attempt timed out, we cannot claim infeasibility.
+	for _, s := range auto.Tried {
+		if s == ilp.Unknown {
+			auto.Result.Status = ilp.Unknown
+			auto.Result.Reason = fmt.Sprintf("undecided up to II=%d (solver timeouts)", maxII)
+			break
+		}
+	}
+	return auto, nil
+}

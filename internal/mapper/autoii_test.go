@@ -1,0 +1,91 @@
+package mapper
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
+)
+
+func TestMapAutoFindsMinimalII(t *testing.T) {
+	a, err := arch.Grid(arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: false, Contexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mult_10 needs 9 multipliers; hetero has 8 per context -> II >= 2,
+	// and the paper's Table 2 shows it mappable at II = 2.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := MapAuto(ctx, bench.MustGet("mult_10"), a, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() {
+		t.Fatalf("mult_10 auto-II failed: %v (%s)", res.Status, res.Reason)
+	}
+	if res.II != 2 {
+		t.Errorf("II = %d, want 2 (MII bound from 9 multiplies on 8 slots)", res.II)
+	}
+	// The search starts at the MII, so II=1 must not even be attempted.
+	if len(res.Tried) != 1 {
+		t.Errorf("tried %d IIs, want 1 (search starts at MII=2)", len(res.Tried))
+	}
+}
+
+func TestMapAutoEasyKernelAtIIOne(t *testing.T) {
+	a, err := arch.Grid(arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Orthogonal, Homogeneous: true, Contexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := MapAuto(ctx, bench.MustGet("2x2-f"), a, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() || res.II != 1 {
+		t.Errorf("2x2-f: II=%d status=%v, want feasible at II=1", res.II, res.Status)
+	}
+}
+
+func TestMapAutoExhaustsBudget(t *testing.T) {
+	// div is unsupported: infeasible at every II.
+	a, err := arch.Grid(arch.GridSpec{Rows: 2, Cols: 2, Contexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dfg.New("d")
+	x := g.In("x")
+	op, _ := g.AddOp("q", dfg.Div, x, x)
+	g.Out("o", op.Out)
+	res, err := MapAuto(context.Background(), g, a, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible() || res.Status != ilp.Infeasible {
+		t.Errorf("unsupported kernel: %v", res.Status)
+	}
+	if _, err := MapAuto(context.Background(), g, a, 0, Options{}); err == nil {
+		t.Error("maxII=0 accepted")
+	}
+}
+
+func TestMapAutoMIIGate(t *testing.T) {
+	// extreme needs II >= 2 (19 ALU ops on 16 ALUs); with maxII=1 the
+	// search must conclude infeasible without any solve.
+	a, err := arch.Grid(arch.GridSpec{Rows: 4, Cols: 4, Homogeneous: true, Contexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MapAuto(context.Background(), bench.MustGet("extreme"), a, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ilp.Infeasible || len(res.Tried) != 0 {
+		t.Errorf("status=%v tried=%v, want immediate infeasible", res.Status, res.Tried)
+	}
+}

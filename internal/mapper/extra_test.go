@@ -1,0 +1,196 @@
+package mapper
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mrrg"
+	"cgramap/internal/solve/bb"
+)
+
+// TestPipelinedMultiplier maps through a latency-1 multiplier in a
+// 2-context architecture: the operand is consumed in one context and the
+// result appears in the next (paper Fig. 2 semantics, end to end).
+func TestPipelinedMultiplier(t *testing.T) {
+	b := arch.NewBuilder("pipe", 2)
+	src := b.FU("src", []dfg.Kind{dfg.Input}, 0, 0, 1)
+	mul := b.FU("mul", []dfg.Kind{dfg.Mul}, 2, 1, 1) // latency 1, pipelined
+	sink := b.FU("sink", []dfg.Kind{dfg.Output}, 1, 0, 1)
+	b.Connect(src, mul, 0)
+	b.Connect(src, mul, 1)
+	b.Connect(mul, sink, 0)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := dfg.New("sq")
+	x := g.In("x")
+	g.Out("o", g.Mul("m", x, x))
+	res := mapIt(t, g, mg, Options{})
+	if !res.Feasible() {
+		t.Fatalf("status %v (%s)", res.Status, res.Reason)
+	}
+	m := res.Mapping
+	mulNode := mg.Nodes[m.Placement[g.OpByName("m").ID]]
+	outNode := mg.Nodes[mulNode.OutNode]
+	if outNode.Context != (mulNode.Context+1)%2 {
+		t.Errorf("latency-1 result in context %d, firing in %d", outNode.Context, mulNode.Context)
+	}
+	// The output op must sit in the context where the result lands.
+	outOp := mg.Nodes[m.Placement[g.OpByName("o").ID]]
+	if outOp.Context != outNode.Context {
+		t.Errorf("sink placed in context %d but result lands in %d", outOp.Context, outNode.Context)
+	}
+}
+
+// TestNonPipelinedII2 uses an II=2 FU in a 2-context architecture: only
+// one execution slot exists, so two multiplies cannot share the unit.
+func TestNonPipelinedII2(t *testing.T) {
+	build := func() *mrrg.Graph {
+		b := arch.NewBuilder("ii2", 2)
+		src := b.FU("src", []dfg.Kind{dfg.Input}, 0, 0, 1)
+		mul := b.FU("mul", []dfg.Kind{dfg.Mul}, 2, 0, 2) // II 2: fires in context 0 only
+		sink := b.FU("sink", []dfg.Kind{dfg.Output}, 1, 0, 1)
+		sink2 := b.FU("sink2", []dfg.Kind{dfg.Output}, 1, 0, 1)
+		b.Connect(src, mul, 0)
+		b.Connect(src, mul, 1)
+		b.Connect(mul, sink, 0)
+		b.Connect(mul, sink2, 0)
+		a, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mg, err := mrrg.Generate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mg
+	}
+	mg := build()
+	// One multiply: fine.
+	g1 := dfg.New("one")
+	x := g1.In("x")
+	g1.Out("o", g1.Mul("m", x, x))
+	if res := mapIt(t, g1, mg, Options{}); !res.Feasible() {
+		t.Errorf("single multiply on II=2 unit: %v (%s)", res.Status, res.Reason)
+	}
+	// Two multiplies need two slots; the II=2 unit provides only one
+	// across both contexts.
+	g2 := dfg.New("two")
+	y := g2.In("y")
+	m1 := g2.Mul("m1", y, y)
+	m2 := g2.Mul("m2", m1, y)
+	g2.Out("o", m2)
+	if res := mapIt(t, g2, mg, Options{}); res.Feasible() {
+		t.Error("two multiplies mapped onto a single II=2 execution slot")
+	}
+}
+
+// TestWeightedRoutingObjective exercises the paper's "alternative
+// objective functions" remark (§4.2): expensive long wires get cost 3,
+// and the optimising mapper avoids them when a cheap path exists. The
+// branch-and-bound engine handles the non-unit coefficients.
+func TestWeightedRoutingObjective(t *testing.T) {
+	b := arch.NewBuilder("weighted", 1)
+	src := b.FU("src", []dfg.Kind{dfg.Input}, 0, 0, 1)
+	cheap := b.Wire("cheap")
+	exp1 := b.Wire("exp1")
+	exp2 := b.Wire("exp2")
+	mux := b.Mux("mux", 2)
+	sink := b.FU("sink", []dfg.Kind{dfg.Output}, 1, 0, 1)
+	b.Connect(src, cheap, 0)
+	b.Connect(src, exp1, 0)
+	b.Connect(exp1, exp2, 0)
+	b.Connect(cheap, mux, 0)
+	b.Connect(exp2, mux, 1)
+	b.Connect(mux, sink, 0)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PrimByName("exp1").Cost = 3
+	a.PrimByName("exp2").Cost = 3
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dfg.New("w")
+	x := g.In("x")
+	g.Out("o", x)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Map(ctx, g, mg, Options{Objective: MinimizeRouting, Solver: bb.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ilp.Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	route := res.Mapping.Routes[g.OpByName("x").Out.ID][0]
+	for _, n := range route {
+		if mg.Nodes[n].Cost > 1 {
+			t.Errorf("optimal route uses expensive node %s", mg.Nodes[n].Name)
+		}
+	}
+}
+
+// TestLoopPreventionExample2 recreates the paper's Example 2 hazard: a
+// cloud of routing resources that loops back through a multiplexer. The
+// Multiplexer Input Exclusivity constraint must forbid the route from
+// "terminating" inside the loop, forcing it through to the real sink.
+func TestLoopPreventionExample2(t *testing.T) {
+	b := arch.NewBuilder("loopy", 1)
+	fu1 := b.FU("fu1", []dfg.Kind{dfg.Input}, 0, 0, 1)
+	// r2 fans out into cloud c1 (which loops back into r2's driver
+	// mux) and to the onward path r4/r5 toward fu2.
+	muxIn := b.Mux("mux_in", 2) // selects fu1 or the loop-back
+	c1a := b.Wire("c1a")
+	c1b := b.Wire("c1b")
+	r4 := b.Wire("r4")
+	r5 := b.Wire("r5")
+	fu2 := b.FU("fu2", []dfg.Kind{dfg.Output}, 1, 0, 1)
+	b.Connect(fu1, muxIn, 0)
+	b.Connect(c1b, muxIn, 1) // the loop back
+	b.Connect(muxIn, c1a, 0)
+	b.Connect(c1a, c1b, 0)
+	b.Connect(muxIn, r4, 0)
+	b.Connect(r4, r5, 0)
+	b.Connect(r5, fu2, 0)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dfg.New("loop")
+	v := g.In("op1")
+	g.Out("op2", v)
+	res := mapIt(t, g, mg, Options{})
+	if !res.Feasible() {
+		t.Fatalf("status %v (%s)", res.Status, res.Reason)
+	}
+	// The verified route must reach fu2's port; the verifier enforces
+	// real connectivity, so feasibility plus verification is the
+	// assertion. Check the route explicitly ends at the sink port.
+	route := res.Mapping.Routes[g.OpByName("op1").Out.ID][0]
+	foundPort := false
+	for _, n := range route {
+		if mg.Nodes[n].OperandPort >= 0 {
+			foundPort = true
+		}
+	}
+	if !foundPort {
+		t.Error("route terminates without reaching a functional-unit port")
+	}
+}

@@ -1,0 +1,472 @@
+package mapper
+
+import (
+	"fmt"
+
+	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mrrg"
+	"cgramap/internal/sched"
+)
+
+// formulation is the ILP model of one mapping instance, plus the variable
+// maps needed to decode a solution.
+type formulation struct {
+	g    *dfg.Graph
+	mg   *mrrg.Graph
+	opts Options
+
+	model *ilp.Model
+
+	// legal[opID] lists the FuncUnit node IDs the operation may be
+	// placed on (constraint 3 is enforced by construction: illegal F
+	// variables are never created).
+	legal [][]int
+	// fvar[opID][fuNode] is the placement variable F_{p,q}.
+	fvar []map[int]ilp.Var
+	// r2[valID][routeNode] is the value-level routing variable R_{i,j}.
+	r2 []map[int]ilp.Var
+	// r3[valID][sinkIdx][routeNode] is the sink-level routing variable
+	// R_{i,j,k}. Its key set is the sub-value's allowed node set.
+	r3 [][]map[int]ilp.Var
+
+	// infeasible holds a human-readable reason when the instance was
+	// proven infeasible during construction (presolve / pruning).
+	infeasible string
+}
+
+// build constructs the full model. On return, either f.infeasible is
+// non-empty or f.model is ready to solve.
+func (f *formulation) build() error {
+	if err := f.g.Validate(); err != nil {
+		return fmt.Errorf("mapper: invalid DFG: %w", err)
+	}
+	f.model = ilp.NewModel(fmt.Sprintf("map-%s-onto-%s", f.g.Name, f.mg.Arch.Name))
+
+	f.computeLegal()
+	if f.infeasible != "" {
+		return nil
+	}
+	if !f.opts.DisablePresolve {
+		f.pigeonhole()
+		if f.infeasible != "" {
+			return nil
+		}
+		f.miiBound()
+		if f.infeasible != "" {
+			return nil
+		}
+	}
+
+	allowed := f.computeAllowed()
+	if f.infeasible != "" {
+		return nil
+	}
+	if !f.opts.DisablePruning {
+		f.refineLegal(allowed)
+		if f.infeasible != "" {
+			return nil
+		}
+	}
+
+	f.createVars(allowed)
+	f.addPlacementConstraints()
+	f.addRoutingConstraints()
+	if f.opts.Objective == MinimizeRouting {
+		for j := range f.r2 {
+			for i, v := range f.r2[j] {
+				f.model.Objective = append(f.model.Objective,
+					ilp.Term{Var: v, Coef: f.mg.Nodes[i].Cost})
+			}
+		}
+	}
+	return f.model.Validate()
+}
+
+// computeLegal fills legal[q] with every FuncUnit node supporting the
+// operation (paper constraint 3, by variable omission).
+func (f *formulation) computeLegal() {
+	f.legal = make([][]int, f.g.NumOps())
+	for _, op := range f.g.Ops() {
+		for _, p := range f.mg.FuncUnits() {
+			if f.mg.Nodes[p].SupportsOp(op.Kind) {
+				f.legal[op.ID] = append(f.legal[op.ID], p)
+			}
+		}
+		if len(f.legal[op.ID]) == 0 {
+			f.infeasible = fmt.Sprintf("no functional unit supports operation %s (%s)", op.Name, op.Kind)
+			return
+		}
+	}
+}
+
+// pigeonhole applies the counting presolve: more operations of a kind
+// than FuncUnit slots supporting that kind is infeasible outright, as is
+// more operations than slots overall.
+func (f *formulation) pigeonhole() {
+	slotsFor := make(map[dfg.Kind]int)
+	opsOf := make(map[dfg.Kind]int)
+	for _, p := range f.mg.FuncUnits() {
+		for _, k := range f.mg.Nodes[p].Ops {
+			slotsFor[k]++
+		}
+	}
+	for _, op := range f.g.Ops() {
+		opsOf[op.Kind]++
+	}
+	for k, n := range opsOf {
+		if n > slotsFor[k] {
+			f.infeasible = fmt.Sprintf("%d operations of kind %s but only %d supporting slots", n, k, slotsFor[k])
+			return
+		}
+	}
+	if f.g.NumOps() > len(f.mg.FuncUnits()) {
+		f.infeasible = fmt.Sprintf("%d operations but only %d functional-unit slots",
+			f.g.NumOps(), len(f.mg.FuncUnits()))
+	}
+}
+
+// miiBound applies the modulo-scheduling lower bound: the minimum
+// initiation interval max(ResMII, RecMII) computed on a single-context
+// device model must not exceed the context count being mapped to.
+func (f *formulation) miiBound() {
+	single := *f.mg.Arch
+	single.Contexts = 1
+	mg1, err := mrrg.Generate(&single)
+	if err != nil {
+		return // exotic architecture (e.g. II>1 units); skip the bound
+	}
+	mii, err := sched.MII(f.g, mg1)
+	if err != nil {
+		return // pigeonhole already reported unsupported kinds
+	}
+	if mii > f.mg.Contexts {
+		f.infeasible = fmt.Sprintf("minimum initiation interval %d exceeds the %d available contexts", mii, f.mg.Contexts)
+	}
+}
+
+// routeFanouts/routeFanins enumerate RouteRes neighbours.
+func (f *formulation) forEachRouteFanout(i int, fn func(int)) {
+	for _, m := range f.mg.Nodes[i].Fanouts {
+		if f.mg.Nodes[m].Kind == mrrg.RouteRes {
+			fn(m)
+		}
+	}
+}
+
+// computeAllowed returns, per sub-value, the set of routing nodes that
+// lie on some source-to-sink path (forward reachability from every legal
+// producer output intersected with backward reachability from every
+// compatible sink port). With pruning disabled, every routing node is
+// allowed for every sub-value.
+func (f *formulation) computeAllowed() [][][]bool {
+	nNodes := len(f.mg.Nodes)
+	allowed := make([][][]bool, f.g.NumVals())
+
+	if f.opts.DisablePruning {
+		for _, v := range f.g.Vals() {
+			allowed[v.ID] = make([][]bool, len(v.Uses))
+			for k := range v.Uses {
+				all := make([]bool, nNodes)
+				for i, n := range f.mg.Nodes {
+					all[i] = n.Kind == mrrg.RouteRes
+				}
+				allowed[v.ID][k] = all
+			}
+		}
+		return allowed
+	}
+
+	for _, v := range f.g.Vals() {
+		// Forward reachability from every legal producer output.
+		fwd := make([]bool, nNodes)
+		queue := make([]int, 0, 64)
+		for _, p := range f.legal[v.Def.ID] {
+			out := f.mg.Nodes[p].OutNode
+			if !fwd[out] {
+				fwd[out] = true
+				queue = append(queue, out)
+			}
+		}
+		for len(queue) > 0 {
+			i := queue[0]
+			queue = queue[1:]
+			f.forEachRouteFanout(i, func(m int) {
+				if !fwd[m] {
+					fwd[m] = true
+					queue = append(queue, m)
+				}
+			})
+		}
+		allowed[v.ID] = make([][]bool, len(v.Uses))
+		for k, u := range v.Uses {
+			// Backward reachability from compatible sink ports.
+			bwd := make([]bool, nNodes)
+			queue = queue[:0]
+			for _, n := range f.mg.Nodes {
+				if n.OperandPort >= 0 && f.mg.CompatibleSink(n, u.Op, u.Operand) {
+					bwd[n.ID] = true
+					queue = append(queue, n.ID)
+				}
+			}
+			for len(queue) > 0 {
+				i := queue[0]
+				queue = queue[1:]
+				for _, m := range f.mg.Nodes[i].Fanins {
+					if f.mg.Nodes[m].Kind == mrrg.RouteRes && !bwd[m] {
+						bwd[m] = true
+						queue = append(queue, m)
+					}
+				}
+			}
+			set := make([]bool, nNodes)
+			any := false
+			for i := range set {
+				set[i] = fwd[i] && bwd[i]
+				any = any || set[i]
+			}
+			if !any {
+				f.infeasible = fmt.Sprintf("value %s cannot reach %s.op%d on this architecture",
+					v.Name, u.Op.Name, u.Operand)
+				return nil
+			}
+			allowed[v.ID][k] = set
+		}
+	}
+	return allowed
+}
+
+// refineLegal drops placements whose output cannot reach every sink and
+// whose operand ports cannot be reached by the corresponding producers
+// (sound because the allowed sets were computed from a superset of the
+// refined placements).
+func (f *formulation) refineLegal(allowed [][][]bool) {
+	for _, op := range f.g.Ops() {
+		kept := f.legal[op.ID][:0]
+	placements:
+		for _, p := range f.legal[op.ID] {
+			fu := f.mg.Nodes[p]
+			if op.Out != nil {
+				out := fu.OutNode
+				for k := range op.Out.Uses {
+					if !allowed[op.Out.ID][k][out] {
+						continue placements
+					}
+				}
+			}
+			for s, v := range op.In {
+				k := useIndex(v, op, s)
+				ok := false
+				for _, pn := range fu.PortNodes {
+					if f.mg.CompatibleSink(f.mg.Nodes[pn], op, s) && allowed[v.ID][k][pn] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					continue placements
+				}
+			}
+			kept = append(kept, p)
+		}
+		f.legal[op.ID] = kept
+		if len(kept) == 0 {
+			f.infeasible = fmt.Sprintf("no reachable placement for operation %s (%s)", op.Name, op.Kind)
+			return
+		}
+	}
+}
+
+func (f *formulation) createVars(allowed [][][]bool) {
+	f.fvar = make([]map[int]ilp.Var, f.g.NumOps())
+	for _, op := range f.g.Ops() {
+		f.fvar[op.ID] = make(map[int]ilp.Var, len(f.legal[op.ID]))
+		for _, p := range f.legal[op.ID] {
+			v := f.model.Binary(fmt.Sprintf("F[%s,%s]", f.mg.Nodes[p].Name, op.Name))
+			// Placement decisions dominate the search: branch on
+			// them first, trying "placed here" before "not here"
+			// so that each decision constructively extends a
+			// partial placement instead of enumerating
+			// exclusions.
+			f.model.SetBranchPriority(v, 1)
+			f.model.SetPhaseHint(v, true)
+			f.fvar[op.ID][p] = v
+		}
+	}
+	f.r3 = make([][]map[int]ilp.Var, f.g.NumVals())
+	f.r2 = make([]map[int]ilp.Var, f.g.NumVals())
+	for _, v := range f.g.Vals() {
+		f.r3[v.ID] = make([]map[int]ilp.Var, len(v.Uses))
+		union := make(map[int]bool)
+		for k := range v.Uses {
+			f.r3[v.ID][k] = make(map[int]ilp.Var)
+			for i, ok := range allowed[v.ID][k] {
+				if !ok {
+					continue
+				}
+				f.r3[v.ID][k][i] = f.model.Binary(fmt.Sprintf("R[%s,%s,%d]", f.mg.Nodes[i].Name, v.Name, k))
+				union[i] = true
+			}
+		}
+		f.r2[v.ID] = make(map[int]ilp.Var, len(union))
+		for i := range union {
+			f.r2[v.ID][i] = f.model.Binary(fmt.Sprintf("R[%s,%s]", f.mg.Nodes[i].Name, v.Name))
+		}
+	}
+}
+
+// addPlacementConstraints emits constraints (1) and (2).
+func (f *formulation) addPlacementConstraints() {
+	// (1) Operation Placement: every op on exactly one FU.
+	for _, op := range f.g.Ops() {
+		terms := make([]ilp.Term, 0, len(f.legal[op.ID]))
+		for _, p := range f.legal[op.ID] {
+			terms = append(terms, ilp.Term{Var: f.fvar[op.ID][p], Coef: 1})
+		}
+		f.model.AddEQ("placement", terms, 1)
+	}
+	// (2) Functional Unit Exclusivity: at most one op per FU slot.
+	perFU := make(map[int][]ilp.Term)
+	for _, op := range f.g.Ops() {
+		for _, p := range f.legal[op.ID] {
+			perFU[p] = append(perFU[p], ilp.Term{Var: f.fvar[op.ID][p], Coef: 1})
+		}
+	}
+	for _, terms := range perFU {
+		if len(terms) > 1 {
+			f.model.AddLE("fu-exclusivity", terms, 1)
+		}
+	}
+}
+
+// addRoutingConstraints emits constraints (4) through (9).
+func (f *formulation) addRoutingConstraints() {
+	mg := f.mg
+	// (4) Route Exclusivity: at most one value per routing node.
+	perNode := make(map[int][]ilp.Term)
+	for _, v := range f.g.Vals() {
+		for i, rv := range f.r2[v.ID] {
+			perNode[i] = append(perNode[i], ilp.Term{Var: rv, Coef: 1})
+		}
+	}
+	for _, terms := range perNode {
+		if len(terms) > 1 {
+			f.model.AddLE("route-exclusivity", terms, 1)
+		}
+	}
+
+	for _, v := range f.g.Vals() {
+		for k, u := range v.Uses {
+			rk := f.r3[v.ID][k]
+			for i, rv := range rk {
+				node := mg.Nodes[i]
+				// (5) Fanout Routing: a used node drives a
+				// downstream node with the same sub-value or
+				// terminates at the sink's FU.
+				terms := []ilp.Term{{Var: rv, Coef: -1}}
+				for _, m := range node.Fanouts {
+					mn := mg.Nodes[m]
+					if mn.Kind == mrrg.RouteRes {
+						if mv, ok := rk[m]; ok {
+							terms = append(terms, ilp.Term{Var: mv, Coef: 1})
+						}
+						continue
+					}
+					// FU fanout: i is an operand port of mn.
+					if mg.CompatibleSink(node, u.Op, u.Operand) {
+						if fv, ok := f.fvar[u.Op.ID][m]; ok {
+							terms = append(terms, ilp.Term{Var: fv, Coef: 1})
+						}
+					}
+				}
+				f.model.AddGE("fanout-routing", terms, 0)
+
+				// (6) Implied Placement (and operand
+				// correctness): routing onto an operand port
+				// forces the sink op onto that FU; an
+				// incompatible port cannot carry the
+				// sub-value at all.
+				if node.OperandPort >= 0 {
+					p := node.FUNode
+					if mg.CompatibleSink(node, u.Op, u.Operand) {
+						if fv, ok := f.fvar[u.Op.ID][p]; ok {
+							f.model.AddGE("implied-placement",
+								[]ilp.Term{{Var: fv, Coef: 1}, {Var: rv, Coef: -1}}, 0)
+						} else {
+							f.model.AddLE("implied-placement", []ilp.Term{{Var: rv, Coef: 1}}, 0)
+						}
+					} else {
+						f.model.AddLE("operand-correctness", []ilp.Term{{Var: rv, Coef: 1}}, 0)
+					}
+				}
+
+				// (8) Routing Resource Usage.
+				f.model.AddGE("resource-usage",
+					[]ilp.Term{{Var: f.r2[v.ID][i], Coef: 1}, {Var: rv, Coef: -1}}, 0)
+			}
+		}
+
+		// (7) Initial Fanout: the producer's output node carries
+		// every sub-value of the produced value iff the producer is
+		// placed there.
+		def := v.Def
+		for _, p := range f.legal[def.ID] {
+			out := mg.Nodes[p].OutNode
+			fv := f.fvar[def.ID][p]
+			for k := range v.Uses {
+				if rv, ok := f.r3[v.ID][k][out]; ok {
+					f.model.AddEQ("initial-fanout",
+						[]ilp.Term{{Var: rv, Coef: 1}, {Var: fv, Coef: -1}}, 0)
+				} else {
+					// The output cannot reach this sink:
+					// the placement is impossible (only
+					// reachable with pruning disabled, or
+					// kept deliberately when refinement is
+					// off).
+					f.model.AddLE("initial-fanout", []ilp.Term{{Var: fv, Coef: 1}}, 0)
+				}
+			}
+		}
+
+		// Distinct operand ports: when one value feeds both operands
+		// of a commutative operation (e.g. x*x), its two sub-values
+		// must terminate on different ports — route exclusivity
+		// (4) enforces this only across *different* values, and
+		// constraint (6) alone would let both sub-values share one
+		// port, leaving the other ALU input undriven.
+		for _, op := range f.g.Ops() {
+			if len(op.In) != 2 || op.In[0] != op.In[1] || op.In[0] != v {
+				continue
+			}
+			k0 := useIndex(v, op, 0)
+			k1 := useIndex(v, op, 1)
+			for i, rv0 := range f.r3[v.ID][k0] {
+				if f.mg.Nodes[i].OperandPort < 0 {
+					continue
+				}
+				if rv1, ok := f.r3[v.ID][k1][i]; ok {
+					f.model.AddLE("distinct-ports",
+						[]ilp.Term{{Var: rv0, Coef: 1}, {Var: rv1, Coef: 1}}, 1)
+				}
+			}
+		}
+
+		// (9) Multiplexer Input Exclusivity: on multi-fanin routing
+		// nodes the value enters through exactly as many inputs as
+		// the node is used — preventing self-reinforcing loops
+		// (paper Example 2) and forcing per-value route trees.
+		for i, rv := range f.r2[v.ID] {
+			node := mg.Nodes[i]
+			if len(node.Fanins) <= 1 {
+				continue
+			}
+			terms := []ilp.Term{{Var: rv, Coef: -1}}
+			for _, m := range node.Fanins {
+				if mv, ok := f.r2[v.ID][m]; ok {
+					terms = append(terms, ilp.Term{Var: mv, Coef: 1})
+				}
+			}
+			f.model.AddEQ("mux-input-exclusivity", terms, 0)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package mapper
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mrrg"
+	"cgramap/internal/solve/cdcl"
+)
+
+// ObjectiveMode selects the ILP objective.
+type ObjectiveMode int
+
+const (
+	// Feasibility solves the pure mapping-existence question — what
+	// the paper's Table 2 reports.
+	Feasibility ObjectiveMode = iota
+	// MinimizeRouting minimises total routing-resource usage (paper
+	// eq. 10).
+	MinimizeRouting
+)
+
+// Options configures the ILP mapper.
+type Options struct {
+	// Solver is the ILP engine; nil selects the CDCL engine.
+	Solver ilp.Solver
+	// Objective selects feasibility or routing minimisation.
+	Objective ObjectiveMode
+	// DisablePruning turns off sub-value reachability pruning and
+	// placement refinement (for the ablation study); the formulation
+	// then carries R variables for every routing node.
+	DisablePruning bool
+	// DisablePresolve turns off the counting presolve, forcing even
+	// pigeonhole-infeasible instances through the solver.
+	DisablePresolve bool
+}
+
+// Result reports one mapping attempt.
+type Result struct {
+	// Status is Optimal/Feasible when a mapping was found, Infeasible
+	// when mapping is provably impossible, Unknown on solver timeout
+	// (the paper's "T" entries).
+	Status ilp.Status
+	// Mapping is the decoded, verified mapping (nil unless feasible).
+	Mapping *Mapping
+	// Reason explains construction-time infeasibility (presolve or
+	// reachability), empty when the solver decided the instance.
+	Reason string
+	// Vars and Constraints describe the solved model size.
+	Vars, Constraints int
+	// SolverStats carries engine counters.
+	SolverStats map[string]int64
+	// BuildTime and SolveTime split the runtime.
+	BuildTime, SolveTime time.Duration
+}
+
+// Feasible reports whether a mapping was found.
+func (r *Result) Feasible() bool {
+	return r.Status == ilp.Optimal || r.Status == ilp.Feasible
+}
+
+// BuildModel constructs the ILP model for mapping g onto mg without
+// solving it. It returns the model (nil when construction already proved
+// infeasibility, together with the reason).
+func BuildModel(g *dfg.Graph, mg *mrrg.Graph, opts Options) (*ilp.Model, string, error) {
+	f := &formulation{g: g, mg: mg, opts: opts}
+	if err := f.build(); err != nil {
+		return nil, "", err
+	}
+	if f.infeasible != "" {
+		return nil, f.infeasible, nil
+	}
+	return f.model, "", nil
+}
+
+// Map places and routes g onto mg by building and solving the paper's
+// ILP formulation, then decodes and independently verifies the result.
+func Map(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts Options) (*Result, error) {
+	solver := opts.Solver
+	if solver == nil {
+		solver = cdcl.New()
+	}
+	start := time.Now()
+	f := &formulation{g: g, mg: mg, opts: opts}
+	if err := f.build(); err != nil {
+		return nil, err
+	}
+	buildTime := time.Since(start)
+	if f.infeasible != "" {
+		return &Result{Status: ilp.Infeasible, Reason: f.infeasible, BuildTime: buildTime}, nil
+	}
+
+	solveStart := time.Now()
+	sol, err := solver.Solve(ctx, f.model)
+	if err != nil {
+		return nil, fmt.Errorf("mapper: solving %s: %w", f.model.Name, err)
+	}
+	res := &Result{
+		Status:      sol.Status,
+		Vars:        f.model.NumVars(),
+		Constraints: len(f.model.Constraints),
+		SolverStats: sol.Stats,
+		BuildTime:   buildTime,
+		SolveTime:   time.Since(solveStart),
+	}
+	if !res.Feasible() {
+		return res, nil
+	}
+	m, err := f.decode(sol.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("mapper: solver returned an invalid mapping: %w", err)
+	}
+	res.Mapping = m
+	return res, nil
+}
+
+// decode converts a satisfying assignment into a Mapping.
+func (f *formulation) decode(a ilp.Assignment) (*Mapping, error) {
+	m := &Mapping{
+		DFG:       f.g,
+		MRRG:      f.mg,
+		Placement: make([]int, f.g.NumOps()),
+		Routes:    make([][][]int, f.g.NumVals()),
+	}
+	for _, op := range f.g.Ops() {
+		m.Placement[op.ID] = -1
+		for p, v := range f.fvar[op.ID] {
+			if a[v] {
+				if m.Placement[op.ID] >= 0 {
+					return nil, fmt.Errorf("mapper: op %s placed twice", op.Name)
+				}
+				m.Placement[op.ID] = p
+			}
+		}
+		if m.Placement[op.ID] < 0 {
+			return nil, fmt.Errorf("mapper: op %s unplaced in solution", op.Name)
+		}
+	}
+	for _, val := range f.g.Vals() {
+		m.Routes[val.ID] = make([][]int, len(val.Uses))
+		for k := range val.Uses {
+			var nodes []int
+			for i, v := range f.r3[val.ID][k] {
+				if a[v] {
+					nodes = append(nodes, i)
+				}
+			}
+			sort.Ints(nodes)
+			m.Routes[val.ID][k] = m.trimRoute(val, k, nodes)
+		}
+	}
+	return m, nil
+}
+
+// trimRoute reduces a sub-value's assigned node set to an actual
+// source-to-sink path. In feasibility mode the solver may set routing
+// variables beyond the useful path (nothing in the formulation rewards
+// sparseness without the objective); the extra nodes are legal but noisy,
+// so reporting keeps only a breadth-first path from the producer's output
+// to the sink's operand port. Falls back to the full set if no path is
+// found (Verify will then report the real problem).
+func (m *Mapping) trimRoute(val *dfg.Value, k int, nodes []int) []int {
+	mg := m.MRRG
+	u := val.Uses[k]
+	src := mg.Nodes[m.Placement[val.Def.ID]].OutNode
+	sinkFU := m.Placement[u.Op.ID]
+	inSet := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		inSet[n] = true
+	}
+	if !inSet[src] {
+		return nodes
+	}
+	prev := map[int]int{src: -1}
+	queue := []int{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		node := mg.Nodes[n]
+		if node.OperandPort >= 0 && node.FUNode == sinkFU && mg.CompatibleSink(node, u.Op, u.Operand) {
+			var path []int
+			for c := n; c != -1; c = prev[c] {
+				path = append(path, c)
+			}
+			// Reverse into source-to-sink hop order.
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path
+		}
+		for _, f := range node.Fanouts {
+			if _, seen := prev[f]; !seen && inSet[f] {
+				prev[f] = n
+				queue = append(queue, f)
+			}
+		}
+	}
+	return nodes
+}

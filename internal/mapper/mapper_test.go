@@ -1,0 +1,413 @@
+package mapper
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mrrg"
+)
+
+func mustMRRG(t *testing.T, a *arch.Arch, err error) *mrrg.Graph {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustGridMRRG(t *testing.T, spec arch.GridSpec) *mrrg.Graph {
+	t.Helper()
+	a, err := arch.Grid(spec)
+	return mustMRRG(t, a, err)
+}
+
+// lineArch: io_in FU -> mux -> alu -> mux2 -> io_out FU, with a register
+// loop for feasibility across contexts. alu operand muxes select from
+// io_in and the alu's own register.
+func lineArch(t *testing.T, contexts int, aluOps []dfg.Kind) *mrrg.Graph {
+	t.Helper()
+	b := arch.NewBuilder("line", contexts)
+	ioIn := b.FU("io_in", []dfg.Kind{dfg.Input}, 0, 0, 1)
+	ioOut := b.FU("io_out", []dfg.Kind{dfg.Output}, 1, 0, 1)
+	muxA := b.Mux("mux_a", 2)
+	muxB := b.Mux("mux_b", 2)
+	alu := b.FU("alu", aluOps, 2, 0, 1)
+	reg := b.Reg("reg")
+	muxO := b.Mux("mux_o", 2)
+	b.Connect(ioIn, muxA, 0)
+	b.Connect(ioIn, muxB, 0)
+	b.Connect(reg, muxA, 1)
+	b.Connect(reg, muxB, 1)
+	b.Connect(muxA, alu, 0)
+	b.Connect(muxB, alu, 1)
+	b.Connect(alu, reg, 0)
+	b.Connect(alu, muxO, 0)
+	b.Connect(reg, muxO, 1)
+	b.Connect(muxO, ioOut, 0)
+	a, err := b.Build()
+	return mustMRRG(t, a, err)
+}
+
+func mapIt(t *testing.T, g *dfg.Graph, mg *mrrg.Graph, opts Options) *Result {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Map(ctx, g, mg, opts)
+	if err != nil {
+		t.Fatalf("Map(%s): %v", g.Name, err)
+	}
+	return res
+}
+
+func TestSquareEndToEnd(t *testing.T) {
+	// x*x: one value feeding both operand ports of the same FU.
+	g := dfg.New("square")
+	x := g.In("x")
+	sq := g.Mul("sq", x, x)
+	g.Out("o", sq)
+	mg := lineArch(t, 1, []dfg.Kind{dfg.Mul})
+	res := mapIt(t, g, mg, Options{})
+	if !res.Feasible() {
+		t.Fatalf("status = %v (%s), want feasible", res.Status, res.Reason)
+	}
+	m := res.Mapping
+	if mg.Nodes[m.Placement[g.OpByName("sq").ID]].Name != "c0.alu" {
+		t.Errorf("sq placed on %s", mg.Nodes[m.Placement[1]].Name)
+	}
+	// The verifier already ran inside Map; run it again explicitly.
+	if err := m.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExample1 reproduces the paper's Example 1: a single-sink value from
+// Op1 can terminate at either of two downstream FUs; Implied Placement
+// must put Op2 wherever the route ends.
+func TestExample1(t *testing.T) {
+	b := arch.NewBuilder("mrrgA", 1)
+	fu1 := b.FU("fu1", []dfg.Kind{dfg.Input}, 0, 0, 1)
+	r1 := b.Wire("r1")
+	r2 := b.Wire("r2")
+	r3 := b.Wire("r3")
+	fu2 := b.FU("fu2", []dfg.Kind{dfg.Output}, 1, 0, 1)
+	fu3 := b.FU("fu3", []dfg.Kind{dfg.Output}, 1, 0, 1)
+	b.Connect(fu1, r1, 0)
+	b.Connect(r1, r2, 0)
+	b.Connect(r1, r3, 0)
+	b.Connect(r2, fu2, 0)
+	b.Connect(r3, fu3, 0)
+	a, err := b.Build()
+	mg := mustMRRG(t, a, err)
+
+	g := dfg.New("dfgA")
+	v := g.In("op1")
+	g.Out("op2", v)
+	res := mapIt(t, g, mg, Options{})
+	if !res.Feasible() {
+		t.Fatalf("status = %v (%s)", res.Status, res.Reason)
+	}
+	placed := mg.Nodes[res.Mapping.Placement[g.OpByName("op2").ID]].Name
+	if placed != "c0.fu2" && placed != "c0.fu3" {
+		t.Errorf("op2 placed on %s, want fu2 or fu3", placed)
+	}
+}
+
+// TestExample3MultiFanout reproduces the paper's Example 3: a two-fanout
+// value must route to two distinct FUs through distinct clouds, which is
+// exactly why routing is formulated per sub-value.
+func TestExample3MultiFanout(t *testing.T) {
+	b := arch.NewBuilder("mrrgC", 1)
+	fu1 := b.FU("fu1", []dfg.Kind{dfg.Input}, 0, 0, 1)
+	r1 := b.Wire("r1")
+	c1 := b.Wire("c1")
+	c2 := b.Wire("c2")
+	r2 := b.Wire("r2")
+	r3 := b.Wire("r3")
+	fu2 := b.FU("fu2", []dfg.Kind{dfg.Output}, 1, 0, 1)
+	fu3 := b.FU("fu3", []dfg.Kind{dfg.Output}, 1, 0, 1)
+	b.Connect(fu1, r1, 0)
+	b.Connect(r1, c1, 0)
+	b.Connect(r1, c2, 0)
+	b.Connect(c1, r2, 0)
+	b.Connect(c2, r3, 0)
+	b.Connect(r2, fu2, 0)
+	b.Connect(r3, fu3, 0)
+	a, err := b.Build()
+	mg := mustMRRG(t, a, err)
+
+	g := dfg.New("dfgB")
+	v := g.In("op1")
+	g.Out("op2", v)
+	g.Out("op3", v)
+	res := mapIt(t, g, mg, Options{})
+	if !res.Feasible() {
+		t.Fatalf("status = %v (%s)", res.Status, res.Reason)
+	}
+	p2 := res.Mapping.Placement[g.OpByName("op2").ID]
+	p3 := res.Mapping.Placement[g.OpByName("op3").ID]
+	if p2 == p3 {
+		t.Error("op2 and op3 share a FuncUnit")
+	}
+	// Three-fanout cannot work: only two output FUs exist.
+	g2 := dfg.New("dfgB3")
+	v2 := g2.In("op1")
+	g2.Out("op2", v2)
+	g2.Out("op3", v2)
+	g2.Out("op4", v2)
+	if res := mapIt(t, g2, mg, Options{}); res.Feasible() {
+		t.Error("three outputs mapped onto two output FUs")
+	}
+}
+
+// TestOperandCorrectness: a non-commutative operation must receive its
+// operands on the right ports (paper constraint 6). The architecture
+// wires producer A only to port 0 and producer B only to port 1.
+func TestOperandCorrectness(t *testing.T) {
+	build := func(ops []dfg.Kind) *mrrg.Graph {
+		b := arch.NewBuilder("ports", 1)
+		inA := b.FU("inA", []dfg.Kind{dfg.Input}, 0, 0, 1)
+		inB := b.FU("inB", []dfg.Kind{dfg.Input}, 0, 0, 1)
+		alu := b.FU("alu", ops, 2, 0, 1)
+		out := b.FU("out", []dfg.Kind{dfg.Output}, 1, 0, 1)
+		b.Connect(inA, alu, 0)
+		b.Connect(inB, alu, 1)
+		b.Connect(alu, out, 0)
+		a, err := b.Build()
+		return mustMRRG(t, a, err)
+	}
+	// shr(a, b): a on port 0, b on port 1.
+	right := dfg.New("right")
+	a := right.In("a")
+	bb := right.In("b")
+	right.Out("o", right.Shr("s", a, bb))
+	if res := mapIt(t, right, build([]dfg.Kind{dfg.Shr}), Options{}); !res.Feasible() {
+		t.Errorf("correct operand order infeasible: %v (%s)", res.Status, res.Reason)
+	}
+	// shr(b, a): b can only reach port 1, but it is operand 0.
+	wrong := dfg.New("wrong")
+	a2 := wrong.In("a")
+	b2 := wrong.In("b")
+	wrong.Out("o", wrong.Shr("s", b2, a2))
+	// Inputs are interchangeable FUs here (both support input), so the
+	// mapper can swap which physical input block hosts which DFG
+	// input; to pin them down, make the producers distinguishable.
+	_ = a2
+	res := mapIt(t, wrong, build([]dfg.Kind{dfg.Shr}), Options{})
+	// Both inputs can be placed on either input FU, so this is still
+	// feasible by swapping placements — assert the verifier accepted
+	// whatever came back.
+	if !res.Feasible() {
+		t.Errorf("swappable inputs should still map: %v (%s)", res.Status, res.Reason)
+	}
+}
+
+// TestOperandCorrectnessPinned: distinguishable producers (a load vs an
+// input) force the operand-port check to actually bite.
+func TestOperandCorrectnessPinned(t *testing.T) {
+	build := func() *mrrg.Graph {
+		b := arch.NewBuilder("pinned", 1)
+		inA := b.FU("inA", []dfg.Kind{dfg.Input}, 0, 0, 1)
+		mem := b.FU("mem", []dfg.Kind{dfg.Load}, 2, 0, 1)
+		alu := b.FU("alu", []dfg.Kind{dfg.Shr}, 2, 0, 1)
+		out := b.FU("out", []dfg.Kind{dfg.Output}, 1, 0, 1)
+		// input -> alu port 0 AND mem address; load result -> alu port 1 only.
+		b.Connect(inA, alu, 0)
+		b.Connect(inA, mem, 0)
+		b.Connect(inA, mem, 1)
+		b.Connect(mem, alu, 1)
+		b.Connect(alu, out, 0)
+		a, err := b.Build()
+		return mustMRRG(t, a, err)
+	}
+	// shr(x, m): x -> port0, m -> port1: feasible.
+	ok := dfg.New("ok")
+	x := ok.In("x")
+	m := ok.Load("m", x)
+	ok.Out("o", ok.Shr("s", x, m))
+	if res := mapIt(t, ok, build(), Options{}); !res.Feasible() {
+		t.Errorf("aligned operands infeasible: %v (%s)", res.Status, res.Reason)
+	}
+	// shr(m, x): m must reach port 0, but the load only drives port 1.
+	bad := dfg.New("bad")
+	x2 := bad.In("x")
+	m2 := bad.Load("m", x2)
+	bad.Out("o", bad.Shr("s", m2, x2))
+	if res := mapIt(t, bad, build(), Options{}); res.Feasible() {
+		t.Error("misaligned non-commutative operands mapped")
+	}
+}
+
+func TestPresolvePigeonhole(t *testing.T) {
+	// mult_10 has 9 multiplies; hetero 4x4 has 8 multiplier slots in
+	// one context.
+	g := bench.MustGet("mult_10")
+	mg := mustGridMRRG(t, (arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Orthogonal, Contexts: 1}))
+	res := mapIt(t, g, mg, Options{})
+	if res.Status != ilp.Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+	if res.Reason == "" {
+		t.Error("presolve reason missing")
+	}
+}
+
+func TestUnsupportedOpKind(t *testing.T) {
+	g := dfg.New("div")
+	x := g.In("x")
+	d, _ := g.AddOp("d", dfg.Div, x, x)
+	g.Out("o", d.Out)
+	mg := lineArch(t, 1, []dfg.Kind{dfg.Mul})
+	res := mapIt(t, g, mg, Options{})
+	if res.Status != ilp.Infeasible || res.Reason == "" {
+		t.Errorf("status=%v reason=%q, want infeasible with reason", res.Status, res.Reason)
+	}
+}
+
+func TestRegisterLoopAccumulator(t *testing.T) {
+	// acc = add(x, acc): a loop-carried dependence must route through
+	// the register back-edge of the MRRG.
+	g := dfg.New("acc")
+	x := g.In("x")
+	op, err := g.AddOp("acc", dfg.Add, x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewire operand 1 to the op's own output.
+	old := op.In[1]
+	op.In[1] = op.Out
+	old.Uses = old.Uses[:1]
+	op.Out.Uses = append(op.Out.Uses, dfg.Use{Op: op, Operand: 1})
+	g.Out("o", op.Out)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mg := lineArch(t, 1, []dfg.Kind{dfg.Add})
+	res := mapIt(t, g, mg, Options{})
+	if !res.Feasible() {
+		t.Fatalf("accumulator unmappable: %v (%s)", res.Status, res.Reason)
+	}
+	// The self-route must use the register (only cycle in the MRRG).
+	acc := g.OpByName("acc")
+	selfK := -1
+	for k, u := range acc.Out.Uses {
+		if u.Op == acc {
+			selfK = k
+		}
+	}
+	route := res.Mapping.Routes[acc.Out.ID][selfK]
+	usesReg := false
+	for _, n := range route {
+		if mg.Nodes[n].Prim == mg.Arch.PrimIndex("reg") {
+			usesReg = true
+		}
+	}
+	if !usesReg {
+		t.Error("loop-carried route does not use the register")
+	}
+}
+
+func TestPruningAblationAgrees(t *testing.T) {
+	mg := lineArch(t, 1, []dfg.Kind{dfg.Add, dfg.Mul})
+	g := dfg.New("k")
+	x := g.In("x")
+	g.Out("o", g.Mul("m", x, x))
+	with := mapIt(t, g, mg, Options{})
+	without := mapIt(t, g, mg, Options{DisablePruning: true, DisablePresolve: true})
+	if with.Feasible() != without.Feasible() {
+		t.Errorf("pruned=%v unpruned=%v disagree", with.Status, without.Status)
+	}
+	if with.Vars >= without.Vars {
+		t.Errorf("pruning did not shrink the model: %d vs %d vars", with.Vars, without.Vars)
+	}
+}
+
+func TestMinimizeRoutingTightensCost(t *testing.T) {
+	mg := lineArch(t, 1, []dfg.Kind{dfg.Add})
+	g := dfg.New("k")
+	x := g.In("x")
+	g.Out("o", g.Add("a", x, x))
+	feas := mapIt(t, g, mg, Options{})
+	opt := mapIt(t, g, mg, Options{Objective: MinimizeRouting})
+	if !feas.Feasible() || !opt.Feasible() {
+		t.Fatalf("feas=%v opt=%v", feas.Status, opt.Status)
+	}
+	if opt.Status != ilp.Optimal {
+		t.Errorf("optimisation status = %v", opt.Status)
+	}
+	if opt.Mapping.RoutingCost() > feas.Mapping.RoutingCost() {
+		t.Errorf("optimised cost %d exceeds feasibility cost %d",
+			opt.Mapping.RoutingCost(), feas.Mapping.RoutingCost())
+	}
+}
+
+func TestTimeoutReportsUnknown(t *testing.T) {
+	g := bench.MustGet("weighted_sum")
+	mg := mustGridMRRG(t, (arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 2}))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	res, err := Map(ctx, g, mg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ilp.Unknown && !res.Feasible() && res.Status != ilp.Infeasible {
+		t.Errorf("status = %v", res.Status)
+	}
+}
+
+func TestGridSmallBenchmarks(t *testing.T) {
+	// Table 2 row "accum": feasible on every single-context
+	// architecture; "2x2-f" likewise.
+	homoOrth := mustGridMRRG(t, (arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Orthogonal, Homogeneous: true, Contexts: 1}))
+	for _, name := range []string{"2x2-f", "accum"} {
+		g := bench.MustGet(name)
+		res := mapIt(t, g, homoOrth, Options{})
+		if !res.Feasible() {
+			t.Errorf("%s on homo-orth-c1: %v (%s)", name, res.Status, res.Reason)
+		}
+	}
+}
+
+func TestBuildModelExport(t *testing.T) {
+	mg := lineArch(t, 1, []dfg.Kind{dfg.Add})
+	g := dfg.New("k")
+	x := g.In("x")
+	g.Out("o", g.Add("a", x, x))
+	m, reason, err := BuildModel(g, mg, Options{})
+	if err != nil || reason != "" || m == nil {
+		t.Fatalf("BuildModel: %v %q", err, reason)
+	}
+	if m.NumVars() == 0 || len(m.Constraints) == 0 {
+		t.Error("empty model")
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMappingWriteRenders(t *testing.T) {
+	mg := lineArch(t, 1, []dfg.Kind{dfg.Add})
+	g := dfg.New("k")
+	x := g.In("x")
+	g.Out("o", g.Add("a", x, x))
+	res := mapIt(t, g, mg, Options{})
+	if !res.Feasible() {
+		t.Fatal(res.Status)
+	}
+	var sb strings.Builder
+	if err := res.Mapping.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.String()) == 0 {
+		t.Error("empty rendering")
+	}
+}

@@ -1,0 +1,227 @@
+// Package mapper implements the paper's contribution: the
+// architecture-agnostic ILP formulation of CGRA mapping over a Modulo
+// Routing Resource Graph (paper §4), together with solution decoding and
+// an independent mapping verifier.
+//
+// CGRA mapping associates DFG operations with MRRG FuncUnit nodes and DFG
+// values with trees of RouteRes nodes connecting each producer to every
+// consumer (paper §3.3). The formulation is built from a DFG and an MRRG
+// only — no architecture-specific structure is assumed.
+package mapper
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"cgramap/internal/dfg"
+	"cgramap/internal/mrrg"
+)
+
+// Mapping is a complete placement and routing of a DFG onto an MRRG.
+type Mapping struct {
+	// DFG and MRRG are the mapped application and device graphs.
+	DFG  *dfg.Graph
+	MRRG *mrrg.Graph
+
+	// Placement[opID] is the FuncUnit node executing the operation.
+	Placement []int
+
+	// Routes[valID][sinkIdx] lists the RouteRes node IDs used to carry
+	// the value from its producer's output node to the sink's operand
+	// port (both endpoints included), one entry per use of the value
+	// (a sub-value, paper Fig. 5).
+	Routes [][][]int
+}
+
+// RouteNodesOf returns the union of routing nodes used by value v.
+func (m *Mapping) RouteNodesOf(v *dfg.Value) []int {
+	seen := make(map[int]bool)
+	for _, route := range m.Routes[v.ID] {
+		for _, n := range route {
+			seen[n] = true
+		}
+	}
+	nodes := make([]int, 0, len(seen))
+	for n := range seen {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	return nodes
+}
+
+// RoutingCost sums the cost of every routing node used by any value,
+// counting a node once per value using it — the paper's objective
+// (eq. 10).
+func (m *Mapping) RoutingCost() int {
+	cost := 0
+	for _, v := range m.DFG.Vals() {
+		for _, n := range m.RouteNodesOf(v) {
+			cost += m.MRRG.Nodes[n].Cost
+		}
+	}
+	return cost
+}
+
+// Write renders the mapping as text: one line per operation placement and
+// per sub-value route.
+func (m *Mapping) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "mapping of %s onto %s (%d contexts)\n",
+		m.DFG.Name, m.MRRG.Arch.Name, m.MRRG.Contexts)
+	for _, op := range m.DFG.Ops() {
+		fmt.Fprintf(bw, "  place %-12s -> %s\n", op.Name, m.MRRG.Nodes[m.Placement[op.ID]].Name)
+	}
+	for _, v := range m.DFG.Vals() {
+		for k, u := range v.Uses {
+			fmt.Fprintf(bw, "  route %s -> %s.op%d:", v.Name, u.Op.Name, u.Operand)
+			for _, n := range m.Routes[v.ID][k] {
+				fmt.Fprintf(bw, " %s", m.MRRG.Nodes[n].Name)
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+// Verify independently checks that the mapping is legal, without
+// consulting the ILP model:
+//
+//   - every operation sits on exactly one FuncUnit node that supports it,
+//     with no two operations sharing a node (paper constraints 1–3);
+//   - no routing node carries more than one value (constraint 4);
+//   - every sub-value's node set contains a directed path from the
+//     producer's output node to a compatible operand port of the sink's
+//     placed FU (constraints 5–8), honouring operand order for
+//     non-commutative operations and assigning distinct ports to the
+//     operands of commutative ones (constraint 6).
+func (m *Mapping) Verify() error {
+	g, mg := m.DFG, m.MRRG
+	if len(m.Placement) != g.NumOps() || len(m.Routes) != g.NumVals() {
+		return fmt.Errorf("mapper: mapping shape mismatch")
+	}
+	// Placement legality and exclusivity.
+	usedFU := make(map[int]*dfg.Op)
+	for _, op := range g.Ops() {
+		p := m.Placement[op.ID]
+		if p < 0 || p >= len(mg.Nodes) || mg.Nodes[p].Kind != mrrg.FuncUnit {
+			return fmt.Errorf("mapper: op %s placed on non-FuncUnit node %d", op.Name, p)
+		}
+		if !mg.Nodes[p].SupportsOp(op.Kind) {
+			return fmt.Errorf("mapper: op %s (%s) placed on %s, which does not support it",
+				op.Name, op.Kind, mg.Nodes[p].Name)
+		}
+		if prev := usedFU[p]; prev != nil {
+			return fmt.Errorf("mapper: ops %s and %s share FuncUnit %s", prev.Name, op.Name, mg.Nodes[p].Name)
+		}
+		usedFU[p] = op
+	}
+	// Route exclusivity across values.
+	owner := make(map[int]*dfg.Value)
+	for _, v := range g.Vals() {
+		for _, n := range m.RouteNodesOf(v) {
+			if n < 0 || n >= len(mg.Nodes) || mg.Nodes[n].Kind != mrrg.RouteRes {
+				return fmt.Errorf("mapper: value %s routed over non-routing node %d", v.Name, n)
+			}
+			if prev := owner[n]; prev != nil && prev != v {
+				return fmt.Errorf("mapper: values %s and %s share routing node %s",
+					prev.Name, v.Name, mg.Nodes[n].Name)
+			}
+			owner[n] = v
+		}
+	}
+	// Per-sub-value connectivity and operand correctness.
+	for _, v := range g.Vals() {
+		src := mg.Nodes[m.Placement[v.Def.ID]].OutNode
+		// reachedPorts[sinkIdx] = operand ports of the sink FU the
+		// route actually reaches.
+		for k, u := range v.Uses {
+			route := m.Routes[v.ID][k]
+			inRoute := make(map[int]bool, len(route))
+			for _, n := range route {
+				inRoute[n] = true
+			}
+			if !inRoute[src] {
+				return fmt.Errorf("mapper: value %s sink %d: route misses producer output %s",
+					v.Name, k, mg.Nodes[src].Name)
+			}
+			sinkFU := m.Placement[u.Op.ID]
+			target := -1
+			// BFS over the sub-value's own nodes.
+			queue := []int{src}
+			visited := map[int]bool{src: true}
+			for len(queue) > 0 && target < 0 {
+				n := queue[0]
+				queue = queue[1:]
+				node := mg.Nodes[n]
+				if node.OperandPort >= 0 && node.FUNode == sinkFU &&
+					mg.CompatibleSink(node, u.Op, u.Operand) {
+					target = n
+					break
+				}
+				for _, f := range node.Fanouts {
+					if inRoute[f] && !visited[f] {
+						visited[f] = true
+						queue = append(queue, f)
+					}
+				}
+			}
+			if target < 0 {
+				return fmt.Errorf("mapper: value %s sink %d (%s.op%d): no route from %s to a compatible port of %s",
+					v.Name, k, u.Op.Name, u.Operand, mg.Nodes[src].Name, mg.Nodes[sinkFU].Name)
+			}
+		}
+	}
+	// Distinct-port assignment for multi-operand sinks: each operand's
+	// route must be able to claim its own port (for commutative ops a
+	// port may serve either operand, but not both at once). Ports are
+	// routing nodes, so route exclusivity already forbids two
+	// *different* values on one port; here we catch one value feeding
+	// both operands through a single port.
+	for _, op := range g.Ops() {
+		if len(op.In) < 2 {
+			continue
+		}
+		fu := mg.Nodes[m.Placement[op.ID]]
+		// portsReached[s] = set of compatible ports operand s reaches.
+		portsReached := make([]map[int]bool, len(op.In))
+		for s, v := range op.In {
+			portsReached[s] = make(map[int]bool)
+			k := useIndex(v, op, s)
+			route := m.Routes[v.ID][k]
+			for _, n := range route {
+				node := mg.Nodes[n]
+				if node.OperandPort >= 0 && node.FUNode == fu.ID &&
+					mg.CompatibleSink(node, op, s) {
+					portsReached[s][n] = true
+				}
+			}
+		}
+		if len(op.In) == 2 {
+			ok := false
+			for p0 := range portsReached[0] {
+				for p1 := range portsReached[1] {
+					if p0 != p1 {
+						ok = true
+					}
+				}
+			}
+			if !ok {
+				return fmt.Errorf("mapper: op %s: operands cannot occupy distinct ports of %s",
+					op.Name, fu.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// useIndex finds the index within v.Uses of the use (op, operand).
+func useIndex(v *dfg.Value, op *dfg.Op, operand int) int {
+	for k, u := range v.Uses {
+		if u.Op == op && u.Operand == operand {
+			return k
+		}
+	}
+	return -1
+}

@@ -1,0 +1,171 @@
+package mapper
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mrrg"
+	"cgramap/internal/solve/bb"
+)
+
+// randomKernel builds a small random DFG over ALU-mappable operations.
+func randomKernel(seed int64, maxOps int) *dfg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := dfg.New("rk")
+	nIn := 1 + rng.Intn(3)
+	vals := make([]*dfg.Value, 0, 16)
+	for i := 0; i < nIn; i++ {
+		vals = append(vals, g.In(fmt.Sprintf("in%d", i)))
+	}
+	kinds := []dfg.Kind{dfg.Add, dfg.Sub, dfg.Mul, dfg.Xor, dfg.And, dfg.Shr}
+	nOps := rng.Intn(maxOps)
+	for i := 0; i < nOps; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		a := vals[rng.Intn(len(vals))]
+		b := vals[rng.Intn(len(vals))]
+		op, err := g.AddOp(fmt.Sprintf("op%d", i), k, a, b)
+		if err != nil {
+			panic(err)
+		}
+		vals = append(vals, op.Out)
+	}
+	g.Out("out", vals[len(vals)-1])
+	return g
+}
+
+// TestPropertyFeasibleImpliesVerified: on a flexible architecture, any
+// mapping the ILP mapper returns passes independent verification (Map
+// errors out otherwise) and uses exactly the DFG's operations.
+func TestPropertyFeasibleImpliesVerified(t *testing.T) {
+	a, err := arch.Grid(arch.GridSpec{Rows: 3, Cols: 3, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		g := randomKernel(seed, 5)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		res, err := Map(ctx, g, mg, Options{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !res.Feasible() {
+			return true // nothing further to check
+		}
+		// Placements are unique and legal (Verify ran inside Map; spot
+		// re-check here).
+		return res.Mapping.Verify() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPruningPreservesStatus: reachability pruning and the
+// counting presolve are pure model reductions — they never change the
+// feasibility verdict.
+func TestPropertyPruningPreservesStatus(t *testing.T) {
+	a, err := arch.Grid(arch.GridSpec{Rows: 2, Cols: 2, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		g := randomKernel(seed, 4)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		pruned, err := Map(ctx, g, mg, Options{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		unpruned, err := Map(ctx, g, mg, Options{DisablePruning: true, DisablePresolve: true})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if pruned.Status == ilp.Unknown || unpruned.Status == ilp.Unknown {
+			return true // timeout: no verdict to compare
+		}
+		if pruned.Feasible() != unpruned.Feasible() {
+			t.Logf("seed %d: pruned=%v unpruned=%v", seed, pruned.Status, unpruned.Status)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEnginesAgreeOnMapping: the CDCL and branch-and-bound
+// engines agree on tiny mapping instances.
+func TestPropertyEnginesAgreeOnMapping(t *testing.T) {
+	b := arch.NewBuilder("tiny2", 1)
+	io1 := b.FU("io1", []dfg.Kind{dfg.Input, dfg.Output}, 1, 0, 1)
+	io2 := b.FU("io2", []dfg.Kind{dfg.Input, dfg.Output}, 1, 0, 1)
+	muxA := b.Mux("mux_a", 3)
+	muxB := b.Mux("mux_b", 3)
+	alu := b.FU("alu", []dfg.Kind{dfg.Add, dfg.Mul, dfg.Sub}, 2, 0, 1)
+	reg := b.Reg("reg")
+	b.Connect(io1, muxA, 0)
+	b.Connect(io2, muxA, 1)
+	b.Connect(reg, muxA, 2)
+	b.Connect(io1, muxB, 0)
+	b.Connect(io2, muxB, 1)
+	b.Connect(reg, muxB, 2)
+	b.Connect(muxA, alu, 0)
+	b.Connect(muxB, alu, 1)
+	b.Connect(alu, reg, 0)
+	b.Connect(alu, io1, 0)
+	b.Connect(alu, io2, 0)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		g := randomKernel(seed, 2)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		r1, err := Map(ctx, g, mg, Options{})
+		if err != nil {
+			t.Logf("seed %d: cdcl: %v", seed, err)
+			return false
+		}
+		r2, err := Map(ctx, g, mg, Options{Solver: bb.New()})
+		if err != nil {
+			t.Logf("seed %d: bb: %v", seed, err)
+			return false
+		}
+		if r1.Status == ilp.Unknown || r2.Status == ilp.Unknown {
+			return true
+		}
+		if r1.Feasible() != r2.Feasible() {
+			t.Logf("seed %d: cdcl=%v bb=%v", seed, r1.Status, r2.Status)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

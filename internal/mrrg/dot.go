@@ -1,0 +1,40 @@
+package mrrg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT emits a Graphviz rendering of the MRRG, with one cluster per
+// context, FuncUnit nodes as boxes and routing resources as ellipses.
+// Cross-context (register) edges are drawn dashed.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n", g.Arch.Name)
+	for c := 0; c < g.Contexts; c++ {
+		fmt.Fprintf(bw, "  subgraph cluster_ctx%d {\n    label=\"context %d\";\n", c, c)
+		for _, n := range g.Nodes {
+			if n.Context != c {
+				continue
+			}
+			shape := "ellipse"
+			if n.Kind == FuncUnit {
+				shape = "box"
+			}
+			fmt.Fprintf(bw, "    n%d [label=%q, shape=%s];\n", n.ID, n.Name, shape)
+		}
+		fmt.Fprintln(bw, "  }")
+	}
+	for _, n := range g.Nodes {
+		for _, f := range n.Fanouts {
+			style := ""
+			if g.Nodes[f].Context != n.Context {
+				style = " [style=dashed]"
+			}
+			fmt.Fprintf(bw, "  n%d -> n%d%s;\n", n.ID, f, style)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,189 @@
+package mrrg
+
+import (
+	"fmt"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/dfg"
+)
+
+// Generate expands an architecture into its MRRG with one replica per
+// execution context (paper §3.2).
+//
+// Primitive expansion (Figs. 1–3), per context c:
+//
+//   - Wire:  one RouteRes node.
+//   - Mux:   one RouteRes pin node per selectable input feeding one
+//     internal RouteRes node (paper Fig. 1). The internal node guarantees
+//     exclusivity to a single input on any cycle, and the pin nodes are
+//     what make the Multiplexer Input Exclusivity constraint sound: a
+//     value occupies a pin only when it actually enters this multiplexer,
+//     not merely because its driver fans out past it. (The paper's
+//     separate mux output node has a single fanin and is contracted into
+//     the internal node — a pure contraction that preserves semantics.)
+//   - Reg:   an input node in context c and an output node in context
+//     (c+1) mod N — the special wire that moves a value to the next cycle.
+//   - FU(L, II): at each firing context (c mod II == 0): one RouteRes
+//     port node per operand, a FuncUnit node, and a RouteRes output node
+//     in context (c+L) mod N (Fig. 2: a latency-2 II-2 unit has its output
+//     two cycles later and is replicated every second context only).
+func Generate(a *arch.Arch) (*Graph, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("mrrg: invalid architecture: %w", err)
+	}
+	N := a.Contexts
+	g := &Graph{Arch: a, Contexts: N, byName: make(map[string]int)}
+
+	addNode := func(name string, kind NodeKind, ctx, prim int) *Node {
+		if _, dup := g.byName[name]; dup {
+			panic(fmt.Sprintf("mrrg: duplicate node name %q", name))
+		}
+		n := &Node{
+			ID:          len(g.Nodes),
+			Kind:        kind,
+			Name:        name,
+			Context:     ctx,
+			Prim:        prim,
+			Cost:        a.Prims[prim].Cost,
+			OperandPort: -1,
+			PinPort:     -1,
+			FUNode:      -1,
+			OutNode:     -1,
+		}
+		g.Nodes = append(g.Nodes, n)
+		g.byName[name] = n.ID
+		if kind == FuncUnit {
+			g.funcUnits = append(g.funcUnits, n.ID)
+		}
+		return n
+	}
+	addEdge := func(from, to int) {
+		g.Nodes[from].Fanouts = append(g.Nodes[from].Fanouts, to)
+		g.Nodes[to].Fanins = append(g.Nodes[to].Fanins, from)
+	}
+
+	// inOf[prim][port][ctx] and outOf[prim][ctx] record the node that
+	// receives external connections into / out of each primitive at
+	// each context (-1 where the primitive has no presence, e.g. an
+	// II=2 FU on an odd context).
+	inOf := make([][][]int, len(a.Prims))
+	outOf := make([][]int, len(a.Prims))
+	for pi, p := range a.Prims {
+		inOf[pi] = make([][]int, p.NIn)
+		for port := range inOf[pi] {
+			inOf[pi][port] = fill(N, -1)
+		}
+		outOf[pi] = fill(N, -1)
+	}
+
+	for pi, p := range a.Prims {
+		switch p.Kind {
+		case arch.Wire:
+			for c := 0; c < N; c++ {
+				n := addNode(nodeName(c, p.Name), RouteRes, c, pi)
+				inOf[pi][0][c] = n.ID
+				outOf[pi][c] = n.ID
+			}
+		case arch.Mux:
+			for c := 0; c < N; c++ {
+				m := addNode(nodeName(c, p.Name), RouteRes, c, pi)
+				for port := 0; port < p.NIn; port++ {
+					pin := addNode(fmt.Sprintf("%s.in%d", nodeName(c, p.Name), port), RouteRes, c, pi)
+					pin.PinPort = port
+					addEdge(pin.ID, m.ID)
+					inOf[pi][port][c] = pin.ID
+				}
+				outOf[pi][c] = m.ID
+			}
+		case arch.Reg:
+			ins := make([]int, N)
+			outs := make([]int, N)
+			for c := 0; c < N; c++ {
+				ins[c] = addNode(nodeName(c, p.Name)+".in", RouteRes, c, pi).ID
+			}
+			for c := 0; c < N; c++ {
+				outs[c] = addNode(nodeName(c, p.Name)+".out", RouteRes, c, pi).ID
+			}
+			for c := 0; c < N; c++ {
+				addEdge(ins[c], outs[(c+1)%N])
+				inOf[pi][0][c] = ins[c]
+				outOf[pi][c] = outs[c]
+			}
+		case arch.FU:
+			// The modulo wheel only closes consistently when the
+			// firing pattern repeats within it: II must divide
+			// the context count (II=1 always does).
+			if N%p.II != 0 {
+				return nil, fmt.Errorf("mrrg: FU %q has II %d, which does not divide the %d contexts",
+					p.Name, p.II, N)
+			}
+			for c := 0; c < N; c++ {
+				if c%p.II != 0 {
+					continue
+				}
+				fu := addNode(nodeName(c, p.Name), FuncUnit, c, pi)
+				fu.Ops = p.Ops
+				fu.PortNodes = make([]int, p.NIn)
+				for port := 0; port < p.NIn; port++ {
+					pn := addNode(fmt.Sprintf("%s.in%d", nodeName(c, p.Name), port), RouteRes, c, pi)
+					pn.OperandPort = port
+					pn.FUNode = fu.ID
+					fu.PortNodes[port] = pn.ID
+					addEdge(pn.ID, fu.ID)
+					inOf[pi][port][c] = pn.ID
+				}
+				oc := (c + p.Latency) % N
+				on := addNode(fmt.Sprintf("%s.out", nodeName(c, p.Name)), RouteRes, oc, pi)
+				on.FUNode = fu.ID
+				fu.OutNode = on.ID
+				addEdge(fu.ID, on.ID)
+				outOf[pi][oc] = on.ID
+			}
+		}
+	}
+
+	// External connections: context-aligned edges wherever both
+	// endpoints exist.
+	for _, conn := range a.Conns {
+		for c := 0; c < N; c++ {
+			src := outOf[conn.Src][c]
+			dst := inOf[conn.Dst][conn.DstPort][c]
+			if src >= 0 && dst >= 0 {
+				addEdge(src, dst)
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func nodeName(ctx int, prim string) string { return fmt.Sprintf("c%d.%s", ctx, prim) }
+
+func fill(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// CompatibleSink reports whether a routing node can be the termination
+// point of a sub-value destined for operand index `operand` of operation
+// op: the node must be an FU operand port whose FU supports the
+// operation, on the matching port (any port for commutative binary
+// operations — paper constraint 6 "operand correctness").
+func (g *Graph) CompatibleSink(n *Node, op *dfg.Op, operand int) bool {
+	if n.OperandPort < 0 {
+		return false
+	}
+	fu := g.Nodes[n.FUNode]
+	if !fu.SupportsOp(op.Kind) {
+		return false
+	}
+	if op.Kind.Commutative() && len(op.In) == 2 {
+		return true
+	}
+	return n.OperandPort == operand
+}

@@ -1,0 +1,328 @@
+package mrrg
+
+import (
+	"strings"
+	"testing"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/dfg"
+)
+
+// wireFU builds a minimal architecture: src FU -> mux -> dst FU port 0,
+// a second mux input from a register fed by dst, so everything is driven.
+func muxRegArch(t *testing.T, contexts int) *arch.Arch {
+	t.Helper()
+	b := arch.NewBuilder("muxreg", contexts)
+	src := b.FU("src", []dfg.Kind{dfg.Input, dfg.Output}, 1, 0, 1)
+	mux := b.Mux("mux", 2)
+	reg := b.Reg("reg")
+	dst := b.FU("dst", []dfg.Kind{dfg.Add, dfg.Sub}, 2, 0, 1)
+	b.Connect(src, mux, 0)
+	b.Connect(reg, mux, 1)
+	b.Connect(mux, dst, 0)
+	b.Connect(mux, dst, 1)
+	b.Connect(dst, reg, 0)
+	b.Connect(dst, src, 0)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestFigure1MuxAndRegister checks the expansion of a multiplexer and a
+// register (paper Fig. 1): the mux is a single exclusive routing node per
+// context with one fanin per selectable input, and the register's input
+// in cycle i connects to its output in cycle i+1 mod N.
+func TestFigure1MuxAndRegister(t *testing.T) {
+	g, err := Generate(muxRegArch(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux0 := g.NodeByName("c0.mux")
+	if mux0 == nil || mux0.Kind != RouteRes {
+		t.Fatal("c0.mux missing")
+	}
+	if len(mux0.Fanins) != 2 {
+		t.Errorf("mux fanins = %d, want 2 (one per selectable input)", len(mux0.Fanins))
+	}
+	regIn0 := g.NodeByName("c0.reg.in")
+	regOut1 := g.NodeByName("c1.reg.out")
+	if regIn0 == nil || regOut1 == nil {
+		t.Fatal("register nodes missing")
+	}
+	if len(regIn0.Fanouts) != 1 || regIn0.Fanouts[0] != regOut1.ID {
+		t.Errorf("register c0 input should feed c1 output (value moves to next cycle)")
+	}
+	// Modulo wrap: context 1 input feeds context 0 output.
+	regIn1 := g.NodeByName("c1.reg.in")
+	regOut0 := g.NodeByName("c0.reg.out")
+	if regIn1.Fanouts[0] != regOut0.ID {
+		t.Error("register wrap edge c1.in -> c0.out missing")
+	}
+}
+
+// TestFigure1SingleContext: with one context the register's next-cycle
+// edge wraps to the same replica (i+1 mod 1 == i).
+func TestFigure1SingleContext(t *testing.T) {
+	g, err := Generate(muxRegArch(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := g.NodeByName("c0.reg.in")
+	out := g.NodeByName("c0.reg.out")
+	if in.Fanouts[0] != out.ID {
+		t.Error("single-context register must wrap to itself")
+	}
+	if s := g.Stats(); s.CrossContextEdges != 0 {
+		t.Errorf("single context has %d cross-context edges, want 0", s.CrossContextEdges)
+	}
+}
+
+// fuArch builds one FU with the given latency/II plus a feeding input FU,
+// all ports driven.
+func fuArch(t *testing.T, contexts, latency, ii int) *arch.Arch {
+	t.Helper()
+	b := arch.NewBuilder("fuarch", contexts)
+	src := b.FU("src", []dfg.Kind{dfg.Input}, 0, 0, 1)
+	mul := b.FU("mul", []dfg.Kind{dfg.Mul}, 2, latency, ii)
+	sink := b.FU("sink", []dfg.Kind{dfg.Output}, 1, 0, 1)
+	b.Connect(src, mul, 0)
+	b.Connect(src, mul, 1)
+	b.Connect(mul, sink, 0)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestFigure2LatencyII covers the paper's Fig. 2: FU expansion for
+// (L=1,II=1), (L=2,II=2) and (L=2,II=1) across 4 contexts.
+func TestFigure2LatencyII(t *testing.T) {
+	cases := []struct {
+		latency, ii   int
+		wantInstances int // FuncUnit nodes for "mul" in 4 contexts
+		firing        int // context of first instance
+		outCtx        int // context of its output node
+	}{
+		{1, 1, 4, 0, 1},
+		{2, 2, 2, 0, 2},
+		{2, 1, 4, 0, 2},
+	}
+	for _, c := range cases {
+		g, err := Generate(fuArch(t, 4, c.latency, c.ii))
+		if err != nil {
+			t.Fatalf("L=%d II=%d: %v", c.latency, c.ii, err)
+		}
+		instances := 0
+		for _, id := range g.FuncUnits() {
+			if strings.HasSuffix(g.Nodes[id].Name, ".mul") {
+				instances++
+			}
+		}
+		if instances != c.wantInstances {
+			t.Errorf("L=%d II=%d: %d instances, want %d (replicated every II cycles)",
+				c.latency, c.ii, instances, c.wantInstances)
+		}
+		fu := g.NodeByName("c0.mul")
+		if fu == nil {
+			t.Fatalf("L=%d II=%d: c0.mul missing", c.latency, c.ii)
+		}
+		out := g.Nodes[fu.OutNode]
+		if out.Context != c.outCtx {
+			t.Errorf("L=%d II=%d: output context %d, want %d (output delayed by latency)",
+				c.latency, c.ii, out.Context, c.outCtx)
+		}
+	}
+}
+
+// TestFigure2IIMustDivideContexts: the modulo wheel only closes when the
+// firing pattern repeats within it, so an FU's II must divide the context
+// count.
+func TestFigure2IIMustDivideContexts(t *testing.T) {
+	if _, err := Generate(fuArch(t, 3, 0, 2)); err == nil {
+		t.Error("II=2 with 3 contexts accepted; firing pattern cannot repeat")
+	}
+	if _, err := Generate(fuArch(t, 4, 0, 2)); err != nil {
+		t.Errorf("II=2 with 4 contexts rejected: %v", err)
+	}
+}
+
+// TestFigure3FunctionalBlock expands the paper's Fig. 3 functional block
+// (FU latency 0, register, input muxes, output mux) for one context and
+// checks its MRRG shape.
+func TestFigure3FunctionalBlock(t *testing.T) {
+	spec := arch.GridSpec{Rows: 2, Cols: 2, Interconnect: arch.Orthogonal, Homogeneous: true, Contexts: 1}
+	a, err := arch.Grid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alu := g.NodeByName("c0.pe_0_0.alu")
+	if alu == nil || alu.Kind != FuncUnit {
+		t.Fatal("alu FuncUnit node missing")
+	}
+	if len(alu.PortNodes) != 2 {
+		t.Fatalf("alu ports = %d, want 2", len(alu.PortNodes))
+	}
+	// Latency 0: output node in the same context.
+	if g.Nodes[alu.OutNode].Context != 0 {
+		t.Error("latency-0 ALU output must stay in the same context")
+	}
+	// Operand port is fed by the corresponding operand mux.
+	port0 := g.Nodes[alu.PortNodes[0]]
+	muxA := g.NodeByName("c0.pe_0_0.mux_a")
+	if len(port0.Fanins) != 1 || port0.Fanins[0] != muxA.ID {
+		t.Error("alu port 0 should be driven by mux_a")
+	}
+	// The register is written through its write mux, which selects the
+	// ALU result or any block input (router mode).
+	regIn := g.NodeByName("c0.pe_0_0.reg.in")
+	muxR := g.NodeByName("c0.pe_0_0.mux_r")
+	if len(regIn.Fanins) != 1 || regIn.Fanins[0] != muxR.ID {
+		t.Error("register should be driven by its write mux")
+	}
+	if len(muxR.Fanins) < 3 {
+		t.Errorf("write mux fanins = %d, want ALU plus block inputs", len(muxR.Fanins))
+	}
+}
+
+func TestGridMRRGValidatesAndScales(t *testing.T) {
+	for _, spec := range arch.PaperArchitectures() {
+		a, err := arch.Grid(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Generate(a)
+		if err != nil {
+			t.Errorf("%s: %v", spec.Name(), err)
+			continue
+		}
+		st := g.Stats()
+		// 36 FUs per context replica.
+		if st.FuncUnits != 36*spec.Contexts {
+			t.Errorf("%s: FuncUnits = %d, want %d", spec.Name(), st.FuncUnits, 36*spec.Contexts)
+		}
+		if spec.Contexts == 2 && st.CrossContextEdges == 0 {
+			t.Errorf("%s: no cross-context edges despite 2 contexts", spec.Name())
+		}
+		if spec.Contexts == 1 && st.CrossContextEdges != 0 {
+			t.Errorf("%s: cross-context edges in single context", spec.Name())
+		}
+	}
+}
+
+func TestContextReplicasIdentical(t *testing.T) {
+	a, err := arch.Grid(arch.GridSpec{Rows: 3, Cols: 3, Interconnect: arch.Diagonal, Homogeneous: false, Contexts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCtx := make([]int, g.Contexts)
+	for _, n := range g.Nodes {
+		perCtx[n.Context]++
+	}
+	if perCtx[0] != perCtx[1] {
+		t.Errorf("replica sizes differ: %v (all primitives here are II=1)", perCtx)
+	}
+}
+
+func TestCompatibleSink(t *testing.T) {
+	g, err := Generate(muxRegArch(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfgG := dfg.New("k")
+	x := dfgG.In("x")
+	y := dfgG.In("y")
+	add := dfgG.Add("s", x, y)
+	subOp, _ := dfgG.AddOp("d", dfg.Sub, x, y)
+	dfgG.Out("o", add)
+
+	port0 := g.Nodes[g.NodeByName("c0.dst").PortNodes[0]]
+	port1 := g.Nodes[g.NodeByName("c0.dst").PortNodes[1]]
+	addOp := dfgG.OpByName("s")
+	// Commutative: both ports accept either operand.
+	if !g.CompatibleSink(port0, addOp, 1) || !g.CompatibleSink(port1, addOp, 0) {
+		t.Error("commutative add should terminate on either port")
+	}
+	// Non-commutative: operand index must match the port.
+	if g.CompatibleSink(port0, subOp, 1) || !g.CompatibleSink(port0, subOp, 0) {
+		t.Error("sub operand 1 must not terminate on port 0")
+	}
+	// Unsupported op kind.
+	mulOp, _ := dfgG.AddOp("m", dfg.Mul, x, y)
+	if g.CompatibleSink(port0, mulOp, 0) {
+		t.Error("dst does not support mul")
+	}
+	// Non-port nodes are never sinks.
+	if g.CompatibleSink(g.NodeByName("c0.mux"), addOp, 0) {
+		t.Error("mux node accepted as sink")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g, err := Generate(muxRegArch(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"cluster_ctx0", "cluster_ctx1", "style=dashed", "shape=box"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *Graph {
+		g, err := Generate(muxRegArch(t, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g := fresh()
+	g.Nodes[3].ID = 99
+	if err := g.Validate(); err == nil {
+		t.Error("ID corruption undetected")
+	}
+	g = fresh()
+	// Break reciprocity.
+	for _, n := range g.Nodes {
+		if len(n.Fanouts) > 0 {
+			n.Fanouts[0] = (n.Fanouts[0] + 1) % len(g.Nodes)
+			break
+		}
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("reciprocity corruption undetected")
+	}
+	g = fresh()
+	// An ungated cycle: two fresh single-fanin routing nodes feeding
+	// each other (no multi-fanin node on the cycle).
+	a := &Node{ID: len(g.Nodes), Kind: RouteRes, Name: "loop.a", OperandPort: -1, FUNode: -1, OutNode: -1}
+	g.Nodes = append(g.Nodes, a)
+	g.byName[a.Name] = a.ID
+	b := &Node{ID: len(g.Nodes), Kind: RouteRes, Name: "loop.b", OperandPort: -1, FUNode: -1, OutNode: -1}
+	g.Nodes = append(g.Nodes, b)
+	g.byName[b.Name] = b.ID
+	a.Fanouts = []int{b.ID}
+	a.Fanins = []int{b.ID}
+	b.Fanouts = []int{a.ID}
+	b.Fanins = []int{a.ID}
+	if err := g.Validate(); err == nil {
+		t.Error("ungated cycle undetected")
+	}
+}

@@ -1,0 +1,271 @@
+// Package sched provides classical modulo-scheduling analyses over DFG /
+// architecture pairs: ASAP/ALAP levels and mobility, the
+// resource-constrained minimum initiation interval (ResMII) and the
+// recurrence-constrained minimum II (RecMII).
+//
+// The MRRG frames modulo scheduling inside the mapping problem (paper
+// §3.2-3.3): an architecture operated with N contexts realises II = N, so
+// MII = max(ResMII, RecMII) is a sound lower bound on the context count
+// any feasible mapping needs. The ILP mapper uses it as an additional
+// counting presolve, and architects can use it to pick the context count
+// to evaluate (the paper's single- vs dual-context axis).
+package sched
+
+import (
+	"fmt"
+
+	"cgramap/internal/dfg"
+	"cgramap/internal/mrrg"
+)
+
+// Levels holds ASAP/ALAP schedules of an acyclic DFG in unit-latency
+// levels.
+type Levels struct {
+	// ASAP[opID] is the earliest level of the operation (sources at 0).
+	ASAP []int
+	// ALAP[opID] is the latest level not extending the critical path.
+	ALAP []int
+	// Depth is the critical path length in levels.
+	Depth int
+}
+
+// Mobility returns ALAP-ASAP slack of an operation: 0 means
+// critical-path.
+func (l *Levels) Mobility(opID int) int { return l.ALAP[opID] - l.ASAP[opID] }
+
+// ComputeLevels derives ASAP/ALAP levels. It fails on cyclic graphs
+// (loop-carried back-edges have no acyclic levelisation; see RecMII).
+func ComputeLevels(g *dfg.Graph) (*Levels, error) {
+	if !g.Acyclic() {
+		return nil, fmt.Errorf("sched: %s has back-edges; levels undefined", g.Name)
+	}
+	n := g.NumOps()
+	l := &Levels{ASAP: make([]int, n), ALAP: make([]int, n)}
+
+	// ASAP: longest path from sources, memoised DFS.
+	memo := make([]int, n)
+	for i := range memo {
+		memo[i] = -1
+	}
+	var asap func(op *dfg.Op) int
+	asap = func(op *dfg.Op) int {
+		if memo[op.ID] >= 0 {
+			return memo[op.ID]
+		}
+		level := 0
+		for _, v := range op.In {
+			if d := asap(v.Def) + 1; d > level {
+				level = d
+			}
+		}
+		memo[op.ID] = level
+		return level
+	}
+	for _, op := range g.Ops() {
+		l.ASAP[op.ID] = asap(op)
+		if l.ASAP[op.ID] > l.Depth {
+			l.Depth = l.ASAP[op.ID]
+		}
+	}
+
+	// ALAP: longest path to sinks, subtracted from the depth.
+	down := make([]int, n)
+	for i := range down {
+		down[i] = -1
+	}
+	var tail func(op *dfg.Op) int
+	tail = func(op *dfg.Op) int {
+		if down[op.ID] >= 0 {
+			return down[op.ID]
+		}
+		level := 0
+		if op.Out != nil {
+			for _, u := range op.Out.Uses {
+				if d := tail(u.Op) + 1; d > level {
+					level = d
+				}
+			}
+		}
+		down[op.ID] = level
+		return level
+	}
+	for _, op := range g.Ops() {
+		l.ALAP[op.ID] = l.Depth - tail(op)
+	}
+	return l, nil
+}
+
+// ResMII computes the resource-constrained minimum initiation interval
+// using Hall-type counting bounds: for a set K of operation kinds, the
+// ops needing K fit only on functional units supporting some kind of K,
+// so II >= ceil(ops(K) / slots(K)). The bound is evaluated for every
+// union of the architecture's FU-class kind sets (functional units
+// grouped by identical supported-operation sets), which covers both the
+// per-kind bounds and aggregates like "19 ALU operations on 16 ALUs".
+// The architecture is inspected through its single-context MRRG so that
+// FU initiation intervals are respected.
+func ResMII(g *dfg.Graph, mg *mrrg.Graph) (int, error) {
+	if mg.Contexts != 1 {
+		return 0, fmt.Errorf("sched: ResMII wants a single-context MRRG (got %d contexts)", mg.Contexts)
+	}
+	// Group FUs into classes by supported-kind signature. Slot counts
+	// are in 1/II units scaled by lcmBase.
+	type class struct {
+		kinds map[dfg.Kind]bool
+		slots int
+	}
+	classes := make(map[string]*class)
+	for _, id := range mg.FuncUnits() {
+		node := mg.Nodes[id]
+		sig := ""
+		for _, k := range dfg.Kinds() {
+			if node.SupportsOp(k) {
+				sig += k.String() + ","
+			}
+		}
+		c := classes[sig]
+		if c == nil {
+			c = &class{kinds: make(map[dfg.Kind]bool)}
+			for _, k := range node.Ops {
+				c.kinds[k] = true
+			}
+			classes[sig] = c
+		}
+		c.slots += lcmBase / mg.Arch.Prims[node.Prim].II
+	}
+	classList := make([]*class, 0, len(classes))
+	for _, c := range classes {
+		classList = append(classList, c)
+	}
+	if len(classList) > 16 {
+		return 0, fmt.Errorf("sched: %d FU classes exceed the enumeration bound", len(classList))
+	}
+
+	counts := make(map[dfg.Kind]int)
+	for _, op := range g.Ops() {
+		counts[op.Kind]++
+	}
+	// Every used kind must be supported somewhere.
+	for k := range counts {
+		supported := false
+		for _, c := range classList {
+			if c.kinds[k] {
+				supported = true
+				break
+			}
+		}
+		if !supported {
+			return 0, fmt.Errorf("sched: no functional unit supports %s", k)
+		}
+	}
+
+	mii := 1
+	// Per-kind singleton bounds (e.g. 15 multiplies on 8 multiplier
+	// slots), which unions of whole class kind-sets cannot express.
+	for k, n := range counts {
+		slots := 0
+		for _, c := range classList {
+			if c.kinds[k] {
+				slots += c.slots
+			}
+		}
+		if ii := (n*lcmBase + slots - 1) / slots; ii > mii {
+			mii = ii
+		}
+	}
+	for mask := 1; mask < 1<<len(classList); mask++ {
+		kindSet := make(map[dfg.Kind]bool)
+		for i, c := range classList {
+			if mask&(1<<i) != 0 {
+				for k := range c.kinds {
+					kindSet[k] = true
+				}
+			}
+		}
+		ops := 0
+		for k, n := range counts {
+			if kindSet[k] {
+				ops += n
+			}
+		}
+		if ops == 0 {
+			continue
+		}
+		slots := 0
+		for _, c := range classList {
+			for k := range c.kinds {
+				if kindSet[k] {
+					slots += c.slots
+					break
+				}
+			}
+		}
+		ii := (ops*lcmBase + slots - 1) / slots
+		if ii > mii {
+			mii = ii
+		}
+	}
+	return mii, nil
+}
+
+// lcmBase scales fractional slot counts (1/II) to integers; supports FU
+// IIs up to 12 exactly.
+const lcmBase = 27720
+
+// RecMII computes the recurrence-constrained minimum II: the maximum over
+// dependence cycles of ceil(latency/distance). With the unit-distance
+// back-edge model used here (a back-edge carries the value one iteration
+// forward), this is the length of the longest elementary dependence
+// cycle. Returns 1 for acyclic graphs. Cycle enumeration is exponential
+// in general; kernels here have few back-edges, and the search is bounded
+// by maxCycleLen.
+func RecMII(g *dfg.Graph) int {
+	const maxCycleLen = 64
+	best := 1
+	n := g.NumOps()
+	onPath := make([]bool, n)
+	var dfs func(start, cur *dfg.Op, depth int)
+	dfs = func(start, cur *dfg.Op, depth int) {
+		if depth > maxCycleLen {
+			return
+		}
+		if cur.Out == nil {
+			return
+		}
+		for _, u := range cur.Out.Uses {
+			next := u.Op
+			if next == start {
+				if depth > best {
+					best = depth
+				}
+				continue
+			}
+			// Only explore from the smallest-ID op of a cycle to
+			// avoid counting rotations.
+			if next.ID < start.ID || onPath[next.ID] {
+				continue
+			}
+			onPath[next.ID] = true
+			dfs(start, next, depth+1)
+			onPath[next.ID] = false
+		}
+	}
+	for _, op := range g.Ops() {
+		dfs(op, op, 1)
+	}
+	return best
+}
+
+// MII returns max(ResMII, RecMII): the smallest context count that could
+// possibly map the graph onto the architecture.
+func MII(g *dfg.Graph, singleCtx *mrrg.Graph) (int, error) {
+	res, err := ResMII(g, singleCtx)
+	if err != nil {
+		return 0, err
+	}
+	rec := RecMII(g)
+	if rec > res {
+		return rec, nil
+	}
+	return res, nil
+}

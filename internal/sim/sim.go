@@ -1,0 +1,303 @@
+// Package sim is a cycle-accurate functional simulator for configured
+// CGRAs: it executes a fabric configuration (internal/config) on the
+// architecture model, cycling through the execution contexts, and
+// observes the values consumed by output operations and written by
+// stores.
+//
+// Its purpose is end-to-end validation of the mapping flow: for an
+// acyclic kernel, simulating the mapped configuration with constant
+// inputs must converge to exactly the values direct DFG evaluation
+// produces (see Validate) — demonstrating that a feasible ILP mapping is
+// not merely structurally legal but computes the kernel.
+//
+// Memory model: loads read a fixed pre-iteration memory image; stores are
+// collected separately (single-iteration semantics, matching
+// dfg.Graph.Eval).
+package sim
+
+import (
+	"fmt"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/config"
+	"cgramap/internal/dfg"
+)
+
+// value is a simulated bus value; valid distinguishes driven wires from
+// unconfigured or not-yet-settled ones.
+type value struct {
+	v     uint32
+	valid bool
+}
+
+// Machine simulates one configured fabric.
+type Machine struct {
+	cfg    *config.Config
+	inputs map[string]uint32
+	mem    map[uint32]uint32
+
+	// drivers[prim][port] is the primitive driving that input port.
+	drivers [][]int
+
+	// regs holds each register's latched value.
+	regs []value
+	// fuPipe holds per-FU result pipelines for latency > 0 units,
+	// indexed by cycle modulo (latency+1).
+	fuPipe [][]value
+
+	// outputs and stores collect observations (latest value wins,
+	// i.e. the converged steady state).
+	outputs map[string]uint32
+	stores  map[uint32]uint32
+
+	cycle int
+
+	// per-cycle evaluation memo: state 0 untouched, 1 in progress,
+	// 2 done.
+	evalState []int8
+	evalVal   []value
+}
+
+// New prepares a machine for the configuration with the given input
+// values (keyed by input-operation name) and load memory.
+func New(cfg *config.Config, inputs map[string]uint32, mem map[uint32]uint32) (*Machine, error) {
+	m := &Machine{
+		cfg:     cfg,
+		inputs:  inputs,
+		mem:     mem,
+		outputs: make(map[string]uint32),
+		stores:  make(map[uint32]uint32),
+	}
+	prims := cfg.Arch.Prims
+	m.drivers = make([][]int, len(prims))
+	for i, p := range prims {
+		m.drivers[i] = make([]int, p.NIn)
+		for j := range m.drivers[i] {
+			m.drivers[i][j] = -1
+		}
+	}
+	for _, c := range cfg.Arch.Conns {
+		m.drivers[c.Dst][c.DstPort] = c.Src
+	}
+	m.regs = make([]value, len(prims))
+	m.fuPipe = make([][]value, len(prims))
+	for i, p := range prims {
+		if p.Kind == arch.FU && p.Latency > 0 {
+			m.fuPipe[i] = make([]value, p.Latency+1)
+		}
+	}
+	m.evalState = make([]int8, len(prims))
+	m.evalVal = make([]value, len(prims))
+	return m, nil
+}
+
+// context returns the execution context of the current cycle.
+func (m *Machine) context() int { return m.cycle % m.cfg.Contexts }
+
+// Step simulates one cycle: combinational evaluation of every primitive
+// output, observation of outputs and stores, then register latching.
+func (m *Machine) Step() error {
+	for i := range m.evalState {
+		m.evalState[i] = 0
+	}
+	// Evaluate every primitive output once (memoised); detect
+	// combinational loops, which a legal configuration cannot form.
+	for i := range m.cfg.Arch.Prims {
+		if _, err := m.eval(i); err != nil {
+			return err
+		}
+	}
+	// Observe sinks and collect register updates with this cycle's
+	// values; latching happens after every evaluation so all reads see
+	// the pre-cycle register state.
+	ctx := m.context()
+	type latch struct {
+		reg int
+		v   value
+	}
+	var latches []latch
+	for i, p := range m.cfg.Arch.Prims {
+		switch p.Kind {
+		case arch.FU:
+			setting, ok := m.cfg.FU[config.Key{Prim: i, Context: ctx}]
+			if !ok || !m.isFiring(i, ctx) {
+				continue
+			}
+			switch setting.Op.Kind {
+			case dfg.Output:
+				if in, err := m.port(i, 0); err != nil {
+					return err
+				} else if in.valid {
+					m.outputs[setting.Op.Name] = in.v
+				}
+			case dfg.Store:
+				addr, err := m.port(i, 0)
+				if err != nil {
+					return err
+				}
+				data, err := m.port(i, 1)
+				if err != nil {
+					return err
+				}
+				if addr.valid && data.valid {
+					m.stores[addr.v] = data.v
+				}
+			}
+		case arch.Reg:
+			in, err := m.input(i, 0)
+			if err != nil {
+				return err
+			}
+			latches = append(latches, latch{i, in})
+		}
+	}
+	for _, l := range latches {
+		m.regs[l.reg] = l.v
+	}
+	m.cycle++
+	return nil
+}
+
+// isFiring reports whether FU i accepts operands in context ctx.
+func (m *Machine) isFiring(i, ctx int) bool {
+	return ctx%m.cfg.Arch.Prims[i].II == 0
+}
+
+// input evaluates the driver of input port `port` of primitive i.
+func (m *Machine) input(i, port int) (value, error) {
+	d := m.drivers[i][port]
+	if d < 0 {
+		return value{}, fmt.Errorf("sim: %s port %d undriven", m.cfg.Arch.Prims[i].Name, port)
+	}
+	return m.eval(d)
+}
+
+// port is input() with operand-swap handling for FUs.
+func (m *Machine) port(i, operand int) (value, error) {
+	setting := m.cfg.FU[config.Key{Prim: i, Context: m.context()}]
+	p := operand
+	if setting.Swapped && operand < 2 {
+		p = 1 - operand
+	}
+	return m.input(i, p)
+}
+
+// eval computes the output value of primitive i in the current cycle.
+func (m *Machine) eval(i int) (value, error) {
+	switch m.evalState[i] {
+	case 2:
+		return m.evalVal[i], nil
+	case 1:
+		return value{}, fmt.Errorf("sim: combinational loop through %s", m.cfg.Arch.Prims[i].Name)
+	}
+	m.evalState[i] = 1
+	v, err := m.evalUncached(i)
+	if err != nil {
+		return value{}, err
+	}
+	m.evalState[i] = 2
+	m.evalVal[i] = v
+	return v, nil
+}
+
+func (m *Machine) evalUncached(i int) (value, error) {
+	p := m.cfg.Arch.Prims[i]
+	ctx := m.context()
+	switch p.Kind {
+	case arch.Wire:
+		return m.input(i, 0)
+	case arch.Reg:
+		return m.regs[i], nil
+	case arch.Mux:
+		sel, ok := m.cfg.MuxSel[config.Key{Prim: i, Context: ctx}]
+		if !ok {
+			return value{}, nil // unused this context
+		}
+		return m.input(i, sel)
+	case arch.FU:
+		return m.evalFU(i, p, ctx)
+	default:
+		return value{}, fmt.Errorf("sim: unknown primitive kind %v", p.Kind)
+	}
+}
+
+func (m *Machine) evalFU(i int, p *arch.Prim, ctx int) (value, error) {
+	// For latency-L units the externally visible value is the one
+	// computed L cycles ago.
+	computeNow := func() (value, error) {
+		setting, ok := m.cfg.FU[config.Key{Prim: i, Context: ctx}]
+		if !ok || !m.isFiring(i, ctx) {
+			return value{}, nil
+		}
+		op := setting.Op
+		switch op.Kind {
+		case dfg.Input:
+			x, ok := m.inputs[op.Name]
+			if !ok {
+				return value{}, fmt.Errorf("sim: no input value for %q", op.Name)
+			}
+			return value{x, true}, nil
+		case dfg.Output, dfg.Store:
+			return value{}, nil // pure sinks drive nothing
+		case dfg.Const:
+			return value{0, true}, nil
+		case dfg.Load:
+			addr, err := m.port(i, 0)
+			if err != nil || !addr.valid {
+				return value{}, err
+			}
+			return value{m.mem[addr.v], true}, nil
+		default:
+			a, err := m.port(i, 0)
+			if err != nil {
+				return value{}, err
+			}
+			var bv value
+			if op.Kind.NumOperands() == 2 {
+				bv, err = m.port(i, 1)
+				if err != nil {
+					return value{}, err
+				}
+			} else {
+				bv = value{0, true}
+			}
+			if !a.valid || !bv.valid {
+				return value{}, nil
+			}
+			x, err := dfg.EvalOp(op.Kind, a.v, bv.v)
+			if err != nil {
+				return value{}, fmt.Errorf("sim: %s: %w", op.Name, err)
+			}
+			return value{x, true}, nil
+		}
+	}
+	if p.Latency == 0 {
+		return computeNow()
+	}
+	// Pipelined unit: compute and push into the pipe, emit the delayed
+	// value.
+	pipe := m.fuPipe[i]
+	out := pipe[(m.cycle+1)%len(pipe)] // value from L cycles ago
+	now, err := computeNow()
+	if err != nil {
+		return value{}, err
+	}
+	pipe[m.cycle%len(pipe)] = now
+	return out, nil
+}
+
+// Run simulates the given number of complete context wheels.
+func (m *Machine) Run(wheels int) error {
+	for w := 0; w < wheels*m.cfg.Contexts; w++ {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Outputs returns the last value consumed by each output operation.
+func (m *Machine) Outputs() map[string]uint32 { return m.outputs }
+
+// Stores returns the last value stored to each address.
+func (m *Machine) Stores() map[uint32]uint32 { return m.stores }

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/config"
+	"cgramap/internal/dfg"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+)
+
+func mapOnGrid(t *testing.T, g *dfg.Graph, spec arch.GridSpec) *mapper.Mapping {
+	t.Helper()
+	a, err := arch.Grid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := mapper.Map(ctx, g, mg, mapper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() {
+		t.Fatalf("%s unmappable: %v (%s)", g.Name, res.Status, res.Reason)
+	}
+	return res.Mapping
+}
+
+var flexGrid = arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 2}
+
+// TestSimulateDot2: mapped configuration computes a*b + c*d.
+func TestSimulateDot2(t *testing.T) {
+	g := dfg.New("dot2")
+	a := g.In("a")
+	b := g.In("b")
+	c := g.In("c")
+	d := g.In("d")
+	g.Out("r", g.Add("s", g.Mul("ab", a, b), g.Mul("cd", c, d)))
+	m := mapOnGrid(t, g, flexGrid)
+	inputs := map[string]uint32{"a": 3, "b": 5, "c": 7, "d": 11}
+	cfg, err := config.Extract(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, err := New(cfg, inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := machine.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if got := machine.Outputs()["r"]; got != 3*5+7*11 {
+		t.Errorf("r = %d, want %d", got, 3*5+7*11)
+	}
+}
+
+// TestValidateBenchmarks: mapped benchmark kernels compute what their
+// DFGs compute — the full flow (ILP map -> config -> simulate) is
+// functionally correct, including the memory-using mac kernel.
+func TestValidateBenchmarks(t *testing.T) {
+	for _, name := range []string{"accum", "2x2-f", "2x2-p", "exp_4", "mac"} {
+		g := bench.MustGet(name)
+		m := mapOnGrid(t, g, flexGrid)
+		inputs := DefaultInputs(g, 7)
+		mem := map[uint32]uint32{}
+		for a := uint32(0); a < 64; a++ {
+			mem[a] = a*a + 1
+		}
+		if err := Validate(m, inputs, mem); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestValidateSingleContext: same flow on a single-context architecture
+// (combinational chains plus same-cycle register wrap).
+func TestValidateSingleContext(t *testing.T) {
+	g := bench.MustGet("2x2-p")
+	m := mapOnGrid(t, g, arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 1})
+	if err := Validate(m, DefaultInputs(g, 100), nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimulatePipelinedFU: a latency-1 multiplier delivers its result one
+// cycle late; the simulator must model the pipeline.
+func TestSimulatePipelinedFU(t *testing.T) {
+	b := arch.NewBuilder("pipe", 2)
+	src := b.FU("src", []dfg.Kind{dfg.Input}, 0, 0, 1)
+	mul := b.FU("mul", []dfg.Kind{dfg.Mul}, 2, 1, 1)
+	sink := b.FU("sink", []dfg.Kind{dfg.Output}, 1, 0, 1)
+	b.Connect(src, mul, 0)
+	b.Connect(src, mul, 1)
+	b.Connect(mul, sink, 0)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dfg.New("sq")
+	x := g.In("x")
+	g.Out("o", g.Mul("m", x, x))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := mapper.Map(ctx, g, mg, mapper.Options{})
+	if err != nil || !res.Feasible() {
+		t.Fatalf("map: %v %v", err, res.Status)
+	}
+	if err := Validate(res.Mapping, map[string]uint32{"x": 9}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySimulationMatchesEval: random kernels mapped on the grid
+// compute exactly what direct evaluation computes, over random input
+// vectors.
+func TestPropertySimulationMatchesEval(t *testing.T) {
+	a, err := arch.Grid(flexGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.New("rk")
+		nIn := 1 + rng.Intn(3)
+		vals := make([]*dfg.Value, 0, 8)
+		for i := 0; i < nIn; i++ {
+			vals = append(vals, g.In(fmt.Sprintf("in%d", i)))
+		}
+		kinds := []dfg.Kind{dfg.Add, dfg.Sub, dfg.Mul, dfg.Xor, dfg.And, dfg.Or, dfg.Shl}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			k := kinds[rng.Intn(len(kinds))]
+			op, err := g.AddOp(fmt.Sprintf("op%d", i), k,
+				vals[rng.Intn(len(vals))], vals[rng.Intn(len(vals))])
+			if err != nil {
+				panic(err)
+			}
+			vals = append(vals, op.Out)
+		}
+		g.Out("out", vals[len(vals)-1])
+
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		res, err := mapper.Map(ctx, g, mg, mapper.Options{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !res.Feasible() {
+			return true
+		}
+		inputs := make(map[string]uint32)
+		for i := 0; i < nIn; i++ {
+			inputs[fmt.Sprintf("in%d", i)] = rng.Uint32()
+		}
+		if err := Validate(res.Mapping, inputs, nil); err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, g.FormatString())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimulatorRejectsBrokenConfig: removing a mux selection breaks the
+// route; validation must fail, not silently pass.
+func TestSimulatorRejectsBrokenConfig(t *testing.T) {
+	g := bench.MustGet("2x2-f")
+	m := mapOnGrid(t, g, flexGrid)
+	cfg, err := config.Extract(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one mux selection.
+	for k := range cfg.MuxSel {
+		delete(cfg.MuxSel, k)
+		break
+	}
+	machine, err := New(cfg, DefaultInputs(g, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := machine.Run(30); err != nil {
+		return // a detected loop/undriven error is also acceptable
+	}
+	want, err := g.Eval(DefaultInputs(g, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for name, w := range want.Outputs {
+		if machine.Outputs()[name] != w {
+			same = false
+		}
+	}
+	if same && len(want.Outputs) > 0 {
+		t.Error("broken configuration still produced correct outputs")
+	}
+}
+
+// TestValidateExtraKernels: the extended kernels (FIR, complex multiply,
+// matrix-vector, Horner, strided memory) map and simulate correctly.
+func TestValidateExtraKernels(t *testing.T) {
+	for _, name := range []string{"fir4", "complexmul", "matvec2", "horner4", "memstride"} {
+		g, err := bench.GetExtra(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mapOnGrid(t, g, flexGrid)
+		mem := map[uint32]uint32{}
+		for a := uint32(0); a < 64; a++ {
+			mem[a] = 3 * a
+		}
+		if err := Validate(m, DefaultInputs(g, 11), mem); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestIIRRecurrenceMaps: the loop-carried iir1 kernel maps with two
+// contexts (RecMII = 2) and its back-edge routes through registers.
+func TestIIRRecurrenceMaps(t *testing.T) {
+	g, err := bench.GetExtra("iir1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mapOnGrid(t, g, flexGrid)
+	if err := m.Verify(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+
+	"cgramap/internal/config"
+	"cgramap/internal/dfg"
+	"cgramap/internal/mapper"
+)
+
+// Validate checks a mapping end to end: it extracts the fabric
+// configuration, simulates it with the given inputs and load memory
+// until the (acyclic) dataflow has settled, and compares every observed
+// output and store against direct DFG evaluation.
+func Validate(m *mapper.Mapping, inputs map[string]uint32, mem map[uint32]uint32) error {
+	want, err := m.DFG.Eval(inputs, mem)
+	if err != nil {
+		return fmt.Errorf("sim: reference evaluation: %w", err)
+	}
+	cfg, err := config.Extract(m)
+	if err != nil {
+		return err
+	}
+	machine, err := New(cfg, inputs, mem)
+	if err != nil {
+		return err
+	}
+	// With constant inputs the configured network settles after at most
+	// one cycle per operation and routing register; a generous bound is
+	// cheap.
+	wheels := m.DFG.NumOps() + len(m.MRRG.Nodes)/max(1, m.MRRG.Contexts)/8 + 8
+	if err := machine.Run(wheels); err != nil {
+		return err
+	}
+	got := machine.Outputs()
+	for name, w := range want.Outputs {
+		g, ok := got[name]
+		if !ok {
+			return fmt.Errorf("sim: output %q never settled", name)
+		}
+		if g != w {
+			return fmt.Errorf("sim: output %q = %d, want %d", name, g, w)
+		}
+	}
+	gotStores := machine.Stores()
+	for addr, w := range want.Stores {
+		g, ok := gotStores[addr]
+		if !ok {
+			return fmt.Errorf("sim: store to %d never happened", addr)
+		}
+		if g != w {
+			return fmt.Errorf("sim: store [%d] = %d, want %d", addr, g, w)
+		}
+	}
+	return nil
+}
+
+// DefaultInputs builds a deterministic input vector for a DFG: each input
+// operation receives a distinct small value derived from its position.
+func DefaultInputs(g *dfg.Graph, seed uint32) map[string]uint32 {
+	inputs := make(map[string]uint32)
+	i := uint32(0)
+	for _, op := range g.Ops() {
+		if op.Kind == dfg.Input {
+			inputs[op.Name] = seed + 3*i + 1
+			i++
+		}
+	}
+	return inputs
+}

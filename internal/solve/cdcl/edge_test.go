@@ -1,0 +1,153 @@
+package cdcl
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"cgramap/internal/ilp"
+)
+
+// TestCardinalityPropagation: an at-most-k over many literals must
+// falsify the remainder the moment k are true.
+func TestCardinalityPropagation(t *testing.T) {
+	m := ilp.NewModel("amk")
+	const n = 30
+	vars := make([]ilp.Var, n)
+	for i := range vars {
+		vars[i] = m.Binary(fmt.Sprintf("x%d", i))
+	}
+	m.AddLE("amk", ilp.Sum(vars...), 3)
+	// Force three specific ones true.
+	for i := 0; i < 3; i++ {
+		m.AddGE("force", ilp.Sum(vars[i]), 1)
+	}
+	// Objective rewards more true vars; optimum must still be 3 picks,
+	// i.e. objective -3.
+	for _, v := range vars {
+		m.Objective = append(m.Objective, ilp.Term{Var: v, Coef: -1})
+	}
+	sol := solve(t, m)
+	if sol.Status != ilp.Optimal || sol.Objective != -3 {
+		t.Fatalf("status=%v obj=%d, want optimal -3", sol.Status, sol.Objective)
+	}
+	for i := 3; i < n; i++ {
+		if sol.Assignment[vars[i]] {
+			t.Fatalf("x%d true beyond the cardinality bound", i)
+		}
+	}
+}
+
+// TestEqualityCardinality: exactly-k decomposes into two bounds that must
+// propagate in both directions.
+func TestEqualityCardinality(t *testing.T) {
+	m := ilp.NewModel("eqk")
+	const n = 12
+	vars := make([]ilp.Var, n)
+	for i := range vars {
+		vars[i] = m.Binary(fmt.Sprintf("x%d", i))
+	}
+	m.AddEQ("eqk", ilp.Sum(vars...), 5)
+	// Forbid the first eight except one.
+	for i := 0; i < 7; i++ {
+		m.AddLE("off", ilp.Sum(vars[i]), 0)
+	}
+	sol := solve(t, m)
+	if sol.Status != ilp.Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	count := 0
+	for _, v := range vars {
+		if sol.Assignment[v] {
+			count++
+		}
+	}
+	if count != 5 {
+		t.Errorf("true count = %d, want 5", count)
+	}
+}
+
+// TestGEAllNegated: sum(-x_i) >= -k normalises to at-most-k over the
+// positives.
+func TestGEAllNegated(t *testing.T) {
+	m := ilp.NewModel("neg")
+	a := m.Binary("a")
+	b := m.Binary("b")
+	c := m.Binary("c")
+	m.AddGE("f", []ilp.Term{{Var: a, Coef: -1}, {Var: b, Coef: -1}, {Var: c, Coef: -1}}, -1)
+	m.Objective = []ilp.Term{{Var: a, Coef: -1}, {Var: b, Coef: -1}, {Var: c, Coef: -1}}
+	sol := solve(t, m)
+	if sol.Status != ilp.Optimal || sol.Objective != -1 {
+		t.Errorf("status=%v obj=%d, want optimal -1 (at most one can be true)", sol.Status, sol.Objective)
+	}
+}
+
+// TestIncrementalObjectiveBoundSoundness: the optimisation loop's
+// strengthening must never return a worse-than-optimal incumbent even
+// with adversarial phase hints.
+func TestIncrementalObjectiveBoundSoundness(t *testing.T) {
+	m := ilp.NewModel("hinted")
+	vars := make([]ilp.Var, 10)
+	for i := range vars {
+		vars[i] = m.Binary(fmt.Sprintf("x%d", i))
+		m.SetPhaseHint(vars[i], true) // start from the worst corner
+		m.SetBranchPriority(vars[i], 1)
+	}
+	// Chain: x0 >= x1 >= ... (monotone), x0 forced.
+	m.AddGE("seed", ilp.Sum(vars[0]), 1)
+	for i := 0; i+1 < len(vars); i++ {
+		m.AddGE("mono", []ilp.Term{{Var: vars[i], Coef: 1}, {Var: vars[i+1], Coef: -1}}, 0)
+	}
+	m.Objective = ilp.Sum(vars...)
+	sol := solve(t, m)
+	if sol.Status != ilp.Optimal || sol.Objective != 1 {
+		t.Errorf("status=%v obj=%d, want optimal 1 (only x0)", sol.Status, sol.Objective)
+	}
+}
+
+// TestTautologyAndDuplicates: constraints that cancel or duplicate must
+// not confuse the encoder.
+func TestTautologyAndDuplicates(t *testing.T) {
+	m := ilp.NewModel("taut")
+	x := m.Binary("x")
+	y := m.Binary("y")
+	// 0 <= 1 after cancellation.
+	m.AddLE("cancel", []ilp.Term{{Var: x, Coef: 1}, {Var: x, Coef: -1}}, 1)
+	// Duplicate constraint added twice.
+	m.AddGE("dup", ilp.Sum(x, y), 1)
+	m.AddGE("dup", ilp.Sum(x, y), 1)
+	sol := solve(t, m)
+	if sol.Status != ilp.Optimal {
+		t.Errorf("status = %v", sol.Status)
+	}
+}
+
+// TestLargeChainPerformance: deep implication chains must solve by pure
+// propagation (near-zero decisions).
+func TestLargeChainPerformance(t *testing.T) {
+	m := ilp.NewModel("chain")
+	const n = 3000
+	vars := make([]ilp.Var, n)
+	for i := range vars {
+		vars[i] = m.Binary(fmt.Sprintf("x%d", i))
+	}
+	m.AddGE("seed", ilp.Sum(vars[0]), 1)
+	for i := 0; i+1 < n; i++ {
+		m.AddLE("imp", []ilp.Term{{Var: vars[i], Coef: 1}, {Var: vars[i+1], Coef: -1}}, 0)
+	}
+	sol, err := New().Solve(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != ilp.Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	for _, v := range vars {
+		if !sol.Assignment[v] {
+			t.Fatal("chain propagation incomplete")
+		}
+	}
+	if sol.Stats["decisions"] > int64(n) {
+		t.Errorf("decisions = %d for a pure-propagation instance", sol.Stats["decisions"])
+	}
+}

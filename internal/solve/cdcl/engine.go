@@ -1,0 +1,280 @@
+package cdcl
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"cgramap/internal/ilp"
+)
+
+// Engine solves unit-coefficient 0-1 ILP models. The zero value is ready
+// to use. It implements ilp.Solver.
+type Engine struct {
+	// DisableProbing turns off root-level failed-literal probing of
+	// prioritised variables (on by default; see probe).
+	DisableProbing bool
+}
+
+// New returns a ready Engine.
+func New() *Engine { return &Engine{} }
+
+// probe performs failed-literal probing at the root: each candidate
+// variable is tentatively assigned true; if unit propagation derives a
+// conflict, the variable is permanently false. Repeats to a fixpoint
+// (bounded), which on CGRA-mapping models eliminates placements whose
+// routing obligations are locally contradictory. Returns false when the
+// model is proven infeasible outright.
+func probe(ctx context.Context, s *solver, candidates []int) bool {
+	if confl := s.propagate(); confl != nil {
+		s.ok = false
+		return false
+	}
+	for round := 0; round < 3; round++ {
+		progress := false
+		for _, v := range candidates {
+			if s.assigns[v] != lUndef {
+				continue
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(mkLit(v, false), nil, -1)
+			confl := s.propagate()
+			s.cancelUntil(0)
+			if confl == nil {
+				continue
+			}
+			progress = true
+			if !s.addFact(mkLit(v, true)) {
+				return false
+			}
+			if c := s.propagate(); c != nil {
+				s.ok = false
+				return false
+			}
+			if ctx.Err() != nil {
+				return true // stop probing, let search handle the deadline
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return true
+}
+
+var _ ilp.Solver = (*Engine)(nil)
+
+// normalized is a constraint rewritten to "sum of literals <= k":
+// a +1 coefficient keeps the positive literal; a -1 coefficient becomes
+// the negated literal and raises k by one.
+type normalized struct {
+	lits []lit
+	k    int
+}
+
+// normalizeLE rewrites sum(terms) <= rhs into at-most-k form. Terms must
+// be unit-coefficient after merging duplicates; flip negates every
+// coefficient first (for >=).
+func normalizeLE(terms []ilp.Term, rhs int, flip bool) (normalized, error) {
+	merged := make(map[ilp.Var]int, len(terms))
+	for _, t := range terms {
+		c := t.Coef
+		if flip {
+			c = -c
+		}
+		merged[t.Var] += c
+	}
+	if flip {
+		rhs = -rhs
+	}
+	n := normalized{k: rhs}
+	for v, c := range merged {
+		switch c {
+		case 0:
+			// cancelled out
+		case 1:
+			n.lits = append(n.lits, mkLit(int(v), false))
+		case -1:
+			n.lits = append(n.lits, mkLit(int(v), true))
+			n.k++
+		default:
+			return normalized{}, fmt.Errorf("cdcl: coefficient %d on variable %d not supported (unit coefficients only)", c, int(v))
+		}
+	}
+	// Deterministic ordering for reproducible search behaviour.
+	sort.Slice(n.lits, func(i, j int) bool { return n.lits[i] < n.lits[j] })
+	return n, nil
+}
+
+// install adds one normalized at-most constraint to the solver.
+func install(s *solver, n normalized) {
+	s.addAtMost(n.lits, n.k)
+}
+
+// compile encodes a model into a fresh solver. It returns an error for
+// non-unit coefficients, and a nil solver when the model is trivially
+// infeasible at the root.
+func compile(m *ilp.Model) (*solver, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	s := newSolver(m.NumVars())
+	// Honour the model's branching hints: priorities become initial
+	// VSIDS activities (decided first, then adapted by learning), phase
+	// hints the initial saved phase.
+	rebuildHeap := false
+	for v := 0; v < m.NumVars(); v++ {
+		if pri := m.BranchPriority(ilp.Var(v)); pri != 0 {
+			s.activity[v] = float64(pri)
+			rebuildHeap = true
+		}
+		if m.PhaseHint(ilp.Var(v)) {
+			s.phase[v] = true
+		}
+	}
+	if rebuildHeap {
+		s.heap.init(s)
+		for i := len(s.heap.heap)/2 - 1; i >= 0; i-- {
+			s.heap.down(i)
+		}
+	}
+	for i := range m.Constraints {
+		c := &m.Constraints[i]
+		switch c.Rel {
+		case ilp.LE, ilp.EQ:
+			n, err := normalizeLE(c.Terms, c.RHS, false)
+			if err != nil {
+				return nil, fmt.Errorf("%s constraint %q: %w", m.Name, c.Name, err)
+			}
+			install(s, n)
+		}
+		switch c.Rel {
+		case ilp.GE, ilp.EQ:
+			n, err := normalizeLE(c.Terms, c.RHS, true)
+			if err != nil {
+				return nil, fmt.Errorf("%s constraint %q: %w", m.Name, c.Name, err)
+			}
+			install(s, n)
+		}
+		if !s.ok {
+			return s, nil
+		}
+	}
+	return s, nil
+}
+
+// objectiveLits normalizes the objective for bound tightening. A
+// unit-coefficient objective sum(c_i x_i) equals sum over literals plus a
+// constant offset: +x contributes literal x; -x contributes literal ¬x
+// with offset -1.
+func objectiveLits(m *ilp.Model) (lits []lit, offset int, err error) {
+	merged := make(map[ilp.Var]int, len(m.Objective))
+	for _, t := range m.Objective {
+		merged[t.Var] += t.Coef
+	}
+	for v, c := range merged {
+		switch c {
+		case 0:
+		case 1:
+			lits = append(lits, mkLit(int(v), false))
+		case -1:
+			lits = append(lits, mkLit(int(v), true))
+			offset--
+		default:
+			return nil, 0, fmt.Errorf("cdcl: objective coefficient %d not supported (unit coefficients only)", c)
+		}
+	}
+	sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+	return lits, offset, nil
+}
+
+// Solve decides the model. With an objective, it repeatedly strengthens
+// an at-most bound on the objective literals until infeasibility proves
+// the incumbent optimal (the standard linear-search optimisation loop on
+// top of a complete feasibility engine). Context cancellation returns the
+// best incumbent with status Feasible, or Unknown when none was found.
+func (e *Engine) Solve(ctx context.Context, m *ilp.Model) (*ilp.Solution, error) {
+	s, err := compile(m)
+	if err != nil {
+		return nil, err
+	}
+	stats := func() map[string]int64 {
+		if s == nil {
+			return map[string]int64{}
+		}
+		return map[string]int64{
+			"conflicts":    s.conflicts,
+			"decisions":    s.decisions,
+			"propagations": s.propagations,
+			"restarts":     s.restarts,
+			"clauses":      int64(len(s.clauses)),
+			"cards":        int64(len(s.cards)),
+			"learnts":      int64(len(s.learnts)),
+		}
+	}
+	if s != nil && !s.ok {
+		return &ilp.Solution{Status: ilp.Infeasible, Stats: stats()}, nil
+	}
+
+	objLits, offset, err := objectiveLits(m)
+	if err != nil {
+		return nil, err
+	}
+
+	if !e.DisableProbing {
+		var candidates []int
+		for v := 0; v < m.NumVars(); v++ {
+			if m.BranchPriority(ilp.Var(v)) > 0 {
+				candidates = append(candidates, v)
+			}
+		}
+		if len(candidates) > 0 && !probe(ctx, s, candidates) {
+			return &ilp.Solution{Status: ilp.Infeasible, Stats: stats()}, nil
+		}
+	}
+
+	extract := func() ilp.Assignment {
+		a := make(ilp.Assignment, m.NumVars())
+		for v := range a {
+			a[v] = s.modelValue(v)
+		}
+		return a
+	}
+
+	var best ilp.Assignment
+	bestObj := 0
+	for {
+		res := s.search(ctx)
+		switch res {
+		case lUndef: // cancelled
+			if best != nil {
+				return &ilp.Solution{Status: ilp.Feasible, Assignment: best, Objective: bestObj, Stats: stats()}, nil
+			}
+			return &ilp.Solution{Status: ilp.Unknown, Stats: stats()}, nil
+		case lFalse:
+			if best != nil {
+				// The strengthened bound is infeasible: the
+				// incumbent is optimal.
+				return &ilp.Solution{Status: ilp.Optimal, Assignment: best, Objective: bestObj, Stats: stats()}, nil
+			}
+			return &ilp.Solution{Status: ilp.Infeasible, Stats: stats()}, nil
+		}
+		// Satisfiable.
+		best = extract()
+		bestObj = best.Eval(m.Objective)
+		if len(m.Objective) == 0 {
+			return &ilp.Solution{Status: ilp.Optimal, Assignment: best, Objective: 0, Stats: stats()}, nil
+		}
+		// Count of true objective literals achieved.
+		litCount := bestObj - offset
+		if litCount == 0 {
+			// Cannot improve below the offset floor.
+			return &ilp.Solution{Status: ilp.Optimal, Assignment: best, Objective: bestObj, Stats: stats()}, nil
+		}
+		// Require strictly fewer true objective literals.
+		s.cancelUntil(0)
+		if !s.addAtMost(objLits, litCount-1) {
+			return &ilp.Solution{Status: ilp.Optimal, Assignment: best, Objective: bestObj, Stats: stats()}, nil
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package visual renders mappings on grid architectures as ASCII floor
+// plans: one panel per execution context showing which operation runs on
+// each functional block, which blocks act as routers, and which I/O and
+// memory ports are active. Intended for quick human inspection of mapper
+// output (the grid naming scheme of internal/arch.Grid is recognised;
+// other architectures fall back to the flat Mapping.Write rendering).
+package visual
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"cgramap/internal/dfg"
+	"cgramap/internal/mapper"
+)
+
+const cellWidth = 11
+
+// WriteGrid renders the mapping as per-context floor plans. It returns an
+// error when the architecture does not follow the grid naming scheme.
+func WriteGrid(w io.Writer, m *mapper.Mapping) error {
+	rows, cols := gridShape(m)
+	if rows == 0 || cols == 0 {
+		return fmt.Errorf("visual: %s is not a grid architecture", m.MRRG.Arch.Name)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "floor plan of %s on %s\n", m.DFG.Name, m.MRRG.Arch.Name)
+
+	// aluOp[ctx][r][c] = op name; routing blocks marked separately.
+	placedAt := make(map[string]*dfg.Op)
+	for _, op := range m.DFG.Ops() {
+		placedAt[m.MRRG.Nodes[m.Placement[op.ID]].Name] = op
+	}
+	owner := make(map[string]*dfg.Value)
+	for _, v := range m.DFG.Vals() {
+		for _, n := range m.RouteNodesOf(v) {
+			owner[m.MRRG.Nodes[n].Name] = v
+		}
+	}
+
+	for ctx := 0; ctx < m.MRRG.Contexts; ctx++ {
+		fmt.Fprintf(bw, "\ncontext %d:\n", ctx)
+		// Top I/O row.
+		fmt.Fprintf(bw, "%s\n", ioRow(placedAt, ctx, "io_top", cols))
+		border := strings.Repeat("+"+strings.Repeat("-", cellWidth), cols) + "+"
+		for r := 0; r < rows; r++ {
+			fmt.Fprintln(bw, border)
+			line := ""
+			for c := 0; c < cols; c++ {
+				line += "|" + pad(cellText(placedAt, owner, ctx, r, c))
+			}
+			// Left/right I/O and the row's memory port.
+			left := ioCell(placedAt, fmt.Sprintf("c%d.io_left_%d.fu", ctx, r))
+			right := ioCell(placedAt, fmt.Sprintf("c%d.io_right_%d.fu", ctx, r))
+			mem := ioCell(placedAt, fmt.Sprintf("c%d.mem_%d.fu", ctx, r))
+			fmt.Fprintf(bw, "%8s %s| %-10s mem:%s\n", left, line, right, mem)
+		}
+		fmt.Fprintln(bw, border)
+		fmt.Fprintf(bw, "%s\n", ioRow(placedAt, ctx, "io_bot", cols))
+	}
+	return bw.Flush()
+}
+
+// gridShape infers (rows, cols) from pe_r_c.alu primitive names.
+func gridShape(m *mapper.Mapping) (rows, cols int) {
+	for _, p := range m.MRRG.Arch.Prims {
+		var r, c int
+		if n, _ := fmt.Sscanf(p.Name, "pe_%d_%d.alu", &r, &c); n == 2 && strings.HasSuffix(p.Name, ".alu") {
+			if r+1 > rows {
+				rows = r + 1
+			}
+			if c+1 > cols {
+				cols = c + 1
+			}
+		}
+	}
+	return rows, cols
+}
+
+// cellText describes one functional block in one context.
+func cellText(placedAt map[string]*dfg.Op, owner map[string]*dfg.Value, ctx, r, c int) string {
+	alu := fmt.Sprintf("c%d.pe_%d_%d.alu", ctx, r, c)
+	if op, ok := placedAt[alu]; ok {
+		return fmt.Sprintf("%s %s", op.Kind, op.Name)
+	}
+	// Router mode: the block's register write mux carries a value
+	// without the ALU computing.
+	muxR := fmt.Sprintf("c%d.pe_%d_%d.mux_r", ctx, r, c)
+	if v, ok := owner[muxR]; ok {
+		return "~" + v.Name
+	}
+	return ""
+}
+
+func ioCell(placedAt map[string]*dfg.Op, nodeName string) string {
+	if op, ok := placedAt[nodeName]; ok {
+		return op.Name
+	}
+	return "."
+}
+
+func ioRow(placedAt map[string]*dfg.Op, ctx int, prefix string, cols int) string {
+	parts := make([]string, cols)
+	for c := 0; c < cols; c++ {
+		parts[c] = pad(ioCell(placedAt, fmt.Sprintf("c%d.%s_%d.fu", ctx, prefix, c)))
+	}
+	return strings.Repeat(" ", 9) + " " + strings.Join(parts, " ")
+}
+
+func pad(s string) string {
+	if len(s) > cellWidth {
+		s = s[:cellWidth]
+	}
+	return fmt.Sprintf("%-*s", cellWidth, s)
+}

@@ -1,0 +1,73 @@
+package visual
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/dfg"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+)
+
+func TestWriteGrid(t *testing.T) {
+	a, err := arch.Grid(arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := bench.MustGet("accum")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := mapper.Map(ctx, g, mg, mapper.Options{})
+	if err != nil || !res.Feasible() {
+		t.Fatalf("map: %v %v", err, res.Status)
+	}
+	var sb strings.Builder
+	if err := WriteGrid(&sb, res.Mapping); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"floor plan", "context 0", "context 1", "mul t1", "mem:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("floor plan missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteGridRejectsNonGrid(t *testing.T) {
+	b := arch.NewBuilder("line", 1)
+	io1 := b.FU("io1", []dfg.Kind{dfg.Input}, 0, 0, 1)
+	io2 := b.FU("io2", []dfg.Kind{dfg.Output}, 1, 0, 1)
+	b.Connect(io1, io2, 0)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dfg.New("k")
+	v := g.In("x")
+	g.Out("o", v)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := mapper.Map(ctx, g, mg, mapper.Options{})
+	if err != nil || !res.Feasible() {
+		t.Fatalf("map: %v", err)
+	}
+	if err := WriteGrid(&sbDiscard{}, res.Mapping); err == nil {
+		t.Error("non-grid architecture accepted")
+	}
+}
+
+type sbDiscard struct{}
+
+func (*sbDiscard) Write(p []byte) (int, error) { return len(p), nil }
