@@ -26,9 +26,11 @@ import (
 	"cgramap/internal/bench"
 	"cgramap/internal/config"
 	"cgramap/internal/dfg"
+	"cgramap/internal/faultinject"
 	"cgramap/internal/ilp"
 	"cgramap/internal/mapper"
 	"cgramap/internal/mrrg"
+	"cgramap/internal/portfolio"
 	"cgramap/internal/sched"
 	"cgramap/internal/sim"
 	"cgramap/internal/solve/bb"
@@ -157,6 +159,57 @@ func NewCDCLSolver() Solver { return cdcl.New() }
 // NewBranchBoundSolver returns the LP-relaxation branch-and-bound engine
 // (tractable on small instances; used for cross-checking).
 func NewBranchBoundSolver() Solver { return bb.New() }
+
+// Portfolio orchestration: race the exact engines (and optionally the
+// annealing heuristic) under a shared deadline, containing panics and
+// retrying transient failures. See internal/portfolio.
+type (
+	// PortfolioOptions configures a portfolio race.
+	PortfolioOptions = portfolio.Options
+	// PortfolioResult is a mapping result annotated with the winning
+	// strategy, whether the answer is a proof, and per-strategy reports.
+	PortfolioResult = portfolio.Result
+	// PortfolioReport describes one strategy's fate in a race.
+	PortfolioReport = portfolio.Report
+	// MapFunc is a drop-in replacement for the direct mapping pipeline
+	// (see MapOptions.MapWith).
+	MapFunc = mapper.MapFunc
+)
+
+// MapPortfolio maps with the resilient portfolio orchestrator: all exact
+// engines race, losers are cancelled, panics are contained, and (unless
+// disabled) the annealer provides a clearly-labelled heuristic fallback.
+func MapPortfolio(ctx context.Context, g *DFG, m *MRRG, opts PortfolioOptions) (*PortfolioResult, error) {
+	return portfolio.Map(ctx, g, m, opts)
+}
+
+// PortfolioMapFunc adapts portfolio options into a MapFunc, so MapAuto
+// and the experiment sweeps can route every attempt through the
+// orchestrator via MapOptions.MapWith.
+func PortfolioMapFunc(opts PortfolioOptions) MapFunc { return portfolio.MapFunc(opts) }
+
+// Fault injection: a Solver decorator that exercises the robustness of
+// everything above the solver seam. See internal/faultinject.
+type (
+	// FaultClass selects which faults an injector may fire.
+	FaultClass = faultinject.Fault
+	// FaultOptions configures a fault injector.
+	FaultOptions = faultinject.Options
+)
+
+// Injectable fault classes.
+const (
+	FaultDelay           = faultinject.Delay
+	FaultPanic           = faultinject.Panic
+	FaultCancelEarly     = faultinject.CancelEarly
+	FaultCorruptFlip     = faultinject.CorruptFlip
+	FaultCorruptTruncate = faultinject.CorruptTruncate
+)
+
+// NewFaultInjector wraps a solver with configurable fault injection —
+// the harness used to prove corrupted solutions never survive the
+// mapper's decode/Verify gate.
+func NewFaultInjector(inner Solver, opts FaultOptions) Solver { return faultinject.New(inner, opts) }
 
 // Config is a fabric configuration (per-context multiplexer selections
 // and functional-unit opcodes) extracted from a mapping.

@@ -26,6 +26,7 @@ import (
 	"cgramap/internal/ilp"
 	"cgramap/internal/mapper"
 	"cgramap/internal/mrrg"
+	"cgramap/internal/portfolio"
 	"cgramap/internal/sim"
 	"cgramap/internal/solve/bb"
 	"cgramap/internal/visual"
@@ -42,7 +43,8 @@ func main() {
 		diagonal  = flag.Bool("diagonal", false, "diagonal interconnect")
 		hetero    = flag.Bool("heterogeneous", false, "multipliers in only half the blocks")
 		objective = flag.String("objective", "feasibility", "feasibility | routing (minimise routing resources)")
-		engine    = flag.String("engine", "cdcl", "ILP engine: cdcl | bb")
+		engine    = flag.String("engine", "cdcl", "ILP engine: cdcl | bb | portfolio (race all engines under the timeout)")
+		fallback  = flag.Bool("fallback", true, "portfolio only: degrade to the annealing heuristic when no exact engine decides")
 		useSA     = flag.Bool("anneal", false, "use the simulated-annealing mapper instead of ILP")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "solve timeout")
 		lpOut     = flag.String("lp", "", "write the ILP model in LP format to this file and exit")
@@ -53,14 +55,14 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*dfgFile, *benchName, *archFile, *rows, *cols, *contexts,
-		*diagonal, *hetero, *objective, *engine, *useSA, *timeout, *lpOut, *quiet, *showCfg, *validate, *floorplan); err != nil {
+		*diagonal, *hetero, *objective, *engine, *fallback, *useSA, *timeout, *lpOut, *quiet, *showCfg, *validate, *floorplan); err != nil {
 		fmt.Fprintln(os.Stderr, "cgramap:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
-	diagonal, hetero bool, objective, engine string, useSA bool,
+	diagonal, hetero bool, objective, engine string, fallback, useSA bool,
 	timeout time.Duration, lpOut string, quiet, showCfg, validate, floorplan bool) error {
 
 	g, err := loadDFG(dfgFile, benchName)
@@ -87,7 +89,7 @@ func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 		return fmt.Errorf("unknown objective %q", objective)
 	}
 	switch engine {
-	case "cdcl":
+	case "cdcl", "portfolio":
 	case "bb":
 		opts.Solver = bb.New()
 	default:
@@ -134,9 +136,39 @@ func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 	}
 
 	start := time.Now()
-	res, err := mapper.Map(ctx, g, mg, opts)
-	if err != nil {
-		return err
+	var res *mapper.Result
+	if engine == "portfolio" {
+		pres, err := portfolio.Map(ctx, g, mg, portfolio.Options{
+			Timeout:         timeout,
+			DisableFallback: !fallback,
+			Mapper:          opts,
+		})
+		if err != nil {
+			return err
+		}
+		for _, rep := range pres.Reports {
+			note := ""
+			if rep.Winner {
+				note = "  <- winner"
+			} else if rep.Cancelled {
+				note = "  (cancelled)"
+			}
+			if rep.Panics > 0 {
+				note += fmt.Sprintf("  [%d panics contained]", rep.Panics)
+			}
+			fmt.Printf("portfolio: %-12s %-10v %d attempt(s) in %v%s\n",
+				rep.Strategy, rep.Status, rep.Attempts, rep.Elapsed.Round(time.Millisecond), note)
+		}
+		if pres.Degraded() {
+			fmt.Println("portfolio: DEGRADED — heuristic witness only, no optimality or infeasibility proof")
+		}
+		res = pres.Result
+	} else {
+		var err error
+		res, err = mapper.Map(ctx, g, mg, opts)
+		if err != nil {
+			return err
+		}
 	}
 	switch res.Status {
 	case ilp.Infeasible:
@@ -147,6 +179,9 @@ func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 		fmt.Println()
 	case ilp.Unknown:
 		fmt.Printf("status: timeout after %v (T)\n", timeout)
+		if res.Reason != "" {
+			fmt.Printf("  %s\n", res.Reason)
+		}
 	default:
 		fmt.Printf("status: %s in %v (%d vars, %d constraints, routing cost %d)\n",
 			res.Status, time.Since(start).Round(time.Millisecond),

@@ -57,7 +57,7 @@ func TestLoadArch(t *testing.T) {
 func TestRunLPExport(t *testing.T) {
 	dir := t.TempDir()
 	lp := filepath.Join(dir, "m.lp")
-	err := run("", "2x2-f", "", 4, 4, 1, true, false, "feasibility", "cdcl", false,
+	err := run("", "2x2-f", "", 4, 4, 1, true, false, "feasibility", "cdcl", true, false,
 		time.Minute, lp, true, false, false, false)
 	if err != nil {
 		t.Fatal(err)
@@ -72,16 +72,24 @@ func TestRunLPExport(t *testing.T) {
 }
 
 func TestRunSolveSmall(t *testing.T) {
-	err := run("", "2x2-f", "", 4, 4, 2, true, false, "feasibility", "cdcl", false,
+	err := run("", "2x2-f", "", 4, 4, 2, true, false, "feasibility", "cdcl", true, false,
 		2*time.Minute, "", true, true, true, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Bad flag values.
-	if err := run("", "2x2-f", "", 4, 4, 1, false, false, "zorp", "cdcl", false, time.Minute, "", true, false, false, false); err == nil {
+	if err := run("", "2x2-f", "", 4, 4, 1, false, false, "zorp", "cdcl", true, false, time.Minute, "", true, false, false, false); err == nil {
 		t.Error("bad objective accepted")
 	}
-	if err := run("", "2x2-f", "", 4, 4, 1, false, false, "feasibility", "zorp", false, time.Minute, "", true, false, false, false); err == nil {
+	if err := run("", "2x2-f", "", 4, 4, 1, false, false, "feasibility", "zorp", true, false, time.Minute, "", true, false, false, false); err == nil {
 		t.Error("bad engine accepted")
+	}
+}
+
+func TestRunSolvePortfolio(t *testing.T) {
+	err := run("", "2x2-f", "", 2, 2, 2, true, false, "feasibility", "portfolio", true, false,
+		time.Minute, "", true, false, false, false)
+	if err != nil {
+		t.Fatal(err)
 	}
 }

@@ -20,6 +20,9 @@ import (
 	"cgramap/internal/arch"
 	"cgramap/internal/bench"
 	"cgramap/internal/exper"
+	"cgramap/internal/mapper"
+	"cgramap/internal/portfolio"
+	"cgramap/internal/solve/bb"
 )
 
 func main() {
@@ -58,12 +61,16 @@ func usage() {
 // for both Table 2 and the ILP side of Fig. 8.
 func runAll(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
-	timeout, benchList, verbose := sweepFlags(fs)
+	timeout, benchList, verbose, engine, fallback := sweepFlags(fs)
 	saTimeout := fs.Duration("sa-timeout", 10*time.Second, "per-instance annealer budget")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	names, err := parseBenchList(*benchList)
+	if err != nil {
+		return err
+	}
+	mOpts, err := mapperOptions(*engine, *fallback)
 	if err != nil {
 		return err
 	}
@@ -73,7 +80,7 @@ func runAll(args []string) error {
 	}
 
 	fmt.Printf("\n== Table 2: ILP mappability (per-instance timeout %v) ==\n", *timeout)
-	opts := exper.SweepOptions{Timeout: *timeout, Benchmarks: names}
+	opts := exper.SweepOptions{Timeout: *timeout, Benchmarks: names, Mapper: mOpts}
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
@@ -106,11 +113,30 @@ func runAll(args []string) error {
 	return runAblate([]string{"-timeout", timeout.String()})
 }
 
-func sweepFlags(fs *flag.FlagSet) (timeout *time.Duration, benchList *string, verbose *bool) {
+func sweepFlags(fs *flag.FlagSet) (timeout *time.Duration, benchList *string, verbose *bool, engine *string, fallback *bool) {
 	timeout = fs.Duration("timeout", 60*time.Second, "per-instance solver timeout")
 	benchList = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all 19)")
 	verbose = fs.Bool("v", false, "print per-instance progress to stderr")
+	engine = fs.String("engine", "cdcl", "ILP engine per cell: cdcl | bb | portfolio")
+	fallback = fs.Bool("fallback", false, "portfolio only: let cells degrade to heuristic witnesses")
 	return
+}
+
+// mapperOptions translates the engine flags into per-cell mapper options.
+// The portfolio engine rides the cell's own deadline, so no separate
+// timeout is set here.
+func mapperOptions(engine string, fallback bool) (mapper.Options, error) {
+	opts := mapper.Options{}
+	switch engine {
+	case "cdcl":
+	case "bb":
+		opts.Solver = bb.New()
+	case "portfolio":
+		opts.MapWith = portfolio.MapFunc(portfolio.Options{DisableFallback: !fallback})
+	default:
+		return opts, fmt.Errorf("unknown engine %q", engine)
+	}
+	return opts, nil
 }
 
 func parseBenchList(s string) ([]string, error) {
@@ -128,7 +154,7 @@ func parseBenchList(s string) ([]string, error) {
 
 func runTable2(args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
-	timeout, benchList, verbose := sweepFlags(fs)
+	timeout, benchList, verbose, engine, fallback := sweepFlags(fs)
 	times := fs.Bool("times", false, "print the runtime distribution summary")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,7 +163,11 @@ func runTable2(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := exper.SweepOptions{Timeout: *timeout, Benchmarks: names}
+	mOpts, err := mapperOptions(*engine, *fallback)
+	if err != nil {
+		return err
+	}
+	opts := exper.SweepOptions{Timeout: *timeout, Benchmarks: names, Mapper: mOpts}
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
@@ -157,7 +187,7 @@ func runTable2(args []string) error {
 
 func runFig8(args []string) error {
 	fs := flag.NewFlagSet("fig8", flag.ExitOnError)
-	timeout, benchList, verbose := sweepFlags(fs)
+	timeout, benchList, verbose, engine, fallback := sweepFlags(fs)
 	saSeed := fs.Int64("sa-seed", 1, "annealer random seed")
 	saMoves := fs.Int("sa-moves", 0, "annealer moves per temperature (0 = moderate default)")
 	if err := fs.Parse(args); err != nil {
@@ -167,8 +197,12 @@ func runFig8(args []string) error {
 	if err != nil {
 		return err
 	}
+	mOpts, err := mapperOptions(*engine, *fallback)
+	if err != nil {
+		return err
+	}
 	opts := exper.Fig8Options{
-		Sweep:     exper.SweepOptions{Timeout: *timeout, Benchmarks: names},
+		Sweep:     exper.SweepOptions{Timeout: *timeout, Benchmarks: names, Mapper: mOpts},
 		SA:        anneal.Options{Seed: *saSeed, MovesPerTemp: *saMoves},
 		SATimeout: *timeout,
 	}
@@ -191,7 +225,7 @@ func runFig8(args []string) error {
 
 func runAblate(args []string) error {
 	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
-	timeout, benchList, _ := sweepFlags(fs)
+	timeout, benchList, _, _, _ := sweepFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

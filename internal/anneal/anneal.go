@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
 	"cgramap/internal/mapper"
 	"cgramap/internal/mrrg"
 )
@@ -69,6 +70,30 @@ type Result struct {
 	Cost float64
 	// Moves and Accepted count annealing moves.
 	Moves, Accepted int
+	// Status aligns the heuristic with the ILP engines' solve statuses
+	// so orchestrators (internal/portfolio) can treat all strategies
+	// uniformly: Feasible when a legal mapping was found, Unknown
+	// otherwise — a heuristic can prove neither infeasibility nor
+	// optimality.
+	Status ilp.Status
+	// Stats carries counters ("moves", "accepted") plus "cancelled"
+	// when the context ended the schedule early — the same cancellation
+	// convention the cdcl and bb engines use.
+	Stats map[string]int64
+}
+
+// finish stamps the unified status/stat fields before returning r.
+func (r *Result) finish(cancelled bool) *Result {
+	if r.Feasible {
+		r.Status = ilp.Feasible
+	} else {
+		r.Status = ilp.Unknown
+	}
+	r.Stats = map[string]int64{"moves": int64(r.Moves), "accepted": int64(r.Accepted)}
+	if cancelled {
+		r.Stats["cancelled"] = 1
+	}
+	return r
 }
 
 // state is the annealing state: a (possibly illegal) placement plus
@@ -97,13 +122,16 @@ func Map(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts Options) (*Resu
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("anneal: invalid DFG: %w", err)
 	}
+	if ctx.Err() != nil {
+		return (&Result{}).finish(true), nil
+	}
 	s := &state{
 		g:   g,
 		mg:  mg,
 		rng: rand.New(rand.NewSource(opts.Seed)),
 	}
 	if err := s.computeLegal(); err != nil {
-		return &Result{}, nil //nolint:nilerr // unmappable kind: heuristic just fails
+		return (&Result{}).finish(false), nil //nolint:nilerr // unmappable kind: heuristic just fails
 	}
 	s.randomPlacement()
 	s.penalty = opts.OverusePenalty
@@ -114,7 +142,7 @@ func Map(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts Options) (*Resu
 	for temp := opts.InitialTemp; temp > opts.MinTemp; temp *= opts.Cooling {
 		for i := 0; i < opts.MovesPerTemp; i++ {
 			if ctx.Err() != nil {
-				return res, nil
+				return res.finish(true), nil
 			}
 			res.Moves++
 			undo, touched := s.randomMove()
@@ -154,7 +182,7 @@ func Map(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts Options) (*Resu
 	}
 	res.Cost = cost
 	if !s.legalNow() {
-		return res, nil
+		return res.finish(false), nil
 	}
 	m := s.toMapping()
 	if err := m.Verify(); err != nil {
@@ -164,7 +192,7 @@ func Map(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts Options) (*Resu
 	}
 	res.Feasible = true
 	res.Mapping = m
-	return res, nil
+	return res.finish(false), nil
 }
 
 func (s *state) computeLegal() error {

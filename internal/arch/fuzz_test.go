@@ -1,0 +1,64 @@
+package arch_test
+
+import (
+	"strings"
+	"testing"
+
+	"cgramap/internal/arch"
+)
+
+// FuzzReadArchXML throws arbitrary bytes at the architecture XML reader.
+// The reader must never panic, and any architecture it accepts must pass
+// validation and survive a WriteXML/ReadXML round trip.
+func FuzzReadArchXML(f *testing.F) {
+	// Seed with the serialised form of real architectures (the paper's
+	// grid family at several sizes) plus malformed edge cases.
+	specs := []arch.GridSpec{
+		{Rows: 2, Cols: 2, Interconnect: arch.Orthogonal, Homogeneous: true, Contexts: 1},
+		{Rows: 2, Cols: 2, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 2},
+		{Rows: 3, Cols: 3, Interconnect: arch.Diagonal, Homogeneous: false, Contexts: 1},
+	}
+	for _, spec := range specs {
+		a, err := arch.Grid(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := a.WriteXML(&sb); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(sb.String())
+	}
+	f.Add("")
+	f.Add("<cgra/>")
+	f.Add(`<cgra name="x" contexts="1"></cgra>`)
+	f.Add(`<cgra name="x" contexts="0"><prim name="p" kind="reg"/></cgra>`)
+	f.Add(`<cgra name="x" contexts="1"><prim name="p" kind="zorp"/></cgra>`)
+	f.Add(`<cgra name="x" contexts="1"><prim name="p" kind="reg"/><prim name="p" kind="reg" cost="3"/></cgra>`)
+	f.Add(`<cgra name="x" contexts="1"><prim name="f" kind="fu" nin="2" ops="add frobnicate"/></cgra>`)
+	f.Add(`<cgra name="x" contexts="1"><prim name="p" kind="reg"/><conn from="p" to="q" port="0"/></cgra>`)
+	f.Add(`<cgra name="x" contexts="1"><prim name="m" kind="mux" nin="-1"/></cgra>`)
+	f.Add(`<cgra name="x" contexts="1"><conn from="a" to="b" port="-7"/></cgra>`)
+
+	f.Fuzz(func(t *testing.T, text string) {
+		a, err := arch.ParseXMLString(text)
+		if err != nil {
+			return
+		}
+		if verr := a.Validate(); verr != nil {
+			t.Fatalf("reader accepted an invalid architecture: %v\ninput: %q", verr, text)
+		}
+		var sb strings.Builder
+		if err := a.WriteXML(&sb); err != nil {
+			t.Fatalf("accepted architecture does not serialise: %v", err)
+		}
+		b, err := arch.ParseXMLString(sb.String())
+		if err != nil {
+			t.Fatalf("serialised architecture does not reparse: %v\nxml: %s", err, sb.String())
+		}
+		if len(b.Prims) != len(a.Prims) || len(b.Conns) != len(a.Conns) {
+			t.Fatalf("round trip changed shape: %d/%d prims, %d/%d conns",
+				len(a.Prims), len(b.Prims), len(a.Conns), len(b.Conns))
+		}
+	})
+}

@@ -127,7 +127,10 @@ func ReadXML(r io.Reader) (*Arch, error) {
 		case Wire:
 			id = b.Wire(xp.Name)
 		}
-		if xp.Cost != 0 {
+		// The builder reports duplicate names through its error list and
+		// returns -1; indexing Prims with it would panic on malformed
+		// input (Build surfaces the real error below).
+		if xp.Cost != 0 && id >= 0 {
 			b.arch.Prims[id].Cost = xp.Cost
 		}
 	}

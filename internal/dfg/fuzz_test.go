@@ -1,0 +1,59 @@
+package dfg_test
+
+import (
+	"strings"
+	"testing"
+
+	"cgramap/internal/bench"
+	"cgramap/internal/dfg"
+)
+
+// FuzzParseDFG throws arbitrary text at the DFG parser. The parser must
+// never panic, and anything it accepts must be a structurally valid
+// graph that round-trips through Format and reparses to the same text.
+func FuzzParseDFG(f *testing.F) {
+	// Seed with every built-in kernel's textual form plus a few
+	// hand-picked near-miss inputs around the grammar's edges.
+	for _, name := range bench.Names() {
+		f.Add(bench.MustGet(name).FormatString())
+	}
+	for _, name := range bench.ExtraNames() {
+		g, err := bench.GetExtra(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(g.FormatString())
+	}
+	f.Add("")
+	f.Add("dfg")
+	f.Add("dfg k\n")
+	f.Add("dfg k\ninput a\noutput o a\n")
+	f.Add("dfg k\ninput a\nadd s a a\n# comment\noutput o s\n")
+	f.Add("dfg k\nadd s missing\n")
+	f.Add("dfg k\noutput o o\n")
+	f.Add("dfg k\ninput\n")
+	f.Add("zorp k\ninput a\n")
+	f.Add("dfg k\ninput a\ninput a\n")
+	f.Add("dfg k\ninput a\nstore s a a a\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		g, err := dfg.ParseString(text)
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("parser accepted an invalid graph: %v\ninput: %q", verr, text)
+		}
+		formatted := g.FormatString()
+		g2, err := dfg.ParseString(formatted)
+		if err != nil {
+			t.Fatalf("formatted output does not reparse: %v\nformatted: %q", err, formatted)
+		}
+		if again := g2.FormatString(); again != formatted {
+			t.Fatalf("format/parse round-trip unstable:\nfirst:  %q\nsecond: %q", formatted, again)
+		}
+		if !strings.HasPrefix(formatted, "dfg "+g.Name) {
+			t.Fatalf("formatted graph lost its header: %q", formatted)
+		}
+	})
+}

@@ -74,7 +74,9 @@ type SweepOptions struct {
 	// Benchmarks defaults to the paper's 19; Specs to the paper's 8.
 	Benchmarks []string
 	Specs      []arch.GridSpec
-	// Mapper carries mapper options (engine, objective, ablations).
+	// Mapper carries mapper options (engine, objective, ablations). Set
+	// Mapper.MapWith (e.g. portfolio.MapFunc) to route every cell
+	// through an orchestrator instead of the direct pipeline.
 	Mapper mapper.Options
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
@@ -133,23 +135,39 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*Sweep, error) {
 	return sweep, nil
 }
 
-func runCell(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, archName string, opts SweepOptions) (Cell, error) {
+// runCell maps one benchmark onto one architecture under the per-cell
+// deadline. A crashing or erroring mapper must not take the whole sweep
+// down with it (the paper's grid has 152 cells; one wedged instance
+// should cost one "T", not the run), so panics and mapper errors are
+// contained into an Unknown cell with the failure recorded as its
+// Reason. Only a cancelled sweep context aborts the grid.
+func runCell(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, archName string, opts SweepOptions) (cell Cell, err error) {
 	cellCtx, cancel := context.WithTimeout(ctx, opts.Timeout)
 	defer cancel()
 	start := time.Now()
-	res, err := mapper.Map(cellCtx, g, mg, opts.Mapper)
-	if err != nil {
-		return Cell{}, fmt.Errorf("exper: %s on %s: %w", g.Name, archName, err)
+	cell = Cell{Benchmark: g.Name, Arch: archName}
+	defer func() {
+		cell.Elapsed = time.Since(start)
+		if r := recover(); r != nil {
+			cell.Status = ilp.Unknown
+			cell.Reason = fmt.Sprintf("mapper panicked: %v", r)
+			err = nil
+		}
+	}()
+	res, mapErr := mapper.Dispatch(cellCtx, g, mg, opts.Mapper)
+	if mapErr != nil {
+		if ctx.Err() != nil {
+			return Cell{}, fmt.Errorf("exper: %s on %s: %w", g.Name, archName, mapErr)
+		}
+		cell.Status = ilp.Unknown
+		cell.Reason = fmt.Sprintf("mapper failed: %v", mapErr)
+		return cell, nil
 	}
-	return Cell{
-		Benchmark: g.Name,
-		Arch:      archName,
-		Status:    res.Status,
-		Elapsed:   time.Since(start),
-		Vars:      res.Vars,
-		Consts:    res.Constraints,
-		Reason:    res.Reason,
-	}, nil
+	cell.Status = res.Status
+	cell.Vars = res.Vars
+	cell.Consts = res.Constraints
+	cell.Reason = res.Reason
+	return cell, nil
 }
 
 // RenderTable2 prints the sweep in the paper's Table 2 layout.

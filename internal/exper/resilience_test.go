@@ -1,0 +1,95 @@
+package exper
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"cgramap/internal/dfg"
+	"cgramap/internal/faultinject"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+	"cgramap/internal/solve/cdcl"
+)
+
+// TestSweepSurvivesFaultySolver drives a sweep through a solver that
+// randomly panics, stalls, and corrupts solutions. The grid must come
+// back complete — wedged cells degrade to "T", contained panics are
+// recorded in the cell, and no corrupted mapping is ever reported
+// feasible (the mapper's decode/Verify gate downgrades those cells).
+func TestSweepSurvivesFaultySolver(t *testing.T) {
+	inj := faultinject.New(cdcl.New(), faultinject.Options{
+		Faults:   faultinject.Panic | faultinject.Delay | faultinject.CorruptFlip | faultinject.CorruptTruncate,
+		Prob:     0.6,
+		Seed:     1,
+		DelayFor: 3 * time.Second, // longer than the cell timeout: a stall becomes a "T"
+		MaxFlips: 8,
+	})
+	benchmarks := []string{"2x2-f", "accum", "add_10", "mult_10"}
+	sweep, err := RunSweep(context.Background(), SweepOptions{
+		Timeout:    time.Second,
+		Benchmarks: benchmarks,
+		Specs:      smallSpecs,
+		Mapper:     mapper.Options{Solver: inj},
+	})
+	if err != nil {
+		t.Fatalf("sweep crashed instead of degrading: %v", err)
+	}
+	if len(sweep.Cells) != len(benchmarks) {
+		t.Fatalf("sweep returned %d rows, want %d", len(sweep.Cells), len(benchmarks))
+	}
+	contained := 0
+	for _, row := range sweep.Cells {
+		if len(row) != len(smallSpecs) {
+			t.Fatalf("incomplete row: %d cells, want %d", len(row), len(smallSpecs))
+		}
+		for _, c := range row {
+			if c.Status == ilp.Optimal || c.Status == ilp.Feasible {
+				// Feasible cells pass through mapper.Map, which decodes
+				// and verifies before reporting: a corrupted assignment
+				// cannot land here. A feasibility claim with a failure
+				// reason would mean the gate was bypassed.
+				if strings.Contains(c.Reason, "panicked") || strings.Contains(c.Reason, "failed") {
+					t.Errorf("%s/%s: feasible cell carries failure reason %q", c.Benchmark, c.Arch, c.Reason)
+				}
+			}
+			if strings.Contains(c.Reason, "panicked") || strings.Contains(c.Reason, "failed") {
+				if c.Status != ilp.Unknown {
+					t.Errorf("%s/%s: contained failure has status %v, want Unknown", c.Benchmark, c.Arch, c.Status)
+				}
+				contained++
+			}
+		}
+	}
+	if fired := inj.Fired(); fired["panic"] == 0 {
+		t.Fatalf("injector never panicked (fired: %v) — test exercises nothing", fired)
+	}
+	if contained == 0 {
+		t.Error("no cell recorded a contained failure despite injected panics")
+	}
+}
+
+// TestSweepThroughDispatch checks the MapWith seam at the sweep level:
+// options carrying a custom MapFunc are honoured for every cell.
+func TestSweepThroughDispatch(t *testing.T) {
+	calls := 0
+	sweep, err := RunSweep(context.Background(), SweepOptions{
+		Timeout:    20 * time.Second,
+		Benchmarks: []string{"2x2-f", "accum"},
+		Specs:      smallSpecs[:1],
+		Mapper: mapper.Options{
+			MapWith: func(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts mapper.Options) (*mapper.Result, error) {
+				calls++
+				return mapper.Map(ctx, g, mg, opts)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(sweep.Benchmarks) * len(sweep.Specs); calls != want {
+		t.Errorf("MapWith invoked %d times, want %d", calls, want)
+	}
+}

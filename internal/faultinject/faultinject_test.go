@@ -1,0 +1,194 @@
+package faultinject_test
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/faultinject"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+	"cgramap/internal/solve/cdcl"
+)
+
+func instance(t testing.TB) (*ilp.Model, funcMap) {
+	t.Helper()
+	g, err := bench.Get("2x2-f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := arch.Grid(arch.GridSpec{Rows: 2, Cols: 2, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, reason, err := mapper.BuildModel(g, mg, mapper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == nil {
+		t.Fatalf("instance infeasible at build time: %s", reason)
+	}
+	return model, func(ctx context.Context, opts mapper.Options) (*mapper.Result, error) {
+		return mapper.Map(ctx, g, mg, opts)
+	}
+}
+
+type funcMap func(ctx context.Context, opts mapper.Options) (*mapper.Result, error)
+
+func TestDelayRespectsCancellation(t *testing.T) {
+	model, _ := instance(t)
+	inj := faultinject.New(cdcl.New(), faultinject.Options{Faults: faultinject.Delay, DelayFor: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	sol, err := inj.Solve(ctx, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("delayed solve ignored cancellation")
+	}
+	if sol.Status != ilp.Unknown || sol.Stats["cancelled"] != 1 {
+		t.Fatalf("got %v %v, want Unknown with cancelled stat", sol.Status, sol.Stats)
+	}
+}
+
+func TestPanicFires(t *testing.T) {
+	model, _ := instance(t)
+	inj := faultinject.New(cdcl.New(), faultinject.Options{Faults: faultinject.Panic})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("injected panic did not fire")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "injected panic") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	_, _ = inj.Solve(context.Background(), model)
+}
+
+func TestCancelEarlyYieldsUnknown(t *testing.T) {
+	model, _ := instance(t)
+	inj := faultinject.New(cdcl.New(), faultinject.Options{Faults: faultinject.CancelEarly})
+	sol, err := inj.Solve(context.Background(), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != ilp.Unknown || sol.Stats["cancelled"] != 1 {
+		t.Fatalf("got %v %v, want Unknown with cancelled stat", sol.Status, sol.Stats)
+	}
+}
+
+func TestCallAndFireCounters(t *testing.T) {
+	model, _ := instance(t)
+	inj := faultinject.New(cdcl.New(), faultinject.Options{Faults: faultinject.CorruptFlip})
+	for i := 0; i < 3; i++ {
+		if _, err := inj.Solve(context.Background(), model); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inj.Calls() != 3 {
+		t.Errorf("Calls() = %d, want 3", inj.Calls())
+	}
+	if got := inj.Fired()["corrupt-flip"]; got != 3 {
+		t.Errorf(`Fired()["corrupt-flip"] = %d, want 3`, got)
+	}
+}
+
+// TestCorruptedSolutionsNeverReportedFeasible is the harness's central
+// property: across many corruption seeds, a bit-flipped or truncated
+// assignment either fails the mapper's decode/Verify gate (Map errors
+// out) or — when the flips happen to land on redundant routing bits —
+// still decodes to a mapping that independently passes Verify. A
+// feasible result with an invalid mapping must never escape.
+func TestCorruptedSolutionsNeverReportedFeasible(t *testing.T) {
+	_, mapIt := instance(t)
+	modes := []struct {
+		name   string
+		faults faultinject.Fault
+	}{
+		{"flip", faultinject.CorruptFlip},
+		{"truncate", faultinject.CorruptTruncate},
+		{"flip+truncate", faultinject.CorruptFlip | faultinject.CorruptTruncate},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			rejected := 0
+			for seed := int64(1); seed <= 25; seed++ {
+				inj := faultinject.New(cdcl.New(), faultinject.Options{
+					Faults:   mode.faults,
+					Seed:     seed,
+					MaxFlips: 8,
+				})
+				res, err := mapIt(context.Background(), mapper.Options{Solver: inj})
+				if err != nil {
+					rejected++ // decode/Verify gate caught the corruption
+					continue
+				}
+				if !res.Feasible() {
+					continue
+				}
+				if res.Mapping == nil {
+					t.Fatalf("seed %d: feasible result with nil mapping", seed)
+				}
+				if verr := res.Mapping.Verify(); verr != nil {
+					t.Fatalf("seed %d: corrupted mapping reported feasible: %v", seed, verr)
+				}
+			}
+			if mode.faults&faultinject.CorruptTruncate != 0 && rejected != 25 {
+				// Truncation always changes the assignment length, so
+				// the decode length guard must catch every one.
+				t.Errorf("rejected %d/25 truncated solutions, want 25", rejected)
+			}
+			if rejected == 0 {
+				t.Errorf("no corrupted solution was rejected across 25 seeds — gate looks dead")
+			}
+		})
+	}
+}
+
+// TestCorruptPure pins Corrupt's contract: the input is never modified,
+// flips change at least one bit, truncation always shortens.
+func TestCorruptPure(t *testing.T) {
+	orig := make(ilp.Assignment, 64)
+	for i := range orig {
+		orig[i] = i%3 == 0
+	}
+	snapshot := make(ilp.Assignment, len(orig))
+	copy(snapshot, orig)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		flipped := faultinject.Corrupt(orig, faultinject.CorruptFlip, rng, 4)
+		if len(flipped) != len(orig) {
+			t.Fatalf("flip changed length: %d", len(flipped))
+		}
+		diff := 0
+		for j := range orig {
+			if orig[j] != flipped[j] {
+				diff++
+			}
+		}
+		if diff == 0 {
+			t.Fatal("flip corrupted nothing")
+		}
+		truncated := faultinject.Corrupt(orig, faultinject.CorruptTruncate, rng, 4)
+		if len(truncated) >= len(orig) {
+			t.Fatalf("truncate did not shorten: %d", len(truncated))
+		}
+		for j := range orig {
+			if orig[j] != snapshot[j] {
+				t.Fatal("Corrupt modified its input")
+			}
+		}
+	}
+}

@@ -43,6 +43,11 @@ type Problem struct {
 	Obj     []float64
 	Rows    []Constraint
 	Upper   []float64
+	// Cancel, when non-nil, aborts the solve with Status Cancelled as
+	// soon as the channel closes (checked between pivots). A single
+	// relaxation can run for many seconds on mapper-sized tableaus, so
+	// callers that race or deadline the solve need this hook.
+	Cancel <-chan struct{}
 }
 
 // Status is the outcome of a solve.
@@ -56,6 +61,8 @@ const (
 	// Unbounded: the objective is unbounded below (cannot happen for
 	// bounded-variable problems but is reported defensively).
 	Unbounded
+	// Cancelled: the Problem's Cancel channel closed mid-solve.
+	Cancelled
 )
 
 // String names the status.
@@ -67,6 +74,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case Unbounded:
 		return "unbounded"
+	case Cancelled:
+		return "cancelled"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}
@@ -95,6 +104,20 @@ func Solve(p *Problem) (*Solution, error) {
 			upper[i] = 1
 		}
 	}
+	// Tableau assembly for a large problem allocates and fills O(m*total)
+	// memory, which can dwarf the pivot time; poll Cancel here too so an
+	// already-lost race does not keep building a tableau it will never use.
+	cancelCheck := func() bool {
+		if p.Cancel == nil {
+			return false
+		}
+		select {
+		case <-p.Cancel:
+			return true
+		default:
+			return false
+		}
+	}
 
 	// Assemble rows: the user's rows plus one x_j <= u_j bound row per
 	// finite upper bound.
@@ -108,6 +131,9 @@ func Solve(p *Problem) (*Solution, error) {
 		rows = append(rows, row{coefs: r.Coefs, rel: r.Rel, rhs: r.RHS})
 	}
 	for j := 0; j < n; j++ {
+		if j%4096 == 0 && cancelCheck() {
+			return &Solution{Status: Cancelled}, nil
+		}
 		if math.IsInf(upper[j], 1) {
 			continue
 		}
@@ -158,6 +184,9 @@ func Solve(p *Problem) (*Solution, error) {
 	artCol := n + nSlack
 	artCols := make([]int, 0, nArt)
 	for i, r := range rows {
+		if i%512 == 0 && cancelCheck() {
+			return &Solution{Status: Cancelled}, nil
+		}
 		t[i] = make([]float64, total+1)
 		copy(t[i], r.coefs)
 		t[i][total] = r.rhs
@@ -194,8 +223,11 @@ func Solve(p *Problem) (*Solution, error) {
 				sub(obj, t[i], obj[b])
 			}
 		}
-		it, unb := pivotLoop(t, basis, obj, total)
+		it, unb, cancelled := pivotLoop(t, basis, obj, total, p.Cancel)
 		iters += it
+		if cancelled {
+			return &Solution{Status: Cancelled, Iters: iters}, nil
+		}
 		if unb {
 			return nil, fmt.Errorf("lp: phase-1 unbounded (internal error)")
 		}
@@ -233,8 +265,11 @@ func Solve(p *Problem) (*Solution, error) {
 		}
 	}
 	limit := n + nSlack // exclude artificial columns from entering
-	it, unb := pivotLoop(t, basis, obj, limit)
+	it, unb, cancelled := pivotLoop(t, basis, obj, limit, p.Cancel)
 	iters += it
+	if cancelled {
+		return &Solution{Status: Cancelled, Iters: iters}, nil
+	}
 	if unb {
 		return &Solution{Status: Unbounded, Iters: iters}, nil
 	}
@@ -287,14 +322,24 @@ func sub(obj, row []float64, factor float64) {
 }
 
 // pivotLoop runs primal simplex pivots until optimality (no negative
-// reduced cost among columns [0, limit)) or unboundedness. It uses
-// Dantzig pricing for the first 5000 iterations, then Bland's rule for
-// guaranteed termination.
-func pivotLoop(t [][]float64, basis []int, obj []float64, limit int) (iters int, unbounded bool) {
+// reduced cost among columns [0, limit)), unboundedness, or
+// cancellation. It uses Dantzig pricing for the first 5000 iterations,
+// then Bland's rule for guaranteed termination. A pivot on a
+// mapper-sized tableau costs O(m*total) flops, so the cancel channel is
+// polled every iteration — the poll is noise next to the pivot itself
+// and bounds cancellation latency to a single pivot.
+func pivotLoop(t [][]float64, basis []int, obj []float64, limit int, cancel <-chan struct{}) (iters int, unbounded, cancelled bool) {
 	m := len(t)
 	total := len(obj) - 1
 	const blandAfter = 5000
 	for {
+		if cancel != nil {
+			select {
+			case <-cancel:
+				return iters, false, true
+			default:
+			}
+		}
 		// Entering column.
 		enter := -1
 		if iters < blandAfter {
@@ -314,7 +359,7 @@ func pivotLoop(t [][]float64, basis []int, obj []float64, limit int) (iters int,
 			}
 		}
 		if enter < 0 {
-			return iters, false
+			return iters, false, false
 		}
 		// Leaving row: minimum ratio; ties by smallest basis index
 		// (Bland).
@@ -330,7 +375,7 @@ func pivotLoop(t [][]float64, basis []int, obj []float64, limit int) (iters int,
 			}
 		}
 		if leave < 0 {
-			return iters, true
+			return iters, true, false
 		}
 		pivot(t, basis, obj, leave, enter)
 		iters++

@@ -62,7 +62,7 @@ func MapAuto(ctx context.Context, g *dfg.Graph, a *arch.Arch, maxII int, opts Op
 			auto.Tried = append(auto.Tried, ilp.Infeasible)
 			continue
 		}
-		res, err := Map(ctx, g, mg, opts)
+		res, err := Dispatch(ctx, g, mg, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -37,6 +37,29 @@ type Options struct {
 	// DisablePresolve turns off the counting presolve, forcing even
 	// pigeonhole-infeasible instances through the solver.
 	DisablePresolve bool
+	// MapWith, when non-nil, replaces the direct build-and-solve
+	// pipeline for callers that go through Dispatch (MapAuto, the
+	// experiment sweeps, the CLIs). It is the seam that lets an
+	// orchestrator such as internal/portfolio slot in above the solver
+	// without an import cycle. Dispatch clears the field before
+	// invoking it, so the replacement may itself call Map or Dispatch
+	// with the options it receives.
+	MapWith MapFunc
+}
+
+// MapFunc is the signature of Map. Orchestrators provide drop-in
+// replacements (see Options.MapWith).
+type MapFunc func(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts Options) (*Result, error)
+
+// Dispatch routes a mapping request through opts.MapWith when set, and
+// through Map otherwise.
+func Dispatch(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts Options) (*Result, error) {
+	if opts.MapWith != nil {
+		fn := opts.MapWith
+		opts.MapWith = nil
+		return fn(ctx, g, mg, opts)
+	}
+	return Map(ctx, g, mg, opts)
 }
 
 // Result reports one mapping attempt.
@@ -123,6 +146,13 @@ func Map(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts Options) (*Resu
 
 // decode converts a satisfying assignment into a Mapping.
 func (f *formulation) decode(a ilp.Assignment) (*Mapping, error) {
+	if len(a) != f.model.NumVars() {
+		// A wrong-shaped assignment (e.g. a truncated solution from a
+		// misbehaving engine) must be rejected here, not crash the
+		// variable lookups below.
+		return nil, fmt.Errorf("mapper: solver returned %d-variable assignment for %d-variable model",
+			len(a), f.model.NumVars())
+	}
 	m := &Mapping{
 		DFG:       f.g,
 		MRRG:      f.mg,

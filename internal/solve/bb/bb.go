@@ -38,10 +38,15 @@ type searchState struct {
 }
 
 // Solve explores the 0-1 tree depth first, pruning with the LP
-// relaxation bound.
+// relaxation bound. A cancelled solve returns the best incumbent with
+// status Feasible (or Unknown when none was found) and a "cancelled"
+// marker in Stats.
 func (e *Engine) Solve(ctx context.Context, m *ilp.Model) (*ilp.Solution, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx.Err() != nil {
+		return &ilp.Solution{Status: ilp.Unknown, Stats: map[string]int64{"nodes": 0, "cancelled": 1}}, nil
 	}
 	st := &searchState{
 		m:     m,
@@ -55,6 +60,9 @@ func (e *Engine) Solve(ctx context.Context, m *ilp.Model) (*ilp.Solution, error)
 		return nil, err
 	}
 	stats := map[string]int64{"nodes": st.nodes}
+	if st.cancelled {
+		stats["cancelled"] = 1
+	}
 	switch {
 	case st.cancelled && st.best != nil:
 		return &ilp.Solution{Status: ilp.Feasible, Assignment: st.best, Objective: st.obj, Stats: stats}, nil
@@ -70,7 +78,7 @@ func (e *Engine) Solve(ctx context.Context, m *ilp.Model) (*ilp.Solution, error)
 // relax builds and solves the LP relaxation under the current fixings.
 func (st *searchState) relax() (*lp.Solution, error) {
 	n := st.m.NumVars()
-	p := &lp.Problem{NumVars: n, Obj: make([]float64, n)}
+	p := &lp.Problem{NumVars: n, Obj: make([]float64, n), Cancel: st.ctx.Done()}
 	for _, t := range st.m.Objective {
 		p.Obj[t.Var] += float64(t.Coef)
 	}
@@ -108,7 +116,7 @@ func (st *searchState) branch() error {
 		return nil
 	}
 	st.nodes++
-	if st.nodes%64 == 0 && st.ctx.Err() != nil {
+	if st.ctx.Err() != nil {
 		st.cancelled = true
 		return nil
 	}
@@ -121,6 +129,9 @@ func (st *searchState) branch() error {
 		return nil
 	case lp.Unbounded:
 		return fmt.Errorf("bb: relaxation unbounded on a 0-1 box (internal error)")
+	case lp.Cancelled:
+		st.cancelled = true
+		return nil
 	}
 	// Bound: with an integral objective, any integer solution in this
 	// subtree costs at least ceil(lpObj).

@@ -1,0 +1,109 @@
+package cdcl
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"cgramap/internal/ilp"
+)
+
+// pigeonhole builds PHP(pigeons, holes): every pigeon in at least one
+// hole, at most one pigeon per hole. With pigeons > holes it is provably
+// infeasible and exponentially hard for clause learning, which makes it a
+// reliable way to keep the solver busy in cancellation tests.
+func pigeonhole(pigeons, holes int) *ilp.Model {
+	m := ilp.NewModel(fmt.Sprintf("php-%d-%d", pigeons, holes))
+	x := make([][]ilp.Var, pigeons)
+	for p := range x {
+		x[p] = make([]ilp.Var, holes)
+		for h := range x[p] {
+			x[p][h] = m.Binary(fmt.Sprintf("x_%d_%d", p, h))
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		m.AddGE("pigeon", ilp.Sum(x[p]...), 1)
+	}
+	for h := 0; h < holes; h++ {
+		col := make([]ilp.Var, pigeons)
+		for p := 0; p < pigeons; p++ {
+			col[p] = x[p][h]
+		}
+		m.AddLE("hole", ilp.Sum(col...), 1)
+	}
+	return m
+}
+
+func TestSolvePreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := New().Solve(ctx, pigeonhole(6, 5))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != ilp.Unknown {
+		t.Fatalf("status = %v, want unknown", sol.Status)
+	}
+	if sol.Stats["cancelled"] != 1 {
+		t.Errorf("stats = %v, want cancelled=1", sol.Stats)
+	}
+}
+
+// TestCancellationLatency asserts that a cancelled solve returns within a
+// small bound even on a propagation- and conflict-heavy instance, via the
+// conflict-, propagation- and restart-clock context checks in search.
+func TestCancellationLatency(t *testing.T) {
+	m := pigeonhole(40, 39)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type out struct {
+		sol *ilp.Solution
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		sol, err := New().Solve(ctx, m)
+		done <- out{sol, err}
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	cancelled := time.Now()
+	select {
+	case o := <-done:
+		if o.err != nil {
+			t.Fatalf("Solve: %v", o.err)
+		}
+		if lat := time.Since(cancelled); lat > 2*time.Second {
+			t.Errorf("solve returned %v after cancellation, want < 2s", lat)
+		}
+		if o.sol.Status == ilp.Unknown && o.sol.Stats["cancelled"] != 1 {
+			t.Errorf("unknown status without cancelled stat: %v", o.sol.Stats)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("solve did not return within 5s of cancellation")
+	}
+}
+
+// TestSeededTrajectoriesAgree checks that randomized-seed engines remain
+// complete and sound: every seed must reach the same feasibility verdict.
+func TestSeededTrajectoriesAgree(t *testing.T) {
+	sat := pigeonhole(5, 5)
+	unsat := pigeonhole(6, 5)
+	for seed := int64(0); seed < 4; seed++ {
+		e := &Engine{Seed: seed}
+		sol, err := e.Solve(context.Background(), sat)
+		if err != nil || sol.Status != ilp.Optimal {
+			t.Fatalf("seed %d on sat: status=%v err=%v", seed, sol.Status, err)
+		}
+		if err := sat.Check(sol.Assignment); err != nil {
+			t.Fatalf("seed %d returned infeasible assignment: %v", seed, err)
+		}
+		sol, err = e.Solve(context.Background(), unsat)
+		if err != nil || sol.Status != ilp.Infeasible {
+			t.Fatalf("seed %d on unsat: status=%v err=%v", seed, sol.Status, err)
+		}
+	}
+}

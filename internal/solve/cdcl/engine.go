@@ -3,6 +3,7 @@ package cdcl
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"cgramap/internal/ilp"
@@ -14,10 +15,20 @@ type Engine struct {
 	// DisableProbing turns off root-level failed-literal probing of
 	// prioritised variables (on by default; see probe).
 	DisableProbing bool
+	// Seed, when non-zero, randomizes the initial search trajectory:
+	// variable activities get a small jitter (breaking ties under the
+	// model's branch priorities) and saved phases start random. Distinct
+	// seeds give effectively independent restarts of the same complete
+	// search, which is what the portfolio racer's reseeded strategies
+	// and backoff-and-reseed retries rely on.
+	Seed int64
 }
 
 // New returns a ready Engine.
 func New() *Engine { return &Engine{} }
+
+// NewSeeded returns an Engine with a randomized search trajectory.
+func NewSeeded(seed int64) *Engine { return &Engine{Seed: seed} }
 
 // probe performs failed-literal probing at the root: each candidate
 // variable is tentatively assigned true; if unit propagation derives a
@@ -113,8 +124,9 @@ func install(s *solver, n normalized) {
 
 // compile encodes a model into a fresh solver. It returns an error for
 // non-unit coefficients, and a nil solver when the model is trivially
-// infeasible at the root.
-func compile(m *ilp.Model) (*solver, error) {
+// infeasible at the root. A non-zero seed jitters activities and phases
+// for an independent search trajectory.
+func compile(m *ilp.Model, seed int64) (*solver, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -130,6 +142,21 @@ func compile(m *ilp.Model) (*solver, error) {
 		}
 		if m.PhaseHint(ilp.Var(v)) {
 			s.phase[v] = true
+		}
+	}
+	if seed != 0 {
+		rng := rand.New(rand.NewSource(seed))
+		rebuildHeap = true
+		for v := 0; v < m.NumVars(); v++ {
+			// Jitter below 0.5 shuffles ties without overturning the
+			// integer branch priorities.
+			s.activity[v] += rng.Float64() * 0.4
+			if m.PhaseHint(ilp.Var(v)) {
+				// Keep hints mostly, flipping a few for diversity.
+				s.phase[v] = rng.Float64() >= 0.1
+			} else {
+				s.phase[v] = rng.Intn(2) == 1
+			}
 		}
 	}
 	if rebuildHeap {
@@ -192,9 +219,13 @@ func objectiveLits(m *ilp.Model) (lits []lit, offset int, err error) {
 // an at-most bound on the objective literals until infeasibility proves
 // the incumbent optimal (the standard linear-search optimisation loop on
 // top of a complete feasibility engine). Context cancellation returns the
-// best incumbent with status Feasible, or Unknown when none was found.
+// best incumbent with status Feasible, or Unknown when none was found;
+// either way the solution's Stats carry a "cancelled" marker.
 func (e *Engine) Solve(ctx context.Context, m *ilp.Model) (*ilp.Solution, error) {
-	s, err := compile(m)
+	if ctx.Err() != nil {
+		return &ilp.Solution{Status: ilp.Unknown, Stats: map[string]int64{"cancelled": 1}}, nil
+	}
+	s, err := compile(m, e.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -247,10 +278,12 @@ func (e *Engine) Solve(ctx context.Context, m *ilp.Model) (*ilp.Solution, error)
 		res := s.search(ctx)
 		switch res {
 		case lUndef: // cancelled
+			st := stats()
+			st["cancelled"] = 1
 			if best != nil {
-				return &ilp.Solution{Status: ilp.Feasible, Assignment: best, Objective: bestObj, Stats: stats()}, nil
+				return &ilp.Solution{Status: ilp.Feasible, Assignment: best, Objective: bestObj, Stats: st}, nil
 			}
-			return &ilp.Solution{Status: ilp.Unknown, Stats: stats()}, nil
+			return &ilp.Solution{Status: ilp.Unknown, Stats: st}, nil
 		case lFalse:
 			if best != nil {
 				// The strengthened bound is infeasible: the

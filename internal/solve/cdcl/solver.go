@@ -507,18 +507,35 @@ func luby(i int64) int64 {
 	}
 }
 
+// propCheckInterval bounds how many unit propagations may pass between
+// context checks. Conflict-driven checks alone (every 1024 conflicts) can
+// ignore a deadline for a long time on propagation-heavy instances where
+// conflicts are rare; see TestCancellationLatency.
+const propCheckInterval = 100_000
+
 // search runs the CDCL loop until SAT (lTrue), UNSAT (lFalse) or context
-// cancellation (lUndef).
+// cancellation (lUndef). Cancellation is observed on three clocks:
+// every 1024 conflicts, every ~100k propagations, and at every restart.
 func (s *solver) search(ctx context.Context) lbool {
 	if !s.ok {
 		return lFalse
 	}
+	if ctx.Err() != nil {
+		return lUndef
+	}
 	restartIdx := int64(0)
 	conflictsSinceRestart := int64(0)
 	restartBudget := luby(1) * 100
+	nextPropCheck := s.propagations + propCheckInterval
 
 	for {
 		confl := s.propagate()
+		if s.propagations >= nextPropCheck {
+			nextPropCheck = s.propagations + propCheckInterval
+			if ctx.Err() != nil {
+				return lUndef
+			}
+		}
 		if confl != nil {
 			s.conflicts++
 			conflictsSinceRestart++
@@ -554,6 +571,9 @@ func (s *solver) search(ctx context.Context) lbool {
 			s.cancelUntil(0)
 			if len(s.learnts) > s.maxLearnts {
 				s.reduceDB()
+			}
+			if ctx.Err() != nil {
+				return lUndef
 			}
 			continue
 		}
