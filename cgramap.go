@@ -32,6 +32,7 @@ import (
 	"cgramap/internal/mrrg"
 	"cgramap/internal/portfolio"
 	"cgramap/internal/sched"
+	"cgramap/internal/service"
 	"cgramap/internal/sim"
 	"cgramap/internal/solve/bb"
 	"cgramap/internal/solve/cdcl"
@@ -260,3 +261,49 @@ func ExtraKernelNames() []string { return bench.ExtraNames() }
 // WriteFloorPlan renders a mapping on a grid architecture as an ASCII
 // floor plan, one panel per context.
 func WriteFloorPlan(w io.Writer, m *Mapping) error { return visual.WriteGrid(w, m) }
+
+// Mapping as a service: the cgramapd daemon (cmd/cgramapd) exposes the
+// mappers as a concurrent job server with single-flight deduplication
+// and a content-addressed result cache. See internal/service.
+type (
+	// ServiceOptions configures an embedded mapping job server.
+	ServiceOptions = service.Options
+	// Service is the mapping job server itself (HTTP surface via
+	// Handler, programmatic via Submit/Wait/Result).
+	Service = service.Server
+	// ServiceClient talks to a cgramapd server; its MapFunc method
+	// plugs remote solving into MapOptions.MapWith.
+	ServiceClient = service.Client
+	// JobRequest, JobStatus and JobResult are the service wire types.
+	JobRequest = service.JobRequest
+	JobStatus  = service.JobStatus
+	JobResult  = service.JobResult
+	// PortableMapping is the name-based serialisable mapping form;
+	// reconstruct (and re-verify) with MappingFromPortable.
+	PortableMapping = mapper.Portable
+)
+
+// NewService builds a mapping job server and starts its worker pool.
+func NewService(opts ServiceOptions) *Service { return service.New(opts) }
+
+// NewServiceClient returns a client for a cgramapd server.
+func NewServiceClient(baseURL string) *ServiceClient { return service.NewClient(baseURL) }
+
+// MappingFromPortable rebinds a portable mapping to locally built DFG
+// and MRRG values and verifies it from scratch.
+func MappingFromPortable(g *DFG, m *MRRG, p *PortableMapping) (*Mapping, error) {
+	return mapper.FromPortable(g, m, p)
+}
+
+// JobFingerprint is the canonical content-address of a mapping job:
+// stable under DFG/architecture renaming and iteration order, sensitive
+// to any semantic change. It keys the service's result cache.
+func JobFingerprint(g *DFG, a *Arch, engine string, objective mapper.ObjectiveMode, autoII int) string {
+	return service.Fingerprint(g, a, engine, objective, autoII)
+}
+
+// DFGFingerprint is the structural hash of an application graph alone.
+func DFGFingerprint(g *DFG) string { return g.Fingerprint() }
+
+// ArchFingerprint is the structural hash of an architecture alone.
+func ArchFingerprint(a *Arch) string { return a.Fingerprint() }

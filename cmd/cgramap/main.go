@@ -54,28 +54,42 @@ func main() {
 		floorplan = flag.Bool("floorplan", false, "print an ASCII floor plan of the mapping (grid architectures)")
 	)
 	flag.Parse()
-	if err := run(*dfgFile, *benchName, *archFile, *rows, *cols, *contexts,
-		*diagonal, *hetero, *objective, *engine, *fallback, *useSA, *timeout, *lpOut, *quiet, *showCfg, *validate, *floorplan); err != nil {
+	code, err := run(*dfgFile, *benchName, *archFile, *rows, *cols, *contexts,
+		*diagonal, *hetero, *objective, *engine, *fallback, *useSA, *timeout, *lpOut, *quiet, *showCfg, *validate, *floorplan)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgramap:", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
 	}
+	os.Exit(code)
 }
+
+// Exit statuses, script-friendly: a wrapper can distinguish "mapping
+// provably impossible" from "undecided within the budget" without
+// parsing output.
+const (
+	exitOK         = 0 // feasible mapping found (or nothing to solve)
+	exitError      = 1 // usage or internal error
+	exitInfeasible = 2 // infeasibility proven
+	exitUnknown    = 3 // timeout / undecided (the paper's "T")
+)
 
 func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 	diagonal, hetero bool, objective, engine string, fallback, useSA bool,
-	timeout time.Duration, lpOut string, quiet, showCfg, validate, floorplan bool) error {
+	timeout time.Duration, lpOut string, quiet, showCfg, validate, floorplan bool) (int, error) {
 
 	g, err := loadDFG(dfgFile, benchName)
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	a, err := loadArch(archFile, rows, cols, contexts, diagonal, hetero)
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	mg, err := mrrg.Generate(a)
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	fmt.Printf("mapping %s (%d ops, %d values) onto %s (%d MRRG nodes, %d contexts)\n",
 		g.Name, g.NumOps(), g.NumVals(), a.Name, len(mg.Nodes), mg.Contexts)
@@ -86,34 +100,34 @@ func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 	case "routing":
 		opts.Objective = mapper.MinimizeRouting
 	default:
-		return fmt.Errorf("unknown objective %q", objective)
+		return exitError, fmt.Errorf("unknown objective %q", objective)
 	}
 	switch engine {
 	case "cdcl", "portfolio":
 	case "bb":
 		opts.Solver = bb.New()
 	default:
-		return fmt.Errorf("unknown engine %q", engine)
+		return exitError, fmt.Errorf("unknown engine %q", engine)
 	}
 
 	if lpOut != "" {
 		model, reason, err := mapper.BuildModel(g, mg, opts)
 		if err != nil {
-			return err
+			return exitError, err
 		}
 		if model == nil {
-			return fmt.Errorf("instance infeasible before solving: %s", reason)
+			return exitInfeasible, fmt.Errorf("instance infeasible before solving: %s", reason)
 		}
 		f, err := os.Create(lpOut)
 		if err != nil {
-			return err
+			return exitError, err
 		}
 		defer f.Close()
 		if err := model.WriteLP(f); err != nil {
-			return err
+			return exitError, err
 		}
 		fmt.Printf("wrote %s (%d binaries, %d constraints)\n", lpOut, model.NumVars(), len(model.Constraints))
-		return nil
+		return exitOK, nil
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
@@ -121,18 +135,21 @@ func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 	if useSA {
 		res, err := anneal.Map(ctx, g, mg, anneal.Options{})
 		if err != nil {
-			return err
+			return exitError, err
 		}
 		if !res.Feasible {
+			// A heuristic miss is undecided, never an infeasibility proof.
 			fmt.Printf("status: no mapping found by annealing (%d moves, cost %.0f)\n", res.Moves, res.Cost)
-			return nil
+			return exitUnknown, nil
 		}
 		fmt.Printf("status: feasible (annealing, %d moves, routing cost %d)\n",
 			res.Moves, res.Mapping.RoutingCost())
 		if !quiet {
-			return res.Mapping.Write(os.Stdout)
+			if err := res.Mapping.Write(os.Stdout); err != nil {
+				return exitError, err
+			}
 		}
-		return nil
+		return exitOK, nil
 	}
 
 	start := time.Now()
@@ -144,7 +161,7 @@ func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 			Mapper:          opts,
 		})
 		if err != nil {
-			return err
+			return exitError, err
 		}
 		for _, rep := range pres.Reports {
 			note := ""
@@ -167,7 +184,7 @@ func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 		var err error
 		res, err = mapper.Map(ctx, g, mg, opts)
 		if err != nil {
-			return err
+			return exitError, err
 		}
 	}
 	switch res.Status {
@@ -177,23 +194,27 @@ func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 			fmt.Printf(" — %s", res.Reason)
 		}
 		fmt.Println()
+		return exitInfeasible, nil
 	case ilp.Unknown:
 		fmt.Printf("status: timeout after %v (T)\n", timeout)
 		if res.Reason != "" {
 			fmt.Printf("  %s\n", res.Reason)
 		}
+		return exitUnknown, nil
 	default:
 		fmt.Printf("status: %s in %v (%d vars, %d constraints, routing cost %d)\n",
 			res.Status, time.Since(start).Round(time.Millisecond),
 			res.Vars, res.Constraints, res.Mapping.RoutingCost())
 		if !quiet {
 			if err := res.Mapping.Write(os.Stdout); err != nil {
-				return err
+				return exitError, err
 			}
 		}
-		return postProcess(res.Mapping, g, showCfg, validate, floorplan)
+		if err := postProcess(res.Mapping, g, showCfg, validate, floorplan); err != nil {
+			return exitError, err
+		}
+		return exitOK, nil
 	}
-	return nil
 }
 
 // postProcess optionally prints the floor plan and fabric configuration,

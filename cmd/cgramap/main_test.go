@@ -57,10 +57,10 @@ func TestLoadArch(t *testing.T) {
 func TestRunLPExport(t *testing.T) {
 	dir := t.TempDir()
 	lp := filepath.Join(dir, "m.lp")
-	err := run("", "2x2-f", "", 4, 4, 1, true, false, "feasibility", "cdcl", true, false,
+	code, err := run("", "2x2-f", "", 4, 4, 1, true, false, "feasibility", "cdcl", true, false,
 		time.Minute, lp, true, false, false, false)
-	if err != nil {
-		t.Fatal(err)
+	if err != nil || code != exitOK {
+		t.Fatal(code, err)
 	}
 	data, err := os.ReadFile(lp)
 	if err != nil {
@@ -72,24 +72,65 @@ func TestRunLPExport(t *testing.T) {
 }
 
 func TestRunSolveSmall(t *testing.T) {
-	err := run("", "2x2-f", "", 4, 4, 2, true, false, "feasibility", "cdcl", true, false,
+	code, err := run("", "2x2-f", "", 4, 4, 2, true, false, "feasibility", "cdcl", true, false,
 		2*time.Minute, "", true, true, true, true)
-	if err != nil {
-		t.Fatal(err)
+	if err != nil || code != exitOK {
+		t.Fatal(code, err)
 	}
 	// Bad flag values.
-	if err := run("", "2x2-f", "", 4, 4, 1, false, false, "zorp", "cdcl", true, false, time.Minute, "", true, false, false, false); err == nil {
+	if code, err := run("", "2x2-f", "", 4, 4, 1, false, false, "zorp", "cdcl", true, false, time.Minute, "", true, false, false, false); err == nil || code != exitError {
 		t.Error("bad objective accepted")
 	}
-	if err := run("", "2x2-f", "", 4, 4, 1, false, false, "feasibility", "zorp", true, false, time.Minute, "", true, false, false, false); err == nil {
+	if code, err := run("", "2x2-f", "", 4, 4, 1, false, false, "feasibility", "zorp", true, false, time.Minute, "", true, false, false, false); err == nil || code != exitError {
 		t.Error("bad engine accepted")
 	}
 }
 
 func TestRunSolvePortfolio(t *testing.T) {
-	err := run("", "2x2-f", "", 2, 2, 2, true, false, "feasibility", "portfolio", true, false,
+	code, err := run("", "2x2-f", "", 2, 2, 2, true, false, "feasibility", "portfolio", true, false,
+		time.Minute, "", true, false, false, false)
+	if err != nil || code != exitOK {
+		t.Fatal(code, err)
+	}
+}
+
+// TestRunExitInfeasible: a DFG with more operations than a 1-context 2x2
+// grid has FUs is provably unmappable, and the CLI must say so with
+// exit status 2 — the script-visible difference from a timeout.
+func TestRunExitInfeasible(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.dfg")
+	var sb strings.Builder
+	sb.WriteString("dfg big\ninput a\ninput b\n")
+	prev := "a"
+	for i := 0; i < 6; i++ {
+		cur := string(rune('c' + i))
+		sb.WriteString("add " + cur + " " + prev + " b\n")
+		prev = cur
+	}
+	sb.WriteString("output o " + prev + "\n")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, err := run(path, "", "", 2, 2, 1, true, false, "feasibility", "cdcl", true, false,
 		time.Minute, "", true, false, false, false)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if code != exitInfeasible {
+		t.Errorf("exit code %d for a proven-infeasible instance, want %d", code, exitInfeasible)
+	}
+}
+
+// TestRunExitUnknown: an expired deadline leaves the instance undecided,
+// which must surface as exit status 3, not as infeasibility.
+func TestRunExitUnknown(t *testing.T) {
+	code, err := run("", "mac", "", 4, 4, 2, true, false, "feasibility", "cdcl", true, false,
+		time.Nanosecond, "", true, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitUnknown {
+		t.Errorf("exit code %d for a timed-out solve, want %d", code, exitUnknown)
 	}
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log"
+	"testing"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/service"
+)
+
+// TestServeLifecycle boots the daemon on an ephemeral port, solves a
+// job through the HTTP client, verifies the duplicate is a cache hit,
+// and checks that shutdown drains cleanly.
+func TestServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	logger := log.New(io.Discard, "", 0)
+	go func() {
+		done <- serve(ctx, "127.0.0.1:0", service.Options{Workers: 2}, time.Minute, logger, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	}
+
+	c := service.NewClient("http://" + addr)
+	c.PollInterval = 5 * time.Millisecond
+	reqCtx, reqCancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer reqCancel()
+	req := &service.JobRequest{
+		Benchmark: "2x2-f",
+		Grid:      &arch.GridSpec{Rows: 2, Cols: 2, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 2},
+	}
+	res, err := c.Solve(reqCtx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Mapping == nil {
+		t.Fatalf("expected feasible mapping, got %+v", res)
+	}
+	st, err := c.Submit(reqCtx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.CacheHit {
+		t.Errorf("duplicate submission not served from cache: %+v", st)
+	}
+
+	cancel() // SIGTERM equivalent
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain and exit")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"cgramap/internal/exper"
 	"cgramap/internal/mapper"
 	"cgramap/internal/portfolio"
+	"cgramap/internal/service"
 	"cgramap/internal/solve/bb"
 )
 
@@ -61,7 +62,7 @@ func usage() {
 // for both Table 2 and the ILP side of Fig. 8.
 func runAll(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
-	timeout, benchList, verbose, engine, fallback := sweepFlags(fs)
+	timeout, benchList, verbose, engine, fallback, daemon := sweepFlags(fs)
 	saTimeout := fs.Duration("sa-timeout", 10*time.Second, "per-instance annealer budget")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,7 +71,7 @@ func runAll(args []string) error {
 	if err != nil {
 		return err
 	}
-	mOpts, err := mapperOptions(*engine, *fallback)
+	mOpts, err := mapperOptions(*engine, *fallback, *daemon)
 	if err != nil {
 		return err
 	}
@@ -113,20 +114,32 @@ func runAll(args []string) error {
 	return runAblate([]string{"-timeout", timeout.String()})
 }
 
-func sweepFlags(fs *flag.FlagSet) (timeout *time.Duration, benchList *string, verbose *bool, engine *string, fallback *bool) {
+func sweepFlags(fs *flag.FlagSet) (timeout *time.Duration, benchList *string, verbose *bool, engine *string, fallback *bool, daemon *string) {
 	timeout = fs.Duration("timeout", 60*time.Second, "per-instance solver timeout")
 	benchList = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all 19)")
 	verbose = fs.Bool("v", false, "print per-instance progress to stderr")
 	engine = fs.String("engine", "cdcl", "ILP engine per cell: cdcl | bb | portfolio")
 	fallback = fs.Bool("fallback", false, "portfolio only: let cells degrade to heuristic witnesses")
+	daemon = fs.String("daemon", "", "offload every solve to a cgramapd server at this URL (duplicate instances across sweeps hit its cache)")
 	return
 }
 
 // mapperOptions translates the engine flags into per-cell mapper options.
 // The portfolio engine rides the cell's own deadline, so no separate
-// timeout is set here.
-func mapperOptions(engine string, fallback bool) (mapper.Options, error) {
+// timeout is set here. A daemon URL reroutes every cell through the
+// cgramapd job service with the same engine name; -fallback does not
+// cross the wire (the daemon's portfolio keeps its own default).
+func mapperOptions(engine string, fallback bool, daemon string) (mapper.Options, error) {
 	opts := mapper.Options{}
+	if daemon != "" {
+		switch engine {
+		case "cdcl", "bb", "portfolio":
+			opts.MapWith = service.NewClient(daemon).MapFunc(engine)
+			return opts, nil
+		default:
+			return opts, fmt.Errorf("unknown engine %q", engine)
+		}
+	}
 	switch engine {
 	case "cdcl":
 	case "bb":
@@ -154,7 +167,7 @@ func parseBenchList(s string) ([]string, error) {
 
 func runTable2(args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
-	timeout, benchList, verbose, engine, fallback := sweepFlags(fs)
+	timeout, benchList, verbose, engine, fallback, daemon := sweepFlags(fs)
 	times := fs.Bool("times", false, "print the runtime distribution summary")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -163,7 +176,7 @@ func runTable2(args []string) error {
 	if err != nil {
 		return err
 	}
-	mOpts, err := mapperOptions(*engine, *fallback)
+	mOpts, err := mapperOptions(*engine, *fallback, *daemon)
 	if err != nil {
 		return err
 	}
@@ -187,7 +200,7 @@ func runTable2(args []string) error {
 
 func runFig8(args []string) error {
 	fs := flag.NewFlagSet("fig8", flag.ExitOnError)
-	timeout, benchList, verbose, engine, fallback := sweepFlags(fs)
+	timeout, benchList, verbose, engine, fallback, daemon := sweepFlags(fs)
 	saSeed := fs.Int64("sa-seed", 1, "annealer random seed")
 	saMoves := fs.Int("sa-moves", 0, "annealer moves per temperature (0 = moderate default)")
 	if err := fs.Parse(args); err != nil {
@@ -197,7 +210,7 @@ func runFig8(args []string) error {
 	if err != nil {
 		return err
 	}
-	mOpts, err := mapperOptions(*engine, *fallback)
+	mOpts, err := mapperOptions(*engine, *fallback, *daemon)
 	if err != nil {
 		return err
 	}
@@ -225,7 +238,7 @@ func runFig8(args []string) error {
 
 func runAblate(args []string) error {
 	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
-	timeout, benchList, _, _, _ := sweepFlags(fs)
+	timeout, benchList, _, _, _, _ := sweepFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

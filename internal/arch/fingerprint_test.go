@@ -1,0 +1,148 @@
+package arch
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cgramap/internal/dfg"
+)
+
+// buildNamed assembles a small fixed-topology architecture whose
+// primitive names come from name(i) and whose connections are inserted
+// in the order conns permutes — the two degrees of freedom Fingerprint
+// must be invariant to.
+func buildNamed(t *testing.T, name func(int) string, connOrder []int) *Arch {
+	t.Helper()
+	b := NewBuilder("fp-test", 2)
+	fu0 := b.FU(name(0), []dfg.Kind{dfg.Add, dfg.Sub}, 2, 0, 1)
+	fu1 := b.FU(name(1), []dfg.Kind{dfg.Add, dfg.Mul}, 2, 0, 1)
+	m0 := b.Mux(name(2), 2)
+	m1 := b.Mux(name(3), 2)
+	r0 := b.Reg(name(4))
+	conns := []struct {
+		src, dst PrimID
+		port     int
+	}{
+		{fu0, m0, 0}, {fu1, m0, 1},
+		{fu0, m1, 0}, {fu1, m1, 1},
+		{m0, fu0, 0}, {m0, fu1, 0},
+		{m1, r0, 0},
+		{r0, fu0, 1}, {r0, fu1, 1},
+	}
+	for _, i := range connOrder {
+		c := conns[i]
+		b.Connect(c.src, c.dst, c.port)
+	}
+	a, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return a
+}
+
+func identity(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+// TestArchFingerprintInvariance: renaming primitives and shuffling the
+// connection insertion order (the shape a map-ordered builder produces)
+// leave the fingerprint unchanged.
+func TestArchFingerprintInvariance(t *testing.T) {
+	base := buildNamed(t, func(i int) string { return fmt.Sprintf("p%d", i) }, identity(9))
+	fp := base.Fingerprint()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := identity(9)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		renamed := buildNamed(t, func(i int) string {
+			return fmt.Sprintf("blk_%c%d_%d", 'a'+i, rng.Intn(100), i)
+		}, order)
+		return renamed.Fingerprint() == fp
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestArchFingerprintSemanticEdits: context count, FU operation sets, and
+// primitive parameters all feed the key.
+func TestArchFingerprintSemanticEdits(t *testing.T) {
+	base := buildNamed(t, func(i int) string { return fmt.Sprintf("p%d", i) }, identity(9))
+	fp := base.Fingerprint()
+
+	ctx := *base
+	ctx.Contexts = 3
+	if ctx.Fingerprint() == fp {
+		t.Error("context count not hashed")
+	}
+
+	opEdit := buildNamed(t, func(i int) string { return fmt.Sprintf("p%d", i) }, identity(9))
+	opEdit.Prims[1].Ops = []dfg.Kind{dfg.Add} // drop Mul support
+	if opEdit.Fingerprint() == fp {
+		t.Error("FU operation set not hashed")
+	}
+
+	costEdit := buildNamed(t, func(i int) string { return fmt.Sprintf("p%d", i) }, identity(9))
+	costEdit.Prims[4].Cost = 7
+	if costEdit.Fingerprint() == fp {
+		t.Error("primitive cost not hashed")
+	}
+
+	latEdit := buildNamed(t, func(i int) string { return fmt.Sprintf("p%d", i) }, identity(9))
+	latEdit.Prims[0].Latency = 2
+	if latEdit.Fingerprint() == fp {
+		t.Error("FU latency not hashed")
+	}
+}
+
+// TestGridFingerprintDistinguishesPaperArchitectures: the eight Table 2
+// architectures all key differently, and regeneration is stable.
+func TestGridFingerprintDistinguishesPaperArchitectures(t *testing.T) {
+	seen := make(map[string]string)
+	for _, spec := range PaperArchitectures() {
+		a, err := Grid(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := a.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s and %s share a fingerprint", prev, spec.Name())
+		}
+		seen[fp] = spec.Name()
+		b, err := Grid(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Fingerprint() != fp {
+			t.Errorf("%s: fingerprint not reproducible", spec.Name())
+		}
+	}
+}
+
+// TestXMLRoundTripPreservesFingerprint: writing an architecture to XML
+// and reading it back preserves the content key — the property the
+// mapping service relies on when clients submit XML.
+func TestXMLRoundTripPreservesFingerprint(t *testing.T) {
+	a, err := Grid(GridSpec{Rows: 2, Cols: 2, Interconnect: Diagonal, Homogeneous: true, Contexts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := a.WriteXML(&sb); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadXML(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("XML round trip changed the fingerprint")
+	}
+}

@@ -1,0 +1,46 @@
+package dfg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+)
+
+// Fingerprint returns a canonical content hash of the graph's semantic
+// structure: the operation kinds and the def-use edge structure, with
+// operand order preserved. Two graphs that differ only in operation (and
+// hence value) names — or in the kernel name — fingerprint identically,
+// while any semantic edit (an operation kind, an extra operation, a
+// rewired operand) changes the hash. The computation iterates only the
+// graph's dense slices, so it is independent of map iteration order by
+// construction.
+//
+// The fingerprint is the content-addressing key the mapping service uses
+// to deduplicate and cache solves: the ILP formulation is built from
+// exactly the structure hashed here, so equal fingerprints (for a fixed
+// architecture and mapper configuration) yield the same mappability
+// answer.
+func (g *Graph) Fingerprint() string {
+	h := sha256.New()
+	h.Write([]byte("cgramap/dfg/v1\n"))
+	hashInt(h, len(g.ops))
+	for _, op := range g.ops {
+		hashInt(h, int(op.Kind))
+		hashInt(h, len(op.In))
+		for _, v := range op.In {
+			// Operand identity is the producing operation's dense ID —
+			// stable under renaming, sensitive to rewiring.
+			hashInt(h, v.Def.ID)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashInt feeds one integer into the hash in a fixed-width encoding, so
+// adjacent fields cannot alias (e.g. lengths bleeding into IDs).
+func hashInt(h hash.Hash, v int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+	h.Write(buf[:])
+}

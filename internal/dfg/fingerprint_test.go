@@ -1,0 +1,135 @@
+package dfg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildRandom synthesises a random acyclic DFG from its own seeded
+// source, naming every operation through name(i). Structure depends only
+// on the seed, so two calls with different naming schemes build
+// isomorphic graphs.
+func buildRandom(seed int64, name func(int) string) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(fmt.Sprintf("rand-%s", name(0)))
+	nOps := 3 + rng.Intn(12)
+	var producers []*Value
+	binaries := []Kind{Add, Sub, Mul, And, Or, Xor, Shl, Shr}
+	for i := 0; i < nOps; i++ {
+		var err error
+		var op *Op
+		switch {
+		case len(producers) == 0 || rng.Intn(4) == 0:
+			op, err = g.AddOp(name(g.NumOps()), Input)
+		case rng.Intn(5) == 0:
+			op, err = g.AddOp(name(g.NumOps()), Not, producers[rng.Intn(len(producers))])
+		default:
+			k := binaries[rng.Intn(len(binaries))]
+			a := producers[rng.Intn(len(producers))]
+			b := producers[rng.Intn(len(producers))]
+			op, err = g.AddOp(name(g.NumOps()), k, a, b)
+		}
+		if err != nil {
+			panic(err)
+		}
+		if op.Out != nil {
+			producers = append(producers, op.Out)
+		}
+	}
+	if _, err := g.AddOp(name(g.NumOps()), Output, producers[rng.Intn(len(producers))]); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestFingerprintRenameInvariant: isomorphic graphs that differ only in
+// operation names (and kernel name) fingerprint identically.
+func TestFingerprintRenameInvariant(t *testing.T) {
+	prop := func(seed int64) bool {
+		a := buildRandom(seed, func(i int) string { return fmt.Sprintf("op%d", i) })
+		b := buildRandom(seed, func(i int) string { return fmt.Sprintf("node_%c_%d", 'a'+i%26, i) })
+		return a.Fingerprint() == b.Fingerprint()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFingerprintStable: repeated fingerprints of the same graph value
+// are identical (no map-iteration-order or other nondeterminism).
+func TestFingerprintStable(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := buildRandom(seed, func(i int) string { return fmt.Sprintf("op%d", i) })
+		fp := g.Fingerprint()
+		for i := 0; i < 5; i++ {
+			if g.Fingerprint() != fp {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFingerprintSemanticEdits: changing an operation kind, rewiring an
+// operand, or appending an operation all change the fingerprint.
+func TestFingerprintSemanticEdits(t *testing.T) {
+	prop := func(seed int64) bool {
+		base := buildRandom(seed, func(i int) string { return fmt.Sprintf("op%d", i) })
+		fp := base.Fingerprint()
+
+		// Kind edit: flip the first commutative binary op to Sub (or Add).
+		kindEdit := buildRandom(seed, func(i int) string { return fmt.Sprintf("op%d", i) })
+		for _, op := range kindEdit.Ops() {
+			if len(op.In) == 2 && op.Kind != Store {
+				if op.Kind == Sub {
+					op.Kind = Add
+				} else {
+					op.Kind = Sub
+				}
+				if kindEdit.Fingerprint() == fp {
+					return false
+				}
+				break
+			}
+		}
+
+		// Edge edit: retarget a binary op's second operand to a different
+		// producer, when the graph has one.
+		edgeEdit := buildRandom(seed, func(i int) string { return fmt.Sprintf("op%d", i) })
+		for _, op := range edgeEdit.Ops() {
+			if len(op.In) != 2 {
+				continue
+			}
+			var alt *Value
+			for _, v := range edgeEdit.Vals() {
+				// Keep the edit acyclic and distinct: reuse an earlier
+				// producer that is not the current operand.
+				if v.Def.ID < op.ID && v != op.In[1] {
+					alt = v
+					break
+				}
+			}
+			if alt == nil {
+				continue
+			}
+			op.In[1] = alt // structural edit is enough for hashing purposes
+			if edgeEdit.Fingerprint() == fp {
+				return false
+			}
+			break
+		}
+
+		// Growth edit: one more operation changes the key.
+		grown := buildRandom(seed, func(i int) string { return fmt.Sprintf("op%d", i) })
+		grown.In(fmt.Sprintf("op%d", grown.NumOps()))
+		return grown.Fingerprint() != fp
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

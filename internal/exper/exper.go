@@ -32,17 +32,8 @@ type Cell struct {
 }
 
 // Mark renders the cell the way the paper's Table 2 does: 1 feasible,
-// 0 infeasible, T solver timeout.
-func (c Cell) Mark() string {
-	switch c.Status {
-	case ilp.Optimal, ilp.Feasible:
-		return "1"
-	case ilp.Infeasible:
-		return "0"
-	default:
-		return "T"
-	}
-}
+// 0 infeasible, T solver timeout (ilp.Status.Mark).
+func (c Cell) Mark() string { return c.Status.Mark() }
 
 // Sweep is a full benchmarks-by-architectures result grid.
 type Sweep struct {
@@ -58,7 +49,7 @@ func (s *Sweep) FeasibleTotals() []int {
 	totals := make([]int, len(s.Specs))
 	for _, row := range s.Cells {
 		for a, c := range row {
-			if c.Status == ilp.Optimal || c.Status == ilp.Feasible {
+			if feasible(c.Status) {
 				totals[a]++
 			}
 		}

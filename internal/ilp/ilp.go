@@ -261,6 +261,56 @@ func (s Status) String() string {
 	}
 }
 
+// Mark renders the status the way the paper's Table 2 does: "1" when a
+// mapping exists (Feasible/Optimal), "0" when mapping is provably
+// impossible, "T" when the solver could not decide within its budget.
+func (s Status) Mark() string {
+	switch s {
+	case Optimal, Feasible:
+		return "1"
+	case Infeasible:
+		return "0"
+	default:
+		return "T"
+	}
+}
+
+// StatusFromString resolves a name produced by Status.String.
+func StatusFromString(name string) (Status, error) {
+	switch name {
+	case "unknown":
+		return Unknown, nil
+	case "infeasible":
+		return Infeasible, nil
+	case "feasible":
+		return Feasible, nil
+	case "optimal":
+		return Optimal, nil
+	default:
+		return Unknown, fmt.Errorf("ilp: unknown solve status %q", name)
+	}
+}
+
+// MarshalText encodes the status as its String form, so statuses embed in
+// JSON (and any other textual encoding) as readable names instead of bare
+// integers.
+func (s Status) MarshalText() ([]byte, error) {
+	if s < Unknown || s > Optimal {
+		return nil, fmt.Errorf("ilp: cannot marshal invalid status %d", int(s))
+	}
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText decodes a status name produced by MarshalText.
+func (s *Status) UnmarshalText(text []byte) error {
+	v, err := StatusFromString(string(text))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
 // Solution is a solver result. Assignment and Objective are meaningful
 // only for Feasible and Optimal statuses.
 type Solution struct {

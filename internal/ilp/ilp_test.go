@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -158,5 +159,60 @@ func TestStats(t *testing.T) {
 	}
 	if s.LongestConstraint != 3 || s.Terms != 5 {
 		t.Errorf("terms %d longest %d", s.Terms, s.LongestConstraint)
+	}
+}
+
+func TestStatusMarshalRoundTrip(t *testing.T) {
+	for _, s := range []Status{Unknown, Infeasible, Feasible, Optimal} {
+		text, err := s.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: MarshalText: %v", s, err)
+		}
+		if string(text) != s.String() {
+			t.Errorf("%v: text %q != String %q", s, text, s.String())
+		}
+		var back Status
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("%v: UnmarshalText(%q): %v", s, text, err)
+		}
+		if back != s {
+			t.Errorf("round trip %v -> %q -> %v", s, text, back)
+		}
+		// Through encoding/json: statuses embed as readable names.
+		blob, err := json.Marshal(map[string]Status{"status": s})
+		if err != nil {
+			t.Fatalf("%v: json: %v", s, err)
+		}
+		want := `{"status":"` + s.String() + `"}`
+		if string(blob) != want {
+			t.Errorf("json %s, want %s", blob, want)
+		}
+		var decoded map[string]Status
+		if err := json.Unmarshal(blob, &decoded); err != nil {
+			t.Fatalf("%v: json unmarshal: %v", s, err)
+		}
+		if decoded["status"] != s {
+			t.Errorf("json round trip %v -> %s -> %v", s, blob, decoded["status"])
+		}
+	}
+	if _, err := Status(42).MarshalText(); err == nil {
+		t.Error("invalid status marshalled")
+	}
+	var s Status
+	if err := s.UnmarshalText([]byte("zorp")); err == nil {
+		t.Error("bad status name accepted")
+	}
+	if _, err := StatusFromString("status(7)"); err == nil {
+		t.Error("formatted invalid status accepted")
+	}
+}
+
+func TestStatusMark(t *testing.T) {
+	for s, want := range map[Status]string{
+		Optimal: "1", Feasible: "1", Infeasible: "0", Unknown: "T", Status(9): "T",
+	} {
+		if got := s.Mark(); got != want {
+			t.Errorf("%v.Mark() = %q, want %q", s, got, want)
+		}
 	}
 }

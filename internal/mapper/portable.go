@@ -1,0 +1,151 @@
+package mapper
+
+import (
+	"fmt"
+
+	"cgramap/internal/dfg"
+	"cgramap/internal/mrrg"
+)
+
+// Portable is a serialisation-friendly rendering of a Mapping: every
+// placement and route is expressed through stable names (DFG operation
+// names, MRRG node names) instead of in-memory indices, so it survives
+// JSON marshalling across a process boundary. FromPortable reconstructs
+// (and re-verifies) a Mapping against locally rebuilt DFG and MRRG
+// values — the round trip the mapping service's client uses.
+type Portable struct {
+	// Kernel and Arch identify the mapped application and device.
+	Kernel string `json:"kernel"`
+	Arch   string `json:"arch"`
+	// Contexts is the initiation interval the mapping was solved at.
+	Contexts int `json:"contexts"`
+	// RoutingCost is the paper's eq. 10 objective value of the mapping.
+	RoutingCost int `json:"routing_cost"`
+	// Placements lists one FU assignment per DFG operation.
+	Placements []PortablePlacement `json:"placements"`
+	// Routes lists one node path per sub-value (value use).
+	Routes []PortableRoute `json:"routes"`
+}
+
+// PortablePlacement assigns one operation to one MRRG FuncUnit node.
+type PortablePlacement struct {
+	Op   string `json:"op"`
+	Node string `json:"node"`
+}
+
+// PortableRoute carries one sub-value: the route of value Value to
+// operand Operand of operation Sink, as an ordered MRRG node name list.
+type PortableRoute struct {
+	Value   string   `json:"value"`
+	Sink    string   `json:"sink"`
+	Operand int      `json:"operand"`
+	Nodes   []string `json:"nodes"`
+}
+
+// Portable renders the mapping in its name-based portable form.
+func (m *Mapping) Portable() *Portable {
+	p := &Portable{
+		Kernel:      m.DFG.Name,
+		Arch:        m.MRRG.Arch.Name,
+		Contexts:    m.MRRG.Contexts,
+		RoutingCost: m.RoutingCost(),
+	}
+	for _, op := range m.DFG.Ops() {
+		p.Placements = append(p.Placements, PortablePlacement{
+			Op:   op.Name,
+			Node: m.MRRG.Nodes[m.Placement[op.ID]].Name,
+		})
+	}
+	for _, v := range m.DFG.Vals() {
+		for k, u := range v.Uses {
+			route := PortableRoute{Value: v.Name, Sink: u.Op.Name, Operand: u.Operand}
+			for _, n := range m.Routes[v.ID][k] {
+				route.Nodes = append(route.Nodes, m.MRRG.Nodes[n].Name)
+			}
+			p.Routes = append(p.Routes, route)
+		}
+	}
+	return p
+}
+
+// FromPortable rebinds a portable mapping to locally constructed DFG and
+// MRRG values and verifies it from scratch, so a mapping received over
+// the wire carries the same guarantee as one decoded from a local solve.
+func FromPortable(g *dfg.Graph, mg *mrrg.Graph, p *Portable) (*Mapping, error) {
+	if p.Contexts != mg.Contexts {
+		return nil, fmt.Errorf("mapper: portable mapping solved at %d contexts, MRRG has %d", p.Contexts, mg.Contexts)
+	}
+	m := &Mapping{
+		DFG:       g,
+		MRRG:      mg,
+		Placement: make([]int, g.NumOps()),
+		Routes:    make([][][]int, g.NumVals()),
+	}
+	for i := range m.Placement {
+		m.Placement[i] = -1
+	}
+	for _, pl := range p.Placements {
+		op := g.OpByName(pl.Op)
+		if op == nil {
+			return nil, fmt.Errorf("mapper: portable mapping places unknown op %q", pl.Op)
+		}
+		node := mg.NodeByName(pl.Node)
+		if node == nil {
+			return nil, fmt.Errorf("mapper: portable mapping places %q on unknown node %q", pl.Op, pl.Node)
+		}
+		if m.Placement[op.ID] >= 0 {
+			return nil, fmt.Errorf("mapper: portable mapping places op %q twice", pl.Op)
+		}
+		m.Placement[op.ID] = node.ID
+	}
+	for _, op := range g.Ops() {
+		if m.Placement[op.ID] < 0 {
+			return nil, fmt.Errorf("mapper: portable mapping leaves op %q unplaced", op.Name)
+		}
+	}
+	for _, v := range g.Vals() {
+		m.Routes[v.ID] = make([][]int, len(v.Uses))
+	}
+	for _, r := range p.Routes {
+		v := valueByName(g, r.Value)
+		if v == nil {
+			return nil, fmt.Errorf("mapper: portable mapping routes unknown value %q", r.Value)
+		}
+		k := -1
+		for i, u := range v.Uses {
+			if u.Op.Name == r.Sink && u.Operand == r.Operand {
+				k = i
+				break
+			}
+		}
+		if k < 0 {
+			return nil, fmt.Errorf("mapper: portable mapping routes %q to unknown sink %s.op%d", r.Value, r.Sink, r.Operand)
+		}
+		if m.Routes[v.ID][k] != nil {
+			return nil, fmt.Errorf("mapper: portable mapping routes sub-value %s->%s.op%d twice", r.Value, r.Sink, r.Operand)
+		}
+		nodes := make([]int, len(r.Nodes))
+		for i, name := range r.Nodes {
+			node := mg.NodeByName(name)
+			if node == nil {
+				return nil, fmt.Errorf("mapper: portable route for %q uses unknown node %q", r.Value, name)
+			}
+			nodes[i] = node.ID
+		}
+		m.Routes[v.ID][k] = nodes
+	}
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("mapper: portable mapping failed verification: %w", err)
+	}
+	return m, nil
+}
+
+// valueByName finds the value with the given name (values are named
+// after their producing operation).
+func valueByName(g *dfg.Graph, name string) *dfg.Value {
+	op := g.OpByName(name)
+	if op == nil {
+		return nil
+	}
+	return op.Out
+}

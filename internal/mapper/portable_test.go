@@ -1,0 +1,116 @@
+package mapper
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/mrrg"
+)
+
+func solveSmall(t *testing.T) (*Mapping, *mrrg.Graph) {
+	t.Helper()
+	g, err := bench.Get("2x2-f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := arch.Grid(arch.GridSpec{Rows: 2, Cols: 2, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(context.Background(), g, mg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() {
+		t.Fatalf("expected feasible, got %v", res.Status)
+	}
+	return res.Mapping, mg
+}
+
+// TestPortableJSONRoundTrip: Mapping -> Portable -> JSON -> Portable ->
+// Mapping survives, and the reconstruction passes full verification with
+// the same routing cost.
+func TestPortableJSONRoundTrip(t *testing.T) {
+	m, mg := solveSmall(t)
+	p := m.Portable()
+	blob, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Portable
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromPortable(m.DFG, mg, &decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RoutingCost() != p.RoutingCost {
+		t.Errorf("routing cost %d after round trip, want %d", back.RoutingCost(), p.RoutingCost)
+	}
+	for _, op := range m.DFG.Ops() {
+		if back.Placement[op.ID] != m.Placement[op.ID] {
+			t.Errorf("op %s moved from %d to %d in round trip", op.Name, m.Placement[op.ID], back.Placement[op.ID])
+		}
+	}
+}
+
+// TestFromPortableRejectsCorruption: tampered portable mappings are
+// rejected either structurally or by Verify.
+func TestFromPortableRejectsCorruption(t *testing.T) {
+	m, mg := solveSmall(t)
+	fresh := func() *Portable {
+		blob, _ := json.Marshal(m.Portable())
+		var p Portable
+		_ = json.Unmarshal(blob, &p)
+		return &p
+	}
+
+	p := fresh()
+	p.Placements[0].Node = "no-such-node"
+	if _, err := FromPortable(m.DFG, mg, p); err == nil {
+		t.Error("unknown node accepted")
+	}
+
+	p = fresh()
+	p.Placements[0].Op = "no-such-op"
+	if _, err := FromPortable(m.DFG, mg, p); err == nil {
+		t.Error("unknown op accepted")
+	}
+
+	p = fresh()
+	p.Placements = p.Placements[1:]
+	if _, err := FromPortable(m.DFG, mg, p); err == nil {
+		t.Error("missing placement accepted")
+	}
+
+	p = fresh()
+	// All ops on one node: violates FU exclusivity, must fail Verify.
+	for i := range p.Placements {
+		p.Placements[i].Node = p.Placements[0].Node
+	}
+	if _, err := FromPortable(m.DFG, mg, p); err == nil {
+		t.Error("verification bypassed for conflicting placements")
+	}
+
+	p = fresh()
+	if len(p.Routes) > 0 {
+		p.Routes[0].Nodes = nil // broken route connectivity
+		if _, err := FromPortable(m.DFG, mg, p); err == nil {
+			t.Error("empty route accepted")
+		}
+	}
+
+	p = fresh()
+	p.Contexts++
+	if _, err := FromPortable(m.DFG, mg, p); err == nil {
+		t.Error("context mismatch accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a size-bounded LRU of completed job results, keyed by
+// the canonical job fingerprint. Only definitive outcomes (feasible
+// mappings and infeasibility proofs) are stored — an Unknown answer is a
+// budget artefact, not a property of the instance, so it must never be
+// served to a later submission that might have a larger budget.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *JobResult
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key and refreshes its recency.
+func (c *resultCache) Get(key string) (*JobResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Add stores (or refreshes) a result, evicting the least recently used
+// entry when over capacity. A zero or negative capacity disables the
+// cache entirely.
+func (c *resultCache) Add(key string, res *JobResult) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached results.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,48 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(3)
+	res := func(i int) *JobResult { return &JobResult{Reason: fmt.Sprintf("r%d", i)} }
+	for i := 0; i < 3; i++ {
+		c.Add(fmt.Sprintf("k%d", i), res(i))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len %d, want 3", c.Len())
+	}
+
+	// Touch k0 so k1 becomes the eviction victim.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Add("k3", res(3))
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 survived eviction despite being least recently used")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted, want kept", k)
+		}
+	}
+
+	// Refreshing an existing key replaces the value without growing.
+	c.Add("k0", res(99))
+	if got, _ := c.Get("k0"); got.Reason != "r99" {
+		t.Errorf("refresh kept %q, want r99", got.Reason)
+	}
+	if c.Len() != 3 {
+		t.Errorf("len %d after refresh, want 3", c.Len())
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.Add("k", &JobResult{})
+	if _, ok := c.Get("k"); ok || c.Len() != 0 {
+		t.Error("disabled cache stored an entry")
+	}
+}

@@ -1,0 +1,221 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+)
+
+// Client talks to a cgramapd server over its HTTP API.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8537".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval is the status polling cadence of Wait (default 50ms).
+	PollInterval time.Duration
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do performs one API call and decodes the response into out, converting
+// non-2xx responses into *Error values.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var payload struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&payload) == nil && payload.Error != "" {
+			msg = payload.Error
+		}
+		return &Error{Code: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a mapping job and returns its initial status.
+func (c *Client) Submit(ctx context.Context, req *JobRequest) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Job fetches a job's current status.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Result fetches a completed job's result.
+func (c *Client) Result(ctx context.Context, id string) (*JobResult, error) {
+	var res JobResult
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls until the job reaches a terminal state or ctx ends.
+func (c *Client) Wait(ctx context.Context, id string) (*JobStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// Solve submits a job, waits for it, and returns its result. On ctx
+// cancellation the remote job is cancelled too (best-effort, so a
+// client disappearing does not leave the server solving for nobody).
+func (c *Client) Solve(ctx context.Context, req *JobRequest) (*JobResult, error) {
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if st, err = c.Wait(ctx, st.ID); err != nil {
+		if ctx.Err() != nil {
+			cancelCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			c.Cancel(cancelCtx, st.ID)
+			cancel()
+		}
+		return nil, err
+	}
+	switch st.State {
+	case JobDone:
+		return c.Result(ctx, st.ID)
+	case JobCancelled:
+		return nil, &Error{Code: 409, Message: fmt.Sprintf("job %s cancelled", st.ID)}
+	default:
+		return nil, &Error{Code: 500, Message: fmt.Sprintf("job %s %s: %s", st.ID, st.State, st.Error)}
+	}
+}
+
+// MapFunc adapts the client to the mapper.MapFunc seam, so local
+// orchestrators (cmd/experiments sweeps, MapAuto) can transparently
+// offload every solve to a cgramapd server. The remote mapping comes
+// back in portable form and is re-verified locally by FromPortable —
+// the daemon is never trusted.
+func (c *Client) MapFunc(engine string) mapper.MapFunc {
+	return func(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts mapper.Options) (*mapper.Result, error) {
+		var archXML strings.Builder
+		if err := mg.Arch.WriteXML(&archXML); err != nil {
+			return nil, err
+		}
+		objective := "feasibility"
+		if opts.Objective == mapper.MinimizeRouting {
+			objective = "routing"
+		}
+		var deadlineMS int64
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem > 0 {
+				deadlineMS = rem.Milliseconds()
+			}
+		}
+		jr, err := c.Solve(ctx, &JobRequest{
+			DFG:        g.FormatString(),
+			ArchXML:    archXML.String(),
+			Contexts:   mg.Contexts,
+			Engine:     engine,
+			Objective:  objective,
+			DeadlineMS: deadlineMS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := &mapper.Result{
+			Status:      jr.Status,
+			Reason:      jr.Reason,
+			Vars:        jr.Vars,
+			Constraints: jr.Constraints,
+			BuildTime:   time.Duration(jr.BuildMS * float64(time.Millisecond)),
+			SolveTime:   time.Duration(jr.SolveMS * float64(time.Millisecond)),
+		}
+		if jr.Mapping != nil {
+			m, err := mapper.FromPortable(g, mg, jr.Mapping)
+			if err != nil {
+				return nil, fmt.Errorf("service: remote mapping failed local verification: %w", err)
+			}
+			res.Mapping = m
+		}
+		if jr.Feasible && res.Mapping == nil {
+			return nil, fmt.Errorf("service: remote result claims feasible but carries no mapping")
+		}
+		if res.Status == ilp.Optimal || res.Status == ilp.Feasible {
+			if res.Mapping == nil {
+				return nil, fmt.Errorf("service: remote status %v without mapping", res.Status)
+			}
+		}
+		return res, nil
+	}
+}

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/jobs             submit a mapping job (JobRequest -> JobStatus)
+//	GET    /v1/jobs/{id}        job lifecycle snapshot (JobStatus)
+//	GET    /v1/jobs/{id}/result completed result (JobResult)
+//	DELETE /v1/jobs/{id}        cancel a queued/running job
+//	GET    /healthz             liveness ("ok", or 503 while draining)
+//	GET    /metrics             Prometheus text exposition
+//
+// Errors are rendered as {"error": "..."} with the *Error status code;
+// 429 responses carry a Retry-After header.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, errf(400, "decoding request: %v", err))
+			return
+		}
+		st, err := s.Submit(&req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		res, err := s.Result(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.Metrics.Render(w)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var se *Error
+	if !errors.As(err, &se) {
+		se = &Error{Code: http.StatusInternalServerError, Message: err.Error()}
+	}
+	if se.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(se.RetryAfter))
+	}
+	writeJSON(w, se.Code, map[string]string{"error": se.Message})
+}

@@ -1,0 +1,141 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// solveBuckets are the histogram bucket upper bounds (seconds) for
+// per-engine solve latencies. Mapping solves span sub-millisecond
+// presolve rejections to minutes-long exact searches, hence the wide
+// log-ish spread.
+var solveBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
+
+// histogram is a fixed-bucket latency histogram (cumulative counts are
+// computed at exposition time, as the Prometheus text format requires).
+type histogram struct {
+	counts []uint64 // one per bucket, non-cumulative
+	more   uint64   // observations above the last bucket
+	sum    float64
+	count  uint64
+}
+
+func (h *histogram) observe(seconds float64) {
+	h.sum += seconds
+	h.count++
+	for i, ub := range solveBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.more++
+}
+
+// Metrics aggregates the service's operational counters and exposes them
+// in the Prometheus text exposition format. All methods are safe for
+// concurrent use.
+type Metrics struct {
+	// Counters (atomically updated on the hot path).
+	JobsSubmitted atomic.Int64
+	JobsRejected  atomic.Int64
+	CacheHits     atomic.Int64
+	CacheMisses   atomic.Int64
+	Deduplicated  atomic.Int64
+	WorkersBusy   atomic.Int64
+
+	mu        sync.Mutex
+	completed map[string]int64      // final job state -> count
+	solve     map[string]*histogram // engine -> solve latency
+
+	// Gauge sources, wired by the Server at construction.
+	queueDepth func() int
+	cacheLen   func() int
+	workers    int
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		completed: make(map[string]int64),
+		solve:     make(map[string]*histogram),
+	}
+}
+
+// IncCompleted counts one job reaching the given terminal state.
+func (m *Metrics) IncCompleted(state JobState) {
+	m.mu.Lock()
+	m.completed[string(state)]++
+	m.mu.Unlock()
+}
+
+// ObserveSolve records one engine solve's wall-clock latency.
+func (m *Metrics) ObserveSolve(engine string, d time.Duration) {
+	m.mu.Lock()
+	h := m.solve[engine]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(solveBuckets))}
+		m.solve[engine] = h
+	}
+	h.observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// Render writes every metric in the Prometheus text exposition format
+// with deterministic ordering.
+func (m *Metrics) Render(w io.Writer) error {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("cgramapd_jobs_submitted_total", "Jobs accepted by POST /v1/jobs.", m.JobsSubmitted.Load())
+	counter("cgramapd_jobs_rejected_total", "Jobs rejected with 429 under backpressure.", m.JobsRejected.Load())
+	counter("cgramapd_cache_hits_total", "Submissions answered from the content-addressed result cache.", m.CacheHits.Load())
+	counter("cgramapd_cache_misses_total", "Submissions that required a new solve.", m.CacheMisses.Load())
+	counter("cgramapd_singleflight_dedup_total", "Submissions coalesced onto an identical in-flight solve.", m.Deduplicated.Load())
+
+	m.mu.Lock()
+	states := make([]string, 0, len(m.completed))
+	for s := range m.completed {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	fmt.Fprintf(w, "# HELP cgramapd_jobs_completed_total Jobs reaching a terminal state.\n# TYPE cgramapd_jobs_completed_total counter\n")
+	for _, s := range states {
+		fmt.Fprintf(w, "cgramapd_jobs_completed_total{state=%q} %d\n", s, m.completed[s])
+	}
+
+	engines := make([]string, 0, len(m.solve))
+	for e := range m.solve {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+	fmt.Fprintf(w, "# HELP cgramapd_solve_seconds Wall-clock solve latency per engine.\n# TYPE cgramapd_solve_seconds histogram\n")
+	for _, e := range engines {
+		h := m.solve[e]
+		cum := uint64(0)
+		for i, ub := range solveBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "cgramapd_solve_seconds_bucket{engine=%q,le=\"%g\"} %d\n", e, ub, cum)
+		}
+		fmt.Fprintf(w, "cgramapd_solve_seconds_bucket{engine=%q,le=\"+Inf\"} %d\n", e, cum+h.more)
+		fmt.Fprintf(w, "cgramapd_solve_seconds_sum{engine=%q} %g\n", e, h.sum)
+		fmt.Fprintf(w, "cgramapd_solve_seconds_count{engine=%q} %d\n", e, h.count)
+	}
+	m.mu.Unlock()
+
+	gauge("cgramapd_workers_busy", "Workers currently running a solve.", m.WorkersBusy.Load())
+	gauge("cgramapd_workers", "Size of the worker pool.", int64(m.workers))
+	if m.queueDepth != nil {
+		gauge("cgramapd_queue_depth", "Solves waiting for a worker.", int64(m.queueDepth()))
+	}
+	if m.cacheLen != nil {
+		gauge("cgramapd_cache_entries", "Completed results held by the LRU cache.", int64(m.cacheLen()))
+	}
+	return nil
+}

@@ -1,0 +1,744 @@
+// Package service implements mapping-as-a-service: a long-lived,
+// concurrent job server over the repository's CGRA mappers, built for
+// the paper's headline workload — architecture exploration re-mapping
+// the same kernels across many CGRA variants.
+//
+// A submission names a DFG, an architecture, and a mapper configuration.
+// Jobs flow through a bounded queue into a fixed worker pool that drives
+// the existing engines (cdcl, bb, the portfolio orchestrator, or the
+// annealer) with a per-job context and deadline. In front of the workers
+// sits a content-addressed result cache: the canonical fingerprint of
+// (DFG structure, architecture structure, engine options) — stable under
+// node renaming and insertion order — keys an LRU of completed results,
+// and single-flight deduplication coalesces concurrent identical
+// submissions onto one solve. The server degrades under load with 429 +
+// Retry-After instead of queueing unboundedly, and drains accepted jobs
+// on shutdown instead of dropping them.
+//
+// The HTTP surface lives in http.go, the Go client in client.go, and the
+// daemon entry point in cmd/cgramapd.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cgramap/internal/anneal"
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+	"cgramap/internal/portfolio"
+	"cgramap/internal/solve/bb"
+)
+
+// Engine names accepted by job submissions.
+const (
+	EngineCDCL      = "cdcl"
+	EngineBB        = "bb"
+	EnginePortfolio = "portfolio"
+	EngineAnneal    = "anneal"
+)
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+// Job lifecycle states. Queued and Running are transient; Done,
+// Cancelled and Failed are terminal.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobCancelled JobState = "cancelled"
+	JobFailed    JobState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobCancelled || s == JobFailed
+}
+
+// JobRequest is the wire form of a mapping job submission
+// (POST /v1/jobs). Exactly one application source (DFG or Benchmark) and
+// one architecture source (ArchXML or Grid) must be set.
+type JobRequest struct {
+	// DFG is the application in the textual DFG format (internal/dfg).
+	DFG string `json:"dfg,omitempty"`
+	// Benchmark names one of the paper's Table 1 kernels instead.
+	Benchmark string `json:"benchmark,omitempty"`
+	// ArchXML is the architecture in the XML description language.
+	ArchXML string `json:"arch,omitempty"`
+	// Grid builds a paper-style grid architecture instead.
+	Grid *arch.GridSpec `json:"grid,omitempty"`
+	// Contexts, when > 0, overrides the architecture's context count.
+	Contexts int `json:"contexts,omitempty"`
+	// AutoII, when > 0, searches for the provably smallest initiation
+	// interval up to this bound (mapper.MapAuto) instead of solving at
+	// a fixed context count.
+	AutoII int `json:"auto_ii,omitempty"`
+	// Engine selects cdcl (default), bb, portfolio, or anneal.
+	Engine string `json:"engine,omitempty"`
+	// Objective is "feasibility" (default) or "routing".
+	Objective string `json:"objective,omitempty"`
+	// DeadlineMS bounds the solve wall clock (0 = server default).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// JobSpec is a parsed, validated job: the exact inputs a worker solves.
+type JobSpec struct {
+	DFG       *dfg.Graph
+	Arch      *arch.Arch
+	Engine    string
+	Objective mapper.ObjectiveMode
+	AutoII    int
+	Deadline  time.Duration
+	// Fingerprint is the canonical content-address of this job (see
+	// Fingerprint); equal fingerprints have equal answers.
+	Fingerprint string
+}
+
+// JobResult is the wire form of a completed solve.
+type JobResult struct {
+	Status   ilp.Status `json:"status"`
+	Feasible bool       `json:"feasible"`
+	// Proven is true when the answer is a proof from a complete engine;
+	// a heuristic witness is verified but proves nothing beyond
+	// feasibility.
+	Proven bool `json:"proven"`
+	// Winner names the portfolio strategy that produced the answer.
+	Winner string `json:"winner,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	// II is the initiation interval found by an auto-II search.
+	II          int     `json:"ii,omitempty"`
+	Vars        int     `json:"vars,omitempty"`
+	Constraints int     `json:"constraints,omitempty"`
+	BuildMS     float64 `json:"build_ms"`
+	SolveMS     float64 `json:"solve_ms"`
+	Engine      string  `json:"engine"`
+	// Mapping is the verified mapping in portable (name-based) form,
+	// present when feasible.
+	Mapping *mapper.Portable `json:"mapping,omitempty"`
+}
+
+// JobStatus is the wire form of a job's lifecycle snapshot.
+type JobStatus struct {
+	ID          string    `json:"id"`
+	State       JobState  `json:"state"`
+	Fingerprint string    `json:"fingerprint"`
+	Engine      string    `json:"engine"`
+	CacheHit    bool      `json:"cache_hit,omitempty"`
+	Deduped     bool      `json:"deduped,omitempty"`
+	Error       string    `json:"error,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+}
+
+// Error is a service failure with an HTTP status code.
+type Error struct {
+	Code    int
+	Message string
+	// RetryAfter, in seconds, is set on backpressure rejections.
+	RetryAfter int
+}
+
+func (e *Error) Error() string { return e.Message }
+
+func errf(code int, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Fingerprint computes the canonical content-address of a job: the DFG
+// structure hash, the architecture structure hash (which covers the
+// context count), and the solver-relevant options. Names and the
+// submission's deadline are deliberately excluded — a deadline changes
+// whether the answer arrives, never what it is, and only definitive
+// answers enter the cache.
+func Fingerprint(g *dfg.Graph, a *arch.Arch, engine string, objective mapper.ObjectiveMode, autoII int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "cgramap/job/v1\n%s\n%s\n%s\n%d\n%d\n",
+		g.Fingerprint(), a.Fingerprint(), engine, int(objective), autoII)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Options configures a Server. The zero value picks sensible defaults.
+type Options struct {
+	// Workers is the solve pool size (default 4).
+	Workers int
+	// QueueDepth bounds the number of solves waiting for a worker;
+	// submissions beyond it are rejected with 429 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 512; negative
+	// disables caching).
+	CacheEntries int
+	// DefaultDeadline applies to jobs that set no deadline (default 60s).
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps client-requested deadlines (default 15m).
+	MaxDeadline time.Duration
+	// RetainJobs bounds how many finished job records are kept for
+	// status/result polling before the oldest are forgotten
+	// (default 4096).
+	RetainJobs int
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+	// Solve replaces the built-in engine dispatch — the seam the tests
+	// (and embedders with custom pipelines) plug into. nil selects the
+	// real mappers.
+	Solve func(ctx context.Context, spec *JobSpec) (*JobResult, error)
+}
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 512
+	}
+	if o.DefaultDeadline <= 0 {
+		o.DefaultDeadline = 60 * time.Second
+	}
+	if o.MaxDeadline <= 0 {
+		o.MaxDeadline = 15 * time.Minute
+	}
+	if o.RetainJobs <= 0 {
+		o.RetainJobs = 4096
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	if o.Solve == nil {
+		o.Solve = RunSpec
+	}
+}
+
+// job is the server-side job record. All fields are guarded by the
+// server mutex except done, which is closed exactly once under it.
+type job struct {
+	id          string
+	fingerprint string
+	engine      string
+	state       JobState
+	cacheHit    bool
+	deduped     bool
+	result      *JobResult
+	errMsg      string
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	done        chan struct{}
+	ex          *exec
+}
+
+// exec is one in-flight solve, shared by every job submitted with the
+// same fingerprint while it runs (single-flight).
+type exec struct {
+	fp     string
+	spec   *JobSpec
+	ctx    context.Context
+	cancel context.CancelFunc
+	jobs   []*job // attached live jobs; empty means fully cancelled
+}
+
+// Server is the mapping job server. Create with New, serve its Handler,
+// and Shutdown to drain.
+type Server struct {
+	opts    Options
+	Metrics *Metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // finished-job retention ring, oldest first
+	inflight map[string]*exec
+	queue    chan *exec
+	draining bool
+	nextID   uint64
+
+	cache *resultCache
+	wg    sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts.fill()
+	s := &Server{
+		opts:     opts,
+		Metrics:  newMetrics(),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*exec),
+		queue:    make(chan *exec, opts.QueueDepth),
+		cache:    newResultCache(opts.CacheEntries),
+	}
+	s.Metrics.workers = opts.Workers
+	s.Metrics.queueDepth = func() int { return len(s.queue) }
+	s.Metrics.cacheLen = s.cache.Len
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ParseRequest validates a submission and resolves it into a JobSpec.
+func (s *Server) ParseRequest(req *JobRequest) (*JobSpec, error) {
+	var g *dfg.Graph
+	var err error
+	switch {
+	case req.DFG != "" && req.Benchmark != "":
+		return nil, errf(400, "specify dfg or benchmark, not both")
+	case req.DFG != "":
+		if g, err = dfg.ParseString(req.DFG); err != nil {
+			return nil, errf(400, "parsing dfg: %v", err)
+		}
+	case req.Benchmark != "":
+		if g, err = bench.Get(req.Benchmark); err != nil {
+			return nil, errf(400, "%v", err)
+		}
+	default:
+		return nil, errf(400, "no application: set dfg or benchmark")
+	}
+
+	var a *arch.Arch
+	switch {
+	case req.ArchXML != "" && req.Grid != nil:
+		return nil, errf(400, "specify arch or grid, not both")
+	case req.ArchXML != "":
+		if a, err = arch.ReadXML(strings.NewReader(req.ArchXML)); err != nil {
+			return nil, errf(400, "parsing arch: %v", err)
+		}
+	case req.Grid != nil:
+		spec := *req.Grid
+		if spec.Contexts == 0 && req.Contexts > 0 {
+			spec.Contexts = req.Contexts
+		}
+		if a, err = arch.Grid(spec); err != nil {
+			return nil, errf(400, "building grid: %v", err)
+		}
+	default:
+		return nil, errf(400, "no architecture: set arch or grid")
+	}
+	if req.Contexts < 0 || req.AutoII < 0 {
+		return nil, errf(400, "contexts and auto_ii must be non-negative")
+	}
+	if req.Contexts > 0 {
+		aa := *a
+		aa.Contexts = req.Contexts
+		a = &aa
+	}
+
+	engine := req.Engine
+	if engine == "" {
+		engine = EngineCDCL
+	}
+	switch engine {
+	case EngineCDCL, EngineBB, EnginePortfolio, EngineAnneal:
+	default:
+		return nil, errf(400, "unknown engine %q", engine)
+	}
+	if engine == EngineAnneal && req.AutoII > 0 {
+		return nil, errf(400, "auto_ii requires an exact engine (a heuristic cannot prove an II minimal)")
+	}
+
+	objective := mapper.Feasibility
+	switch req.Objective {
+	case "", "feasibility":
+	case "routing":
+		objective = mapper.MinimizeRouting
+	default:
+		return nil, errf(400, "unknown objective %q", req.Objective)
+	}
+
+	deadline := s.opts.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.opts.MaxDeadline {
+		deadline = s.opts.MaxDeadline
+	}
+
+	return &JobSpec{
+		DFG:         g,
+		Arch:        a,
+		Engine:      engine,
+		Objective:   objective,
+		AutoII:      req.AutoII,
+		Deadline:    deadline,
+		Fingerprint: Fingerprint(g, a, engine, objective, req.AutoII),
+	}, nil
+}
+
+// Submit accepts a job: answered from cache, coalesced onto an identical
+// in-flight solve, or enqueued for a worker. It returns the job's
+// initial status snapshot, or an *Error (400 invalid, 429 backpressure,
+// 503 draining).
+func (s *Server) Submit(req *JobRequest) (*JobStatus, error) {
+	spec, err := s.ParseRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, errf(503, "server is draining")
+	}
+	j := &job{
+		fingerprint: spec.Fingerprint,
+		engine:      spec.Engine,
+		submitted:   now,
+		done:        make(chan struct{}),
+	}
+	s.nextID++
+	j.id = "j" + strconv.FormatUint(s.nextID, 36) + "-" + spec.Fingerprint[:8]
+
+	if res, ok := s.cache.Get(spec.Fingerprint); ok {
+		j.state = JobDone
+		j.cacheHit = true
+		j.result = res
+		j.started, j.finished = now, now
+		close(j.done)
+		s.Metrics.JobsSubmitted.Add(1)
+		s.Metrics.CacheHits.Add(1)
+		s.Metrics.IncCompleted(JobDone)
+		s.register(j)
+		return snapshot(j), nil
+	}
+
+	if ex := s.inflight[spec.Fingerprint]; ex != nil {
+		j.state = ex.jobs[0].state // mirrors queued/running
+		j.deduped = true
+		j.started = ex.jobs[0].started
+		j.ex = ex
+		ex.jobs = append(ex.jobs, j)
+		s.Metrics.JobsSubmitted.Add(1)
+		s.Metrics.Deduplicated.Add(1)
+		s.register(j)
+		return snapshot(j), nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ex := &exec{fp: spec.Fingerprint, spec: spec, ctx: ctx, cancel: cancel}
+	j.state = JobQueued
+	j.ex = ex
+	ex.jobs = []*job{j}
+	select {
+	case s.queue <- ex:
+	default:
+		cancel()
+		s.Metrics.JobsRejected.Add(1)
+		return nil, &Error{Code: 429, Message: "job queue full", RetryAfter: 1}
+	}
+	s.inflight[spec.Fingerprint] = ex
+	s.Metrics.JobsSubmitted.Add(1)
+	s.Metrics.CacheMisses.Add(1)
+	s.register(j)
+	return snapshot(j), nil
+}
+
+// register indexes a job and evicts the oldest finished jobs beyond the
+// retention bound. Callers hold s.mu.
+func (s *Server) register(j *job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	for len(s.order) > s.opts.RetainJobs {
+		victim := s.jobs[s.order[0]]
+		if victim != nil && !victim.state.Terminal() {
+			break // never forget a live job
+		}
+		delete(s.jobs, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// Job returns a job's status snapshot.
+func (s *Server) Job(id string) (*JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, errf(404, "unknown job %q", id)
+	}
+	return snapshot(j), nil
+}
+
+// Result returns a finished job's result. It fails with 409 while the
+// job is still queued/running or was cancelled, and 500 if it failed.
+func (s *Server) Result(id string) (*JobResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, errf(404, "unknown job %q", id)
+	}
+	switch j.state {
+	case JobDone:
+		return j.result, nil
+	case JobFailed:
+		return nil, errf(500, "job %s failed: %s", id, j.errMsg)
+	case JobCancelled:
+		return nil, errf(409, "job %s was cancelled", id)
+	default:
+		return nil, errf(409, "job %s is %s", id, j.state)
+	}
+}
+
+// Cancel cancels a queued or running job. The cancellation propagates to
+// the solver context once no other live submission shares the solve.
+func (s *Server) Cancel(id string) (*JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, errf(404, "unknown job %q", id)
+	}
+	if j.state.Terminal() {
+		return nil, errf(409, "job %s already %s", id, j.state)
+	}
+	j.state = JobCancelled
+	j.finished = time.Now()
+	close(j.done)
+	s.Metrics.IncCompleted(JobCancelled)
+	if ex := j.ex; ex != nil {
+		live := ex.jobs[:0]
+		for _, other := range ex.jobs {
+			if other != j {
+				live = append(live, other)
+			}
+		}
+		ex.jobs = live
+		if len(ex.jobs) == 0 {
+			// Last interested submission gone: stop the solve.
+			ex.cancel()
+			delete(s.inflight, ex.fp)
+		}
+	}
+	return snapshot(j), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx ends, and
+// returns the final snapshot.
+func (s *Server) Wait(ctx context.Context, id string) (*JobStatus, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return nil, errf(404, "unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+		return s.Job(id)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown stops accepting submissions and waits until every accepted
+// job has reached a terminal state (the queue drains through the worker
+// pool; nothing accepted is dropped). It returns ctx.Err if ctx ends
+// first, leaving workers running — callers may retry.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // workers drain the remaining solves, then exit
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker consumes solves from the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for ex := range s.queue {
+		s.runExec(ex)
+	}
+}
+
+// runExec performs one solve and completes every attached job.
+func (s *Server) runExec(ex *exec) {
+	s.mu.Lock()
+	if len(ex.jobs) == 0 {
+		// Every submission was cancelled while queued.
+		delete(s.inflight, ex.fp)
+		s.mu.Unlock()
+		ex.cancel()
+		return
+	}
+	now := time.Now()
+	for _, j := range ex.jobs {
+		j.state = JobRunning
+		j.started = now
+	}
+	s.mu.Unlock()
+
+	s.Metrics.WorkersBusy.Add(1)
+	ctx, cancel := context.WithTimeout(ex.ctx, ex.spec.Deadline)
+	start := time.Now()
+	res, err := s.opts.Solve(ctx, ex.spec)
+	elapsed := time.Since(start)
+	cancel()
+	s.Metrics.WorkersBusy.Add(-1)
+	s.Metrics.ObserveSolve(ex.spec.Engine, elapsed)
+	if err != nil {
+		s.opts.Logf("service: job %s (%s on %s) failed: %v",
+			ex.fp[:8], ex.spec.DFG.Name, ex.spec.Arch.Name, err)
+	}
+
+	s.mu.Lock()
+	delete(s.inflight, ex.fp)
+	now = time.Now()
+	for _, j := range ex.jobs {
+		j.finished = now
+		if err != nil {
+			j.state = JobFailed
+			j.errMsg = err.Error()
+		} else {
+			j.state = JobDone
+			j.result = res
+		}
+		s.Metrics.IncCompleted(j.state)
+		close(j.done)
+	}
+	cacheable := err == nil && res.Status != ilp.Unknown && len(ex.jobs) > 0
+	if cacheable {
+		s.cache.Add(ex.fp, res)
+	}
+	s.mu.Unlock()
+	ex.cancel()
+}
+
+// snapshot renders a job's wire status. Callers hold s.mu.
+func snapshot(j *job) *JobStatus {
+	return &JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Fingerprint: j.fingerprint,
+		Engine:      j.engine,
+		CacheHit:    j.cacheHit,
+		Deduped:     j.deduped,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+}
+
+// RunSpec is the built-in engine dispatch: it solves a JobSpec with the
+// engine it names, honouring ctx for cancellation and deadline. It is
+// the default Options.Solve.
+func RunSpec(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+	out := &JobResult{Engine: spec.Engine}
+
+	if spec.Engine == EngineAnneal {
+		mg, err := mrrg.Generate(spec.Arch)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := anneal.Map(ctx, spec.DFG, mg, anneal.Options{})
+		if err != nil {
+			return nil, err
+		}
+		out.Status = res.Status
+		out.Feasible = res.Feasible
+		out.SolveMS = ms(time.Since(start))
+		if res.Feasible {
+			out.Reason = "heuristic (simulated annealing) witness; no optimality or infeasibility proof"
+			out.Mapping = res.Mapping.Portable()
+		}
+		return out, nil
+	}
+
+	mo := mapper.Options{Objective: spec.Objective}
+	switch spec.Engine {
+	case EngineCDCL:
+	case EngineBB:
+		mo.Solver = bb.New()
+	case EnginePortfolio:
+	default:
+		return nil, fmt.Errorf("service: unknown engine %q", spec.Engine)
+	}
+
+	if spec.AutoII > 0 {
+		if spec.Engine == EnginePortfolio {
+			// Exact engines only inside the auto-II loop: a heuristic
+			// miss at some II proves nothing, which would poison the
+			// "smallest feasible II" claim.
+			mo.MapWith = portfolio.MapFunc(portfolio.Options{DisableFallback: true})
+		}
+		auto, err := mapper.MapAuto(ctx, spec.DFG, spec.Arch, spec.AutoII, mo)
+		if err != nil {
+			return nil, err
+		}
+		fillFromMapperResult(out, auto.Result)
+		out.II = auto.II
+		out.Proven = auto.Status != ilp.Unknown
+		return out, nil
+	}
+
+	mg, err := mrrg.Generate(spec.Arch)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Engine == EnginePortfolio {
+		pres, err := portfolio.Map(ctx, spec.DFG, mg, portfolio.Options{Mapper: mo})
+		if err != nil {
+			return nil, err
+		}
+		fillFromMapperResult(out, pres.Result)
+		out.Winner = pres.Winner
+		out.Proven = pres.Proven && pres.Status != ilp.Unknown
+		return out, nil
+	}
+	res, err := mapper.Map(ctx, spec.DFG, mg, mo)
+	if err != nil {
+		return nil, err
+	}
+	fillFromMapperResult(out, res)
+	out.Proven = res.Status != ilp.Unknown
+	return out, nil
+}
+
+func fillFromMapperResult(out *JobResult, res *mapper.Result) {
+	out.Status = res.Status
+	out.Feasible = res.Feasible()
+	out.Reason = res.Reason
+	out.Vars = res.Vars
+	out.Constraints = res.Constraints
+	out.BuildMS = ms(res.BuildTime)
+	out.SolveMS = ms(res.SolveTime)
+	if res.Mapping != nil {
+		out.Mapping = res.Mapping.Portable()
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

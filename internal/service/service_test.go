@@ -1,0 +1,496 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+)
+
+// gridReq builds a small distinguishable job: benchmark 2x2-f on an
+// n-context 2x2 grid, with variant folded into the deadline-independent
+// part via contexts.
+func gridReq(contexts int) *JobRequest {
+	return &JobRequest{
+		Benchmark: "2x2-f",
+		Grid:      &arch.GridSpec{Rows: 2, Cols: 2, Interconnect: arch.Diagonal, Homogeneous: true},
+		Contexts:  contexts,
+	}
+}
+
+// fakeResult returns a distinguishable definitive result.
+func fakeResult(tag string) *JobResult {
+	return &JobResult{Status: ilp.Feasible, Feasible: true, Reason: tag, Engine: EngineCDCL}
+}
+
+// TestSingleFlightAndCache is the headline e2e test: N concurrent
+// clients submit a mix of duplicate and distinct jobs, and each distinct
+// instance is solved exactly once — later duplicates are answered by the
+// in-flight dedup or the cache, never by a second solve. Verified both
+// through the solve counter and through the exported metrics.
+func TestSingleFlightAndCache(t *testing.T) {
+	var solves sync.Map // fingerprint -> *int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s := New(Options{
+		Workers:    4,
+		QueueDepth: 64,
+		Solve: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+			n, _ := solves.LoadOrStore(spec.Fingerprint, new(int64))
+			atomic.AddInt64(n.(*int64), 1)
+			once.Do(func() { close(started) })
+			<-release // hold every solve until all submissions are in
+			return fakeResult(spec.Fingerprint[:8]), nil
+		},
+	})
+
+	const clients = 12
+	const distinct = 3 // contexts 1..3
+	var wg sync.WaitGroup
+	ids := make([]string, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := s.Submit(gridReq(1 + i%distinct))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	<-started
+	close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		st, err := s.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != JobDone {
+			t.Fatalf("job %s ended %s (%s)", id, st.State, st.Error)
+		}
+	}
+
+	total := int64(0)
+	solves.Range(func(_, v any) bool {
+		n := atomic.LoadInt64(v.(*int64))
+		if n != 1 {
+			t.Errorf("a distinct instance was solved %d times, want exactly 1", n)
+		}
+		total += n
+		return true
+	})
+	if total != distinct {
+		t.Errorf("%d instances solved, want %d", total, distinct)
+	}
+
+	// Cached now: a fresh duplicate submission must not solve again.
+	st, err := s.Submit(gridReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.CacheHit || st.State != JobDone {
+		t.Errorf("post-completion duplicate: cache_hit=%v state=%s, want hit+done", st.CacheHit, st.State)
+	}
+
+	m := metricsText(t, s)
+	wantMetric(t, m, "cgramapd_jobs_submitted_total", clients+1)
+	wantMetric(t, m, "cgramapd_cache_misses_total", distinct)
+	wantMetric(t, m, "cgramapd_cache_hits_total", 1)
+	wantMetric(t, m, "cgramapd_singleflight_dedup_total", clients-distinct)
+	wantMetric(t, m, `cgramapd_jobs_completed_total{state="done"}`, clients+1)
+	wantMetric(t, m, "cgramapd_cache_entries", distinct)
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelPropagatesToSolverContext: DELETE on the last interested job
+// cancels the solver's context; a duplicate submission keeps the solve
+// alive until it too is cancelled.
+func TestCancelPropagatesToSolverContext(t *testing.T) {
+	running := make(chan struct{})
+	observed := make(chan error, 1)
+	s := New(Options{
+		Workers: 1,
+		Solve: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+			close(running)
+			<-ctx.Done()
+			observed <- ctx.Err()
+			return nil, ctx.Err()
+		},
+	})
+	defer s.Shutdown(context.Background())
+
+	first, err := s.Submit(gridReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	second, err := s.Submit(gridReq(1)) // dedups onto the same solve
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Deduped {
+		t.Fatalf("duplicate of a running job not deduped: %+v", second)
+	}
+
+	if _, err := s.Cancel(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-observed:
+		t.Fatalf("solve cancelled while a live duplicate still wants it: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	if _, err := s.Cancel(second.ID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-observed:
+		if err != context.Canceled {
+			t.Fatalf("solver ctx ended with %v, want Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelling the last job did not cancel the solver context")
+	}
+
+	for _, id := range []string{first.ID, second.ID} {
+		st, err := s.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != JobCancelled {
+			t.Errorf("job %s state %s, want cancelled", id, st.State)
+		}
+	}
+}
+
+// TestBackpressure: with workers busy and the queue full, submissions
+// are rejected with a 429 error carrying Retry-After.
+func TestBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	s := New(Options{
+		Workers:    1,
+		QueueDepth: 1,
+		Solve: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+			once.Do(func() { close(started) })
+			<-release
+			return fakeResult("bp"), nil
+		},
+	})
+	defer func() { close(release); s.Shutdown(context.Background()) }()
+
+	// Occupy the worker, then fill the queue: with the solve pinned, one
+	// more job fits in the queue and every further submission must bounce.
+	if _, err := s.Submit(gridReq(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	accepted, rejected := 1, 0
+	for i := 0; i < 5; i++ {
+		_, err := s.Submit(gridReq(2 + i))
+		switch e := err.(type) {
+		case nil:
+			accepted++
+		case *Error:
+			if e.Code != 429 {
+				t.Fatalf("rejection code %d, want 429", e.Code)
+			}
+			if e.RetryAfter <= 0 {
+				t.Error("429 without Retry-After")
+			}
+			rejected++
+		default:
+			t.Fatal(err)
+		}
+	}
+	if accepted != 2 || rejected != 4 {
+		t.Errorf("accepted %d rejected %d, want 2 and 4 (worker + queue slot)", accepted, rejected)
+	}
+	if got := s.Metrics.JobsRejected.Load(); got != int64(rejected) {
+		t.Errorf("rejected metric %d, want %d", got, rejected)
+	}
+}
+
+// TestShutdownDrains: SIGTERM-style shutdown finishes every accepted job
+// and rejects new submissions, dropping nothing.
+func TestShutdownDrains(t *testing.T) {
+	var solved atomic.Int64
+	s := New(Options{
+		Workers:    2,
+		QueueDepth: 16,
+		Solve: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+			time.Sleep(10 * time.Millisecond)
+			solved.Add(1)
+			return fakeResult("drain"), nil
+		},
+	})
+
+	const jobs = 8
+	ids := make([]string, jobs)
+	for i := 0; i < jobs; i++ {
+		st, err := s.Submit(gridReq(1 + i)) // all distinct
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := s.Submit(gridReq(99)); err == nil {
+		t.Error("submission accepted after shutdown")
+	} else if se, ok := err.(*Error); !ok || se.Code != 503 {
+		t.Errorf("post-shutdown submit error %v, want 503", err)
+	}
+	if got := solved.Load(); got != jobs {
+		t.Errorf("%d jobs solved through drain, want %d", got, jobs)
+	}
+	for _, id := range ids {
+		st, err := s.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != JobDone {
+			t.Errorf("job %s ended %s after drain, want done", id, st.State)
+		}
+	}
+}
+
+// TestHTTPEndToEnd exercises the real stack over HTTP: submit via the
+// client, solve with the real CDCL mapper, fetch the result, reconstruct
+// and re-verify the mapping locally, then hit the cache on resubmission.
+func TestHTTPEndToEnd(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.PollInterval = 5 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	req := &JobRequest{
+		Benchmark: "2x2-f",
+		Grid:      &arch.GridSpec{Rows: 2, Cols: 2, Interconnect: arch.Diagonal, Homogeneous: true},
+		Contexts:  2,
+	}
+	res, err := c.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Mapping == nil {
+		t.Fatalf("expected feasible mapping, got %+v", res)
+	}
+
+	// The client-side MapFunc path: same instance through the mapper seam,
+	// reconstructing and re-verifying the portable mapping.
+	g, a := mustInstance(t, req)
+	mres, err := solveViaMapFunc(ctx, c, g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mres.Feasible() || mres.Mapping == nil {
+		t.Fatalf("MapFunc path: expected verified feasible mapping, got %v", mres.Status)
+	}
+	if err := mres.Mapping.Verify(); err != nil {
+		t.Fatalf("reconstructed mapping fails verification: %v", err)
+	}
+
+	// Second identical submission must be served from cache.
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.CacheHit {
+		t.Errorf("resubmission not a cache hit: %+v", st)
+	}
+
+	// Metrics endpoint over HTTP.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	// Two hits: the MapFunc submission (same instance shipped as DFG
+	// text + arch XML rather than benchmark + grid — the fingerprint
+	// sees through the representation) and the explicit resubmission.
+	if !strings.Contains(string(blob), "cgramapd_cache_hits_total 2") {
+		t.Errorf("metrics missing cache hits:\n%s", blob)
+	}
+
+	// Unknown engine must 400 through the full stack.
+	if _, err := c.Submit(ctx, &JobRequest{Benchmark: "2x2-f", Grid: req.Grid, Engine: "gurobi"}); err == nil {
+		t.Error("unknown engine accepted")
+	} else if se, ok := err.(*Error); !ok || se.Code != 400 {
+		t.Errorf("unknown engine error %v, want 400", err)
+	}
+
+	// healthz flips to 503 once draining.
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != 503 {
+		t.Fatalf("healthz while draining: got %d, want 503", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestFingerprintSemantics: the job fingerprint ignores the deadline and
+// distinguishes engines, objectives and auto-II bounds.
+func TestFingerprintSemantics(t *testing.T) {
+	s := New(Options{Workers: 1, Solve: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+		return fakeResult("fp"), nil
+	}})
+	defer s.Shutdown(context.Background())
+
+	base := gridReq(2)
+	fp := func(mutate func(*JobRequest)) string {
+		r := *base
+		if mutate != nil {
+			mutate(&r)
+		}
+		spec, err := s.ParseRequest(&r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec.Fingerprint
+	}
+
+	ref := fp(nil)
+	if fp(func(r *JobRequest) { r.DeadlineMS = 12345 }) != ref {
+		t.Error("deadline leaked into the job fingerprint")
+	}
+	if fp(func(r *JobRequest) { r.Engine = EnginePortfolio }) == ref {
+		t.Error("engine not part of the job fingerprint")
+	}
+	if fp(func(r *JobRequest) { r.Objective = "routing" }) == ref {
+		t.Error("objective not part of the job fingerprint")
+	}
+	if fp(func(r *JobRequest) { r.AutoII = 4 }) == ref {
+		t.Error("auto-II bound not part of the job fingerprint")
+	}
+	if fp(func(r *JobRequest) { r.Contexts = 3 }) == ref {
+		t.Error("context count not part of the job fingerprint")
+	}
+}
+
+// TestUnknownNotCached: an Unknown (budget-limited) answer must not be
+// served to a later submission.
+func TestUnknownNotCached(t *testing.T) {
+	var calls atomic.Int64
+	s := New(Options{Workers: 1, Solve: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+		calls.Add(1)
+		return &JobResult{Status: ilp.Unknown, Reason: "budget"}, nil
+	}})
+	defer s.Shutdown(context.Background())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		st, err := s.Submit(gridReq(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Wait(ctx, st.ID); err != nil {
+			t.Fatal(err)
+		}
+		if st.CacheHit {
+			t.Fatal("Unknown result served from cache")
+		}
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("%d solves for two Unknown submissions, want 2 (no caching)", got)
+	}
+}
+
+// mustInstance rebuilds the DFG and architecture a JobRequest names, the
+// way a local orchestrator holding in-memory values would have them.
+func mustInstance(t *testing.T, req *JobRequest) (*dfg.Graph, *arch.Arch) {
+	t.Helper()
+	g, err := bench.Get(req.Benchmark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := *req.Grid
+	if spec.Contexts == 0 {
+		spec.Contexts = req.Contexts
+	}
+	a, err := arch.Grid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, a
+}
+
+// solveViaMapFunc drives the client through the mapper.MapWith seam.
+func solveViaMapFunc(ctx context.Context, c *Client, g *dfg.Graph, a *arch.Arch) (*mapper.Result, error) {
+	mg, err := mrrg.Generate(a)
+	if err != nil {
+		return nil, err
+	}
+	return mapper.Dispatch(ctx, g, mg, mapper.Options{MapWith: c.MapFunc(EngineCDCL)})
+}
+
+func metricsText(t *testing.T, s *Server) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := s.Metrics.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func wantMetric(t *testing.T, text, name string, want int) {
+	t.Helper()
+	needle := fmt.Sprintf("%s %d\n", name, want)
+	if !strings.Contains(text, needle) {
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, name+" ") || strings.HasPrefix(line, name+"{") {
+				t.Errorf("metric %s: got %q, want %d", name, line, want)
+				return
+			}
+		}
+		t.Errorf("metric %s absent, want %d", name, want)
+	}
+}
