@@ -143,7 +143,8 @@ func (c *Client) Solve(ctx context.Context, req *JobRequest) (*JobResult, error)
 	if err != nil {
 		return nil, err
 	}
-	if st, err = c.Wait(ctx, st.ID); err != nil {
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
 		if ctx.Err() != nil {
 			cancelCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			c.Cancel(cancelCtx, st.ID)
@@ -151,6 +152,7 @@ func (c *Client) Solve(ctx context.Context, req *JobRequest) (*JobResult, error)
 		}
 		return nil, err
 	}
+	st = final
 	switch st.State {
 	case JobDone:
 		return c.Result(ctx, st.ID)

@@ -537,7 +537,12 @@ func (s *Server) Wait(ctx context.Context, id string) (*JobStatus, error) {
 	}
 	select {
 	case <-j.done:
-		return s.Job(id)
+		// Snapshot the captured job rather than re-looking it up: once
+		// terminal it may already have been evicted from s.jobs by the
+		// retention loop.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return snapshot(j), nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -587,8 +592,13 @@ func (s *Server) worker() {
 func (s *Server) runExec(ex *exec) {
 	s.mu.Lock()
 	if len(ex.jobs) == 0 {
-		// Every submission was cancelled while queued.
-		delete(s.inflight, ex.fp)
+		// Every submission was cancelled while queued. Cancel already
+		// removed the inflight entry, and a later Submit may have
+		// installed a fresh exec under the same fingerprint — only
+		// remove the entry if it is still ours.
+		if s.inflight[ex.fp] == ex {
+			delete(s.inflight, ex.fp)
+		}
 		s.mu.Unlock()
 		ex.cancel()
 		return
@@ -614,7 +624,9 @@ func (s *Server) runExec(ex *exec) {
 	}
 
 	s.mu.Lock()
-	delete(s.inflight, ex.fp)
+	if s.inflight[ex.fp] == ex {
+		delete(s.inflight, ex.fp)
+	}
 	now = time.Now()
 	for _, j := range ex.jobs {
 		j.finished = now

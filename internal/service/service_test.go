@@ -193,6 +193,150 @@ func TestCancelPropagatesToSolverContext(t *testing.T) {
 	}
 }
 
+// TestClientSolveCancelled: ctx expiring while the client polls must
+// surface the ctx error (not panic on the nil Wait status) and
+// best-effort cancel the remote job so the server stops solving.
+func TestClientSolveCancelled(t *testing.T) {
+	running := make(chan struct{})
+	observed := make(chan error, 1)
+	s := New(Options{
+		Workers: 1,
+		Solve: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+			close(running)
+			<-ctx.Done()
+			observed <- ctx.Err()
+			return nil, ctx.Err()
+		},
+	})
+	defer s.Shutdown(context.Background())
+	// Signal the first status poll, which proves the client is past
+	// Submit and inside Wait — the window the bug lived in.
+	polled := make(chan struct{})
+	var pollOnce sync.Once
+	h := s.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/") {
+			pollOnce.Do(func() { close(polled) })
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.PollInterval = 5 * time.Millisecond
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Solve(ctx, gridReq(1))
+		errCh <- err
+	}()
+	<-running
+	<-polled
+	cancel()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Solve returned nil error after ctx cancellation")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Solve did not return after ctx cancellation")
+	}
+	select {
+	case err := <-observed:
+		if err != context.Canceled {
+			t.Errorf("solver ctx ended with %v, want Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client cancellation never propagated to the solver context")
+	}
+}
+
+// TestCancelledExecKeepsSuccessorInflight: a fully-cancelled exec whose
+// fingerprint has since been resubmitted must not evict the successor's
+// inflight entry when it (a) is skipped while queued or (b) finishes a
+// running solve — otherwise later duplicates stop deduplicating.
+func TestCancelledExecKeepsSuccessorInflight(t *testing.T) {
+	calls := make(chan struct{}, 16)
+	proceed := make(chan struct{})
+	s := New(Options{
+		Workers:    1,
+		QueueDepth: 8,
+		Solve: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+			calls <- struct{}{}
+			<-ctx.Done()
+			<-proceed
+			return nil, ctx.Err()
+		},
+	})
+	defer s.Shutdown(context.Background())
+
+	// Running variant: cancel the sole submission of a running solve, so
+	// Cancel removes its inflight entry while the worker is still inside
+	// Solve, then resubmit the same fingerprint.
+	first, err := s.Submit(gridReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-calls // worker inside Solve for first
+	if _, err := s.Cancel(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Submit(gridReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Deduped {
+		t.Fatalf("resubmission after full cancellation deduped onto a dead exec: %+v", second)
+	}
+
+	// Queued variant: park another fingerprint behind the busy worker,
+	// cancel it, and resubmit; its first exec is skipped by the worker
+	// with no attached jobs.
+	queued, err := s.Submit(gridReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	requeued, err := s.Submit(gridReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Release the first (cancelled) solve: its exec completes with no
+	// jobs, then the worker skips the cancelled queued exec, then starts
+	// the two live resubmissions in turn.
+	close(proceed)
+	<-calls // worker inside Solve for second
+	dup, err := s.Submit(gridReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Deduped {
+		t.Error("duplicate of the running resubmission not deduped: the dead exec evicted its successor's inflight entry")
+	}
+
+	for _, id := range []string{second.ID, dup.ID} {
+		if _, err := s.Cancel(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-calls // worker inside Solve for requeued
+	dup2, err := s.Submit(gridReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup2.Deduped {
+		t.Error("duplicate of the requeued solve not deduped: the skipped exec evicted its successor's inflight entry")
+	}
+	for _, id := range []string{requeued.ID, dup2.ID} {
+		if _, err := s.Cancel(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestBackpressure: with workers busy and the queue full, submissions
 // are rejected with a 429 error carrying Retry-After.
 func TestBackpressure(t *testing.T) {
