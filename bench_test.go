@@ -14,6 +14,11 @@ package cgramap
 // terminates promptly; `cmd/experiments` runs the same code with the
 // paper-scale budgets and prints the full tables (EXPERIMENTS.md records
 // those results).
+//
+// `go test -short -bench .` runs the quick tier only: the solver sweeps
+// (Table 2, Fig. 8, ablations) are skipped and the construction
+// benchmarks remain — the same split cmd/benchreg gates CI on. Every
+// benchmark reports allocations.
 
 import (
 	"context"
@@ -37,6 +42,7 @@ const benchCellTimeout = 2 * time.Second
 // BenchmarkTable1 regenerates Table 1: build all 19 benchmark DFGs and
 // compute their characteristics.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := exper.RenderTable1(io.Discard); err != nil {
 			b.Fatal(err)
@@ -48,9 +54,13 @@ func BenchmarkTable1(b *testing.B) {
 // sub-benchmark: all 19 benchmarks through the ILP mapper. The reported
 // "feasible" metric is the column's Total Feasible count at this budget.
 func BenchmarkTable2(b *testing.B) {
+	if testing.Short() {
+		b.Skip("solver sweep: skipped in -short tier")
+	}
 	for _, spec := range arch.PaperArchitectures() {
 		spec := spec
 		b.Run(spec.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sweep, err := exper.RunSweep(context.Background(), exper.SweepOptions{
 					Timeout: benchCellTimeout,
@@ -73,9 +83,13 @@ var fig8Kernels = []string{"accum", "2x2-f", "2x2-p", "add_10", "mult_10", "exp_
 // one architecture per sub-benchmark, reporting how many kernels the
 // heuristic mapped.
 func BenchmarkFig8SA(b *testing.B) {
+	if testing.Short() {
+		b.Skip("annealer sweep: skipped in -short tier")
+	}
 	for _, spec := range arch.PaperArchitectures() {
 		spec := spec
 		b.Run(spec.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			mg := mustMRRG(b, spec)
 			for i := 0; i < b.N; i++ {
 				found := 0
@@ -106,6 +120,7 @@ func BenchmarkMRRGGenerate(b *testing.B) {
 	} {
 		spec := spec
 		b.Run(spec.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			a, err := arch.Grid(spec)
 			if err != nil {
 				b.Fatal(err)
@@ -127,6 +142,7 @@ func BenchmarkFormulate(b *testing.B) {
 	for _, name := range []string{"2x2-f", "accum", "extreme"} {
 		name := name
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			g := bench.MustGet(name)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -144,6 +160,7 @@ func BenchmarkFormulate(b *testing.B) {
 
 // BenchmarkSolveFeasible measures an end-to-end feasible ILP solve.
 func BenchmarkSolveFeasible(b *testing.B) {
+	b.ReportAllocs()
 	mg := mustMRRG(b, arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 1})
 	g := bench.MustGet("accum")
 	b.ResetTimer()
@@ -161,6 +178,9 @@ func BenchmarkSolveFeasible(b *testing.B) {
 // BenchmarkAblationPruning measures the reachability-pruning design
 // choice: identical instance with and without pruning/presolve.
 func BenchmarkAblationPruning(b *testing.B) {
+	if testing.Short() {
+		b.Skip("solver ablation: skipped in -short tier")
+	}
 	mg := mustMRRG(b, arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Orthogonal, Homogeneous: true, Contexts: 1})
 	g := bench.MustGet("2x2-f")
 	for _, cfg := range []struct {
@@ -186,6 +206,9 @@ func BenchmarkAblationPruning(b *testing.B) {
 // BenchmarkAblationEngine compares the CDCL engine against LP
 // branch-and-bound on an instance small enough for both (2x2 grid).
 func BenchmarkAblationEngine(b *testing.B) {
+	if testing.Short() {
+		b.Skip("solver ablation: skipped in -short tier")
+	}
 	mg := mustMRRG(b, arch.GridSpec{Rows: 2, Cols: 2, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 1})
 	g := bench.MustGet("2x2-f")
 	for _, cfg := range []struct {
@@ -212,6 +235,9 @@ func BenchmarkAblationEngine(b *testing.B) {
 // BenchmarkAblationObjective measures the cost of proving routing
 // optimality (eq. 10) over plain feasibility.
 func BenchmarkAblationObjective(b *testing.B) {
+	if testing.Short() {
+		b.Skip("solver ablation: skipped in -short tier")
+	}
 	mg := mustMRRG(b, arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 1})
 	g := bench.MustGet("2x2-f")
 	for _, cfg := range []struct {

@@ -1,0 +1,173 @@
+// Command benchreg runs the repository's benchmark-regression suite and
+// compares result files.
+//
+//	benchreg run  [-label L] [-out FILE] [-short] [-samples N] [-series REGEX] [-min-sample-time D] [-solve-budget D]
+//	benchreg diff [-threshold F] [-metric time,allocs] [-gated-only] [-md FILE] BASE.json NEW.json
+//	benchreg list [-short]
+//
+// `run` executes the suite (MRRG generation, ILP formulation and solver
+// end-to-end series) and writes a schema-versioned JSON result,
+// conventionally committed as BENCH_<label>.json. `diff` compares two
+// such files with robust statistics (median + MAD) and exits 1 when a
+// gated series regressed beyond the threshold, which is how CI gates
+// performance. `list` prints the series of a tier.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"regexp"
+	"syscall"
+	"time"
+
+	"cgramap/internal/perf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "run":
+		err = runRun(args)
+	case "diff":
+		err = runDiff(args)
+	case "list":
+		err = runList(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreg:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: benchreg <run|diff|list> [flags]
+  run   runs the suite and writes a BENCH_<label>.json result
+  diff  compares two result files; exit 1 on a gated regression
+  list  prints the series names of a tier`)
+}
+
+func runRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	label := fs.String("label", "dev", "result label (written into the file)")
+	out := fs.String("out", "", "output path (default BENCH_<label>.json)")
+	short := fs.Bool("short", false, "reduced tier: gated series only, smaller budgets")
+	samples := fs.Int("samples", 0, "samples per series (0 = tier default)")
+	series := fs.String("series", "", "regexp restricting which series run")
+	minSample := fs.Duration("min-sample-time", 0, "per-sample calibration floor (0 = tier default)")
+	solveBudget := fs.Duration("solve-budget", 0, "per-iteration budget of solver series (0 = 30s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("run takes no positional arguments")
+	}
+	opts := perf.SuiteOptions{
+		Label:         *label,
+		Short:         *short,
+		Samples:       *samples,
+		MinSampleTime: *minSample,
+		SolveBudget:   *solveBudget,
+	}
+	if *series != "" {
+		re, err := regexp.Compile(*series)
+		if err != nil {
+			return fmt.Errorf("-series: %w", err)
+		}
+		opts.Filter = re
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	res, err := perf.RunSuite(ctx, opts, os.Stderr)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *label + ".json"
+	}
+	if err := res.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d series, %v)\n", path, len(res.Series), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.25, "fractional median change that counts as a regression")
+	metrics := fs.String("metric", "time,allocs", "comma-separated metrics: time, allocs, bytes")
+	gatedOnly := fs.Bool("gated-only", false, "compare gated series only")
+	noiseMADs := fs.Float64("noise-mads", 3, "time-metric noise guard in MADs")
+	md := fs.String("md", "", "also write the markdown report to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff needs exactly two result files (baseline, candidate)")
+	}
+	ms, err := perf.ParseMetrics(*metrics)
+	if err != nil {
+		return err
+	}
+	base, err := perf.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cand, err := perf.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	rep, err := perf.Diff(base, cand, perf.DiffOptions{
+		Metrics:   ms,
+		Threshold: *threshold,
+		NoiseMADs: *noiseMADs,
+		GatedOnly: *gatedOnly,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteMarkdown(os.Stdout); err != nil {
+		return err
+	}
+	if *md != "" {
+		f, err := os.Create(*md)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteMarkdown(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if rep.Failed {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func runList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	short := fs.Bool("short", false, "list the reduced tier")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, name := range perf.SeriesNames(*short) {
+		fmt.Println(name)
+	}
+	return nil
+}

@@ -134,7 +134,15 @@ func mapperOptions(engine string, fallback bool, daemon string) (mapper.Options,
 	if daemon != "" {
 		switch engine {
 		case "cdcl", "bb", "portfolio":
-			opts.MapWith = service.NewClient(daemon).MapFunc(engine)
+			client := service.NewClient(daemon)
+			// Fail fast with a clear message rather than erroring per
+			// cell if the daemon is down or still booting.
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := client.WaitHealthy(ctx); err != nil {
+				return opts, err
+			}
+			opts.MapWith = client.MapFunc(engine)
 			return opts, nil
 		default:
 			return opts, fmt.Errorf("unknown engine %q", engine)

@@ -1,0 +1,36 @@
+// Command waitready blocks until a cgramapd server answers its health
+// check, then exits 0. It exists so scripts (CI daemon-integration, local
+// demos) share the service client's polling loop instead of hand-rolling
+// curl retries with their own timeout arithmetic.
+//
+// Usage:
+//
+//	waitready -url http://127.0.0.1:8537 -timeout 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cgramap/internal/service"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8537", "server base URL")
+	timeout := flag.Duration("timeout", 30*time.Second, "give up after this long")
+	interval := flag.Duration("interval", service.DefaultPollInterval, "poll cadence")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := service.NewClient(*url)
+	c.PollInterval = *interval
+	if err := c.WaitHealthy(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "waitready:", err)
+		os.Exit(1)
+	}
+	fmt.Println("ready:", c.BaseURL)
+}

@@ -12,6 +12,7 @@ package ilp
 import (
 	"context"
 	"fmt"
+	"strconv"
 )
 
 // Var identifies a binary decision variable within a Model.
@@ -59,6 +60,27 @@ type Constraint struct {
 	RHS   int
 }
 
+// varName is a variable's diagnostic name in unformatted form. Mapping
+// models create hundreds of thousands of variables whose names are all
+// "prefix[a,b]" or "prefix[a,b,k]" over already-interned strings; storing
+// the parts and formatting on demand keeps name construction off the
+// model-build hot path entirely. A plain name uses only the prefix field.
+type varName struct {
+	prefix string
+	a, b   string
+	k      int32 // third component; < 0 when absent
+}
+
+func (n *varName) format() string {
+	if n.a == "" && n.b == "" {
+		return n.prefix
+	}
+	if n.k < 0 {
+		return n.prefix + "[" + n.a + "," + n.b + "]"
+	}
+	return n.prefix + "[" + n.a + "," + n.b + "," + strconv.Itoa(int(n.k)) + "]"
+}
+
 // Model is a 0-1 integer linear program. All variables are binary.
 type Model struct {
 	// Name labels the model.
@@ -67,10 +89,17 @@ type Model struct {
 	// pure feasibility problem.
 	Objective []Term
 
-	varNames    []string
-	priorities  map[Var]int
-	phaseHints  map[Var]bool
+	names []varName
+	// priorities and phases are dense per-variable hint tables (index =
+	// Var), grown on first write; nil when no hint was ever set.
+	priorities  []int32
+	phases      []bool
 	Constraints []Constraint
+
+	// termArena backs constraint term lists: Add copies incoming terms
+	// into the current chunk so small constraints share allocations and
+	// callers can reuse their scratch buffers.
+	termArena []Term
 }
 
 // NewModel returns an empty model.
@@ -80,19 +109,30 @@ func NewModel(name string) *Model {
 
 // Binary adds a binary variable with the given diagnostic name.
 func (m *Model) Binary(name string) Var {
-	m.varNames = append(m.varNames, name)
-	return Var(len(m.varNames) - 1)
+	m.names = append(m.names, varName{prefix: name, k: -1})
+	return Var(len(m.names) - 1)
+}
+
+// BinaryComposite adds a binary variable named "prefix[a,b]", or
+// "prefix[a,b,k]" when k >= 0, without formatting the name now. This is
+// the allocation-free naming path for bulk variable creation.
+func (m *Model) BinaryComposite(prefix, a, b string, k int) Var {
+	if k < 0 {
+		k = -1
+	}
+	m.names = append(m.names, varName{prefix: prefix, a: a, b: b, k: int32(k)})
+	return Var(len(m.names) - 1)
 }
 
 // NumVars returns the number of variables.
-func (m *Model) NumVars() int { return len(m.varNames) }
+func (m *Model) NumVars() int { return len(m.names) }
 
 // VarName returns the diagnostic name of v.
 func (m *Model) VarName(v Var) string {
-	if int(v) < 0 || int(v) >= len(m.varNames) {
+	if int(v) < 0 || int(v) >= len(m.names) {
 		return fmt.Sprintf("x%d", int(v))
 	}
-	return m.varNames[v]
+	return m.names[v].format()
 }
 
 // SetBranchPriority advises solvers to branch on higher-priority
@@ -100,29 +140,67 @@ func (m *Model) VarName(v Var) string {
 // The default priority is 0.
 func (m *Model) SetBranchPriority(v Var, pri int) {
 	if m.priorities == nil {
-		m.priorities = make(map[Var]int)
+		m.priorities = make([]int32, len(m.names))
 	}
-	m.priorities[v] = pri
+	for int(v) >= len(m.priorities) {
+		m.priorities = append(m.priorities, 0)
+	}
+	m.priorities[v] = int32(pri)
 }
 
 // BranchPriority returns the branch priority of v.
-func (m *Model) BranchPriority(v Var) int { return m.priorities[v] }
+func (m *Model) BranchPriority(v Var) int {
+	if int(v) < 0 || int(v) >= len(m.priorities) {
+		return 0
+	}
+	return int(m.priorities[v])
+}
 
 // SetPhaseHint advises solvers to try the given value first when
 // branching on v (the analogue of a solution hint). The default is false.
 func (m *Model) SetPhaseHint(v Var, val bool) {
-	if m.phaseHints == nil {
-		m.phaseHints = make(map[Var]bool)
+	if m.phases == nil {
+		m.phases = make([]bool, len(m.names))
 	}
-	m.phaseHints[v] = val
+	for int(v) >= len(m.phases) {
+		m.phases = append(m.phases, false)
+	}
+	m.phases[v] = val
 }
 
 // PhaseHint returns the phase hint of v.
-func (m *Model) PhaseHint(v Var) bool { return m.phaseHints[v] }
+func (m *Model) PhaseHint(v Var) bool {
+	if int(v) < 0 || int(v) >= len(m.phases) {
+		return false
+	}
+	return m.phases[v]
+}
 
-// Add appends the constraint sum(terms) rel rhs.
+// termArenaChunk is the growth unit of the term arena.
+const termArenaChunk = 8192
+
+// copyTerms copies terms into the arena and returns the stable,
+// capacity-clipped sub-slice.
+func (m *Model) copyTerms(terms []Term) []Term {
+	if len(terms) == 0 {
+		return nil
+	}
+	if cap(m.termArena)-len(m.termArena) < len(terms) {
+		size := termArenaChunk
+		if size < len(terms) {
+			size = len(terms)
+		}
+		m.termArena = make([]Term, 0, size)
+	}
+	start := len(m.termArena)
+	m.termArena = append(m.termArena, terms...)
+	return m.termArena[start:len(m.termArena):len(m.termArena)]
+}
+
+// Add appends the constraint sum(terms) rel rhs. The terms are copied,
+// so the caller may reuse its buffer for the next constraint.
 func (m *Model) Add(name string, terms []Term, rel Rel, rhs int) {
-	m.Constraints = append(m.Constraints, Constraint{Name: name, Terms: terms, Rel: rel, RHS: rhs})
+	m.Constraints = append(m.Constraints, Constraint{Name: name, Terms: m.copyTerms(terms), Rel: rel, RHS: rhs})
 }
 
 // AddLE appends sum(terms) <= rhs.
@@ -148,7 +226,7 @@ func Sum(vars ...Var) []Term {
 func (m *Model) Validate() error {
 	check := func(where string, terms []Term) error {
 		for _, t := range terms {
-			if int(t.Var) < 0 || int(t.Var) >= len(m.varNames) {
+			if int(t.Var) < 0 || int(t.Var) >= len(m.names) {
 				return fmt.Errorf("ilp %s: %s references undeclared variable %d", m.Name, where, int(t.Var))
 			}
 			if t.Coef == 0 {
@@ -207,8 +285,8 @@ func (a Assignment) Eval(terms []Term) int {
 // Check reports the first violated constraint, or nil if the assignment
 // is feasible.
 func (m *Model) Check(a Assignment) error {
-	if len(a) != len(m.varNames) {
-		return fmt.Errorf("ilp %s: assignment has %d values, want %d", m.Name, len(a), len(m.varNames))
+	if len(a) != len(m.names) {
+		return fmt.Errorf("ilp %s: assignment has %d values, want %d", m.Name, len(a), len(m.names))
 	}
 	for i, c := range m.Constraints {
 		lhs := a.Eval(c.Terms)

@@ -33,6 +33,11 @@ type formulation struct {
 	// infeasible holds a human-readable reason when the instance was
 	// proven infeasible during construction (presolve / pruning).
 	infeasible string
+
+	// terms is the constraint-builder scratch buffer: ilp.Model.Add
+	// copies its input, so one buffer serves every constraint without
+	// per-constraint slice allocations.
+	terms []ilp.Term
 }
 
 // build constructs the full model. On return, either f.infeasible is
@@ -282,7 +287,7 @@ func (f *formulation) createVars(allowed [][][]bool) {
 	for _, op := range f.g.Ops() {
 		f.fvar[op.ID] = make(map[int]ilp.Var, len(f.legal[op.ID]))
 		for _, p := range f.legal[op.ID] {
-			v := f.model.Binary(fmt.Sprintf("F[%s,%s]", f.mg.Nodes[p].Name, op.Name))
+			v := f.model.BinaryComposite("F", f.mg.Nodes[p].Name, op.Name, -1)
 			// Placement decisions dominate the search: branch on
 			// them first, trying "placed here" before "not here"
 			// so that each decision constructively extends a
@@ -304,13 +309,13 @@ func (f *formulation) createVars(allowed [][][]bool) {
 				if !ok {
 					continue
 				}
-				f.r3[v.ID][k][i] = f.model.Binary(fmt.Sprintf("R[%s,%s,%d]", f.mg.Nodes[i].Name, v.Name, k))
+				f.r3[v.ID][k][i] = f.model.BinaryComposite("R", f.mg.Nodes[i].Name, v.Name, k)
 				union[i] = true
 			}
 		}
 		f.r2[v.ID] = make(map[int]ilp.Var, len(union))
 		for i := range union {
-			f.r2[v.ID][i] = f.model.Binary(fmt.Sprintf("R[%s,%s]", f.mg.Nodes[i].Name, v.Name))
+			f.r2[v.ID][i] = f.model.BinaryComposite("R", f.mg.Nodes[i].Name, v.Name, -1)
 		}
 	}
 }
@@ -319,11 +324,11 @@ func (f *formulation) createVars(allowed [][][]bool) {
 func (f *formulation) addPlacementConstraints() {
 	// (1) Operation Placement: every op on exactly one FU.
 	for _, op := range f.g.Ops() {
-		terms := make([]ilp.Term, 0, len(f.legal[op.ID]))
+		f.terms = f.terms[:0]
 		for _, p := range f.legal[op.ID] {
-			terms = append(terms, ilp.Term{Var: f.fvar[op.ID][p], Coef: 1})
+			f.terms = append(f.terms, ilp.Term{Var: f.fvar[op.ID][p], Coef: 1})
 		}
-		f.model.AddEQ("placement", terms, 1)
+		f.model.AddEQ("placement", f.terms, 1)
 	}
 	// (2) Functional Unit Exclusivity: at most one op per FU slot.
 	perFU := make(map[int][]ilp.Term)
@@ -363,23 +368,23 @@ func (f *formulation) addRoutingConstraints() {
 				// (5) Fanout Routing: a used node drives a
 				// downstream node with the same sub-value or
 				// terminates at the sink's FU.
-				terms := []ilp.Term{{Var: rv, Coef: -1}}
+				f.terms = append(f.terms[:0], ilp.Term{Var: rv, Coef: -1})
 				for _, m := range node.Fanouts {
 					mn := mg.Nodes[m]
 					if mn.Kind == mrrg.RouteRes {
 						if mv, ok := rk[m]; ok {
-							terms = append(terms, ilp.Term{Var: mv, Coef: 1})
+							f.terms = append(f.terms, ilp.Term{Var: mv, Coef: 1})
 						}
 						continue
 					}
 					// FU fanout: i is an operand port of mn.
 					if mg.CompatibleSink(node, u.Op, u.Operand) {
 						if fv, ok := f.fvar[u.Op.ID][m]; ok {
-							terms = append(terms, ilp.Term{Var: fv, Coef: 1})
+							f.terms = append(f.terms, ilp.Term{Var: fv, Coef: 1})
 						}
 					}
 				}
-				f.model.AddGE("fanout-routing", terms, 0)
+				f.model.AddGE("fanout-routing", f.terms, 0)
 
 				// (6) Implied Placement (and operand
 				// correctness): routing onto an operand port
@@ -460,13 +465,13 @@ func (f *formulation) addRoutingConstraints() {
 			if len(node.Fanins) <= 1 {
 				continue
 			}
-			terms := []ilp.Term{{Var: rv, Coef: -1}}
+			f.terms = append(f.terms[:0], ilp.Term{Var: rv, Coef: -1})
 			for _, m := range node.Fanins {
 				if mv, ok := f.r2[v.ID][m]; ok {
-					terms = append(terms, ilp.Term{Var: mv, Coef: 1})
+					f.terms = append(f.terms, ilp.Term{Var: mv, Coef: 1})
 				}
 			}
-			f.model.AddEQ("mux-input-exclusivity", terms, 0)
+			f.model.AddEQ("mux-input-exclusivity", f.terms, 0)
 		}
 	}
 }

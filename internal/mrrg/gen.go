@@ -2,10 +2,34 @@ package mrrg
 
 import (
 	"fmt"
+	"strconv"
 
 	"cgramap/internal/arch"
 	"cgramap/internal/dfg"
 )
+
+// countNodes computes the exact node count Generate will create, so the
+// node arena and name index can be sized once up front. The formula
+// mirrors the expansion switch in Generate exactly.
+func countNodes(a *arch.Arch) int {
+	N := a.Contexts
+	total := 0
+	for _, p := range a.Prims {
+		switch p.Kind {
+		case arch.Wire:
+			total += N
+		case arch.Mux:
+			total += N * (1 + p.NIn)
+		case arch.Reg:
+			total += 2 * N
+		case arch.FU:
+			if p.II > 0 && N%p.II == 0 {
+				total += (N / p.II) * (2 + p.NIn)
+			}
+		}
+	}
+	return total
+}
 
 // Generate expands an architecture into its MRRG with one replica per
 // execution context (paper §3.2).
@@ -27,18 +51,47 @@ import (
 //     port node per operand, a FuncUnit node, and a RouteRes output node
 //     in context (c+L) mod N (Fig. 2: a latency-2 II-2 unit has its output
 //     two cycles later and is replicated every second context only).
+//
+// Device models are regenerated on every mapping request (and the job
+// service rebuilds them per job), so generation is a measured hot path:
+// nodes come from one contiguous arena, adjacency lists are carved from
+// two exact-size edge arenas, and names are assembled from pre-computed
+// context prefixes instead of fmt.
 func Generate(a *arch.Arch) (*Graph, error) {
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("mrrg: invalid architecture: %w", err)
 	}
 	N := a.Contexts
-	g := &Graph{Arch: a, Contexts: N, byName: make(map[string]int)}
+	total := countNodes(a)
+	g := &Graph{
+		Arch:     a,
+		Contexts: N,
+		Nodes:    make([]*Node, 0, total),
+		byName:   make(map[string]int, total),
+	}
+	// One contiguous arena for all nodes; &arena[i] stays valid because
+	// the exact capacity is precomputed (addNode falls back to the heap
+	// if the count formula ever drifts from the expansion rules).
+	arena := make([]Node, 0, total)
+
+	// ctxPrefix[c] is "c<c>." — shared by every node name in context c.
+	ctxPrefix := make([]string, N)
+	for c := range ctxPrefix {
+		ctxPrefix[c] = "c" + strconv.Itoa(c) + "."
+	}
 
 	addNode := func(name string, kind NodeKind, ctx, prim int) *Node {
 		if _, dup := g.byName[name]; dup {
 			panic(fmt.Sprintf("mrrg: duplicate node name %q", name))
 		}
-		n := &Node{
+		var n *Node
+		if len(arena) < cap(arena) {
+			arena = append(arena, Node{})
+			n = &arena[len(arena)-1]
+		} else {
+			n = &Node{}
+		}
+		*n = Node{
 			ID:          len(g.Nodes),
 			Kind:        kind,
 			Name:        name,
@@ -57,9 +110,14 @@ func Generate(a *arch.Arch) (*Graph, error) {
 		}
 		return n
 	}
+
+	// Edges are collected flat and materialised into exact-size
+	// adjacency arenas once all nodes exist, so no per-node slice has
+	// to grow incrementally.
+	type edge struct{ from, to int32 }
+	edges := make([]edge, 0, total*2)
 	addEdge := func(from, to int) {
-		g.Nodes[from].Fanouts = append(g.Nodes[from].Fanouts, to)
-		g.Nodes[to].Fanins = append(g.Nodes[to].Fanins, from)
+		edges = append(edges, edge{int32(from), int32(to)})
 	}
 
 	// inOf[prim][port][ctx] and outOf[prim][ctx] record the node that
@@ -80,15 +138,16 @@ func Generate(a *arch.Arch) (*Graph, error) {
 		switch p.Kind {
 		case arch.Wire:
 			for c := 0; c < N; c++ {
-				n := addNode(nodeName(c, p.Name), RouteRes, c, pi)
+				n := addNode(ctxPrefix[c]+p.Name, RouteRes, c, pi)
 				inOf[pi][0][c] = n.ID
 				outOf[pi][c] = n.ID
 			}
 		case arch.Mux:
 			for c := 0; c < N; c++ {
-				m := addNode(nodeName(c, p.Name), RouteRes, c, pi)
+				base := ctxPrefix[c] + p.Name
+				m := addNode(base, RouteRes, c, pi)
 				for port := 0; port < p.NIn; port++ {
-					pin := addNode(fmt.Sprintf("%s.in%d", nodeName(c, p.Name), port), RouteRes, c, pi)
+					pin := addNode(base+".in"+strconv.Itoa(port), RouteRes, c, pi)
 					pin.PinPort = port
 					addEdge(pin.ID, m.ID)
 					inOf[pi][port][c] = pin.ID
@@ -99,10 +158,10 @@ func Generate(a *arch.Arch) (*Graph, error) {
 			ins := make([]int, N)
 			outs := make([]int, N)
 			for c := 0; c < N; c++ {
-				ins[c] = addNode(nodeName(c, p.Name)+".in", RouteRes, c, pi).ID
+				ins[c] = addNode(ctxPrefix[c]+p.Name+".in", RouteRes, c, pi).ID
 			}
 			for c := 0; c < N; c++ {
-				outs[c] = addNode(nodeName(c, p.Name)+".out", RouteRes, c, pi).ID
+				outs[c] = addNode(ctxPrefix[c]+p.Name+".out", RouteRes, c, pi).ID
 			}
 			for c := 0; c < N; c++ {
 				addEdge(ins[c], outs[(c+1)%N])
@@ -121,11 +180,12 @@ func Generate(a *arch.Arch) (*Graph, error) {
 				if c%p.II != 0 {
 					continue
 				}
-				fu := addNode(nodeName(c, p.Name), FuncUnit, c, pi)
+				base := ctxPrefix[c] + p.Name
+				fu := addNode(base, FuncUnit, c, pi)
 				fu.Ops = p.Ops
 				fu.PortNodes = make([]int, p.NIn)
 				for port := 0; port < p.NIn; port++ {
-					pn := addNode(fmt.Sprintf("%s.in%d", nodeName(c, p.Name), port), RouteRes, c, pi)
+					pn := addNode(base+".in"+strconv.Itoa(port), RouteRes, c, pi)
 					pn.OperandPort = port
 					pn.FUNode = fu.ID
 					fu.PortNodes[port] = pn.ID
@@ -133,7 +193,7 @@ func Generate(a *arch.Arch) (*Graph, error) {
 					inOf[pi][port][c] = pn.ID
 				}
 				oc := (c + p.Latency) % N
-				on := addNode(fmt.Sprintf("%s.out", nodeName(c, p.Name)), RouteRes, oc, pi)
+				on := addNode(base+".out", RouteRes, oc, pi)
 				on.FUNode = fu.ID
 				fu.OutNode = on.ID
 				addEdge(fu.ID, on.ID)
@@ -153,13 +213,38 @@ func Generate(a *arch.Arch) (*Graph, error) {
 			}
 		}
 	}
+
+	// Materialise adjacency: count degrees, carve per-node slices out
+	// of two shared arenas (full-slice expressions, so a later append
+	// by a caller reallocates instead of clobbering a neighbour).
+	fanoutCnt := make([]int32, len(g.Nodes))
+	faninCnt := make([]int32, len(g.Nodes))
+	for _, e := range edges {
+		fanoutCnt[e.from]++
+		faninCnt[e.to]++
+	}
+	fanoutArena := make([]int, len(edges))
+	faninArena := make([]int, len(edges))
+	fo, fi := 0, 0
+	for id, n := range g.Nodes {
+		n.Fanouts = fanoutArena[fo : fo : fo+int(fanoutCnt[id])]
+		fo += int(fanoutCnt[id])
+		n.Fanins = faninArena[fi : fi : fi+int(faninCnt[id])]
+		fi += int(faninCnt[id])
+	}
+	for _, e := range edges {
+		from, to := g.Nodes[e.from], g.Nodes[e.to]
+		from.Fanouts = from.Fanouts[:len(from.Fanouts)+1]
+		from.Fanouts[len(from.Fanouts)-1] = int(e.to)
+		to.Fanins = to.Fanins[:len(to.Fanins)+1]
+		to.Fanins[len(to.Fanins)-1] = int(e.from)
+	}
+
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	return g, nil
 }
-
-func nodeName(ctx int, prim string) string { return fmt.Sprintf("c%d.%s", ctx, prim) }
 
 func fill(n, v int) []int {
 	s := make([]int, n)

@@ -1,0 +1,264 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Metric selects which per-op figure a comparison reads.
+type Metric string
+
+const (
+	// MetricTime compares wall time per op. Machine-dependent: gate on
+	// it only when baseline and candidate ran on comparable hardware.
+	MetricTime Metric = "time"
+	// MetricAllocs compares allocations per op. Deterministic for the
+	// gated construction series, so it travels across machines — CI
+	// gates on this one.
+	MetricAllocs Metric = "allocs"
+	// MetricBytes compares bytes allocated per op.
+	MetricBytes Metric = "bytes"
+)
+
+// ParseMetrics parses a comma-separated metric list.
+func ParseMetrics(s string) ([]Metric, error) {
+	var ms []Metric
+	for _, part := range strings.Split(s, ",") {
+		switch m := Metric(strings.TrimSpace(part)); m {
+		case MetricTime, MetricAllocs, MetricBytes:
+			ms = append(ms, m)
+		default:
+			return nil, fmt.Errorf("perf: unknown metric %q (want time, allocs or bytes)", part)
+		}
+	}
+	return ms, nil
+}
+
+func (s *Series) samples(m Metric) []float64 {
+	switch m {
+	case MetricTime:
+		return s.TimeNsPerOp
+	case MetricAllocs:
+		return s.AllocsPerOp
+	case MetricBytes:
+		return s.BytesPerOp
+	default:
+		return nil
+	}
+}
+
+// Verdict classifies one series/metric comparison.
+type Verdict string
+
+const (
+	Improved  Verdict = "improved"
+	Unchanged Verdict = "unchanged"
+	Regressed Verdict = "regressed"
+	// Missing means the series exists in the baseline but not in the
+	// candidate run — a gated series going missing fails the diff
+	// (silently dropping a benchmark must not read as a pass).
+	Missing Verdict = "missing"
+)
+
+// DiffOptions tunes a comparison.
+type DiffOptions struct {
+	// Metrics to compare; default time+allocs.
+	Metrics []Metric
+	// Threshold is the fractional median change that counts as a
+	// regression (and, symmetrically, as an improvement); default 0.25.
+	Threshold float64
+	// NoiseMADs scales the robust noise guard: a change must also
+	// exceed NoiseMADs*(baseMAD+newMAD) to count, so a tight threshold
+	// cannot flag jitter on fast series. Default 3. Applies to the time
+	// metric only — allocation counts carry no scheduler noise.
+	NoiseMADs float64
+	// GatedOnly restricts the comparison to gated series.
+	GatedOnly bool
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if len(o.Metrics) == 0 {
+		o.Metrics = []Metric{MetricTime, MetricAllocs}
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.25
+	}
+	if o.NoiseMADs == 0 {
+		o.NoiseMADs = 3
+	}
+	return o
+}
+
+// SeriesDelta is one series/metric comparison row.
+type SeriesDelta struct {
+	Name   string
+	Metric Metric
+	Gated  bool
+
+	BaseMedian, NewMedian float64
+	BaseMAD, NewMAD       float64
+	// Change is the fractional median change (new-base)/base;
+	// NaN when the baseline median is zero and the candidate's is not.
+	Change  float64
+	Verdict Verdict
+}
+
+// Report is the outcome of comparing two results.
+type Report struct {
+	BaseLabel, NewLabel string
+	Threshold           float64
+	Deltas              []SeriesDelta
+	// NewSeries lists series present only in the candidate
+	// (informational: a freshly added benchmark has no baseline yet).
+	NewSeries []string
+	// Failed is true when any gated series regressed or went missing.
+	Failed bool
+}
+
+// Diff compares a candidate run against a baseline.
+func Diff(base, cand *Result, opts DiffOptions) (*Report, error) {
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := cand.Validate(); err != nil {
+		return nil, fmt.Errorf("candidate: %w", err)
+	}
+	opts = opts.withDefaults()
+	rep := &Report{BaseLabel: base.Label, NewLabel: cand.Label, Threshold: opts.Threshold}
+	for i := range base.Series {
+		bs := &base.Series[i]
+		if opts.GatedOnly && !bs.Gated {
+			continue
+		}
+		cs := cand.FindSeries(bs.Name)
+		for _, m := range opts.Metrics {
+			d := SeriesDelta{Name: bs.Name, Metric: m, Gated: bs.Gated}
+			if cs == nil {
+				d.Verdict = Missing
+				d.BaseMedian = Median(bs.samples(m))
+				d.Change = math.NaN()
+			} else {
+				d = compareSeries(bs, cs, m, opts)
+			}
+			if d.Gated && (d.Verdict == Regressed || d.Verdict == Missing) {
+				rep.Failed = true
+			}
+			rep.Deltas = append(rep.Deltas, d)
+		}
+	}
+	for i := range cand.Series {
+		if base.FindSeries(cand.Series[i].Name) == nil {
+			rep.NewSeries = append(rep.NewSeries, cand.Series[i].Name)
+		}
+	}
+	return rep, nil
+}
+
+// compareSeries applies the median + MAD decision rule to one metric.
+func compareSeries(bs, cs *Series, m Metric, opts DiffOptions) SeriesDelta {
+	b, c := bs.samples(m), cs.samples(m)
+	d := SeriesDelta{
+		Name: bs.Name, Metric: m, Gated: bs.Gated,
+		BaseMedian: Median(b), NewMedian: Median(c),
+		BaseMAD: MAD(b), NewMAD: MAD(c),
+		Verdict: Unchanged,
+	}
+	change := d.NewMedian - d.BaseMedian
+	if d.BaseMedian == 0 {
+		// Zero-baseline guard: no finite relative change exists. A
+		// zero-to-nonzero move is still a real regression (e.g. an
+		// alloc-free path starting to allocate).
+		if d.NewMedian == 0 {
+			d.Change = 0
+			return d
+		}
+		d.Change = math.NaN()
+		d.Verdict = Regressed
+		return d
+	}
+	d.Change = change / d.BaseMedian
+	// Noise guard: on the time metric, require the shift to clear the
+	// combined spread of both runs (a zero-variance baseline degrades
+	// this to the plain threshold test).
+	guard := 0.0
+	if m == MetricTime {
+		guard = opts.NoiseMADs * (d.BaseMAD + d.NewMAD)
+	}
+	switch {
+	case d.Change > opts.Threshold && change > guard:
+		d.Verdict = Regressed
+	case d.Change < -opts.Threshold && -change > guard:
+		d.Verdict = Improved
+	}
+	return d
+}
+
+// WriteMarkdown renders the report as a markdown document (the CI
+// artifact and the human-readable summary).
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	fmt.Fprintf(w, "# benchreg: %s vs %s\n\n", r.NewLabel, r.BaseLabel)
+	fmt.Fprintf(w, "Regression threshold: %.0f%% on the median; gated series fail the diff.\n\n", r.Threshold*100)
+	fmt.Fprintln(w, "| series | metric | gated | base median | new median | change | verdict |")
+	fmt.Fprintln(w, "|---|---|---|---:|---:|---:|---|")
+	for _, d := range r.Deltas {
+		gate := ""
+		if d.Gated {
+			gate = "yes"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s | %s |\n",
+			d.Name, d.Metric, gate,
+			formatValue(d.Metric, d.BaseMedian), formatValue(d.Metric, d.NewMedian),
+			formatChange(d.Change), verdictCell(d))
+	}
+	if len(r.NewSeries) > 0 {
+		fmt.Fprintf(w, "\nNew series without a baseline: %s\n", strings.Join(r.NewSeries, ", "))
+	}
+	fmt.Fprintf(w, "\nResult: **%s**\n", map[bool]string{false: "PASS", true: "FAIL"}[r.Failed])
+	return nil
+}
+
+func verdictCell(d SeriesDelta) string {
+	switch d.Verdict {
+	case Regressed:
+		if d.Gated {
+			return "**REGRESSED**"
+		}
+		return "regressed (ungated)"
+	case Missing:
+		if d.Gated {
+			return "**MISSING**"
+		}
+		return "missing (ungated)"
+	case Improved:
+		return "improved"
+	default:
+		return "ok"
+	}
+}
+
+func formatValue(m Metric, v float64) string {
+	switch m {
+	case MetricTime:
+		switch {
+		case v >= 1e9:
+			return fmt.Sprintf("%.2fs", v/1e9)
+		case v >= 1e6:
+			return fmt.Sprintf("%.2fms", v/1e6)
+		case v >= 1e3:
+			return fmt.Sprintf("%.1fµs", v/1e3)
+		default:
+			return fmt.Sprintf("%.0fns", v)
+		}
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func formatChange(c float64) string {
+	if math.IsNaN(c) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", c*100)
+}

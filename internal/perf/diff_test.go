@@ -1,0 +1,232 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// mkResult builds a minimal valid result from (name, gated, allocs) rows.
+// Every series gets constant samples so medians are exact.
+func mkResult(label string, rows ...Series) *Result {
+	r := NewResult(label, false)
+	r.Series = rows
+	return r
+}
+
+// flat returns n copies of v.
+func flat(v float64, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = v
+	}
+	return xs
+}
+
+// series builds one series with constant time/allocs/bytes samples.
+func series(name string, gated bool, timeNs, allocs float64) Series {
+	return Series{
+		Name:        name,
+		Gated:       gated,
+		Iters:       1,
+		TimeNsPerOp: flat(timeNs, 5),
+		AllocsPerOp: flat(allocs, 5),
+		BytesPerOp:  flat(allocs*16, 5),
+	}
+}
+
+func TestDiffMissingSeries(t *testing.T) {
+	base := mkResult("base",
+		series("gated-one", true, 1000, 10),
+		series("ungated-one", false, 1000, 10),
+	)
+	cand := mkResult("cand", series("brand-new", false, 1, 1))
+
+	rep, err := Diff(base, cand, DiffOptions{Metrics: []Metric{MetricAllocs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed {
+		t.Error("gated series missing from candidate must fail the diff")
+	}
+	verdicts := map[string]Verdict{}
+	for _, d := range rep.Deltas {
+		verdicts[d.Name] = d.Verdict
+		if d.Verdict == Missing && !math.IsNaN(d.Change) {
+			t.Errorf("%s: missing series should have NaN change, got %v", d.Name, d.Change)
+		}
+	}
+	if verdicts["gated-one"] != Missing || verdicts["ungated-one"] != Missing {
+		t.Errorf("want both series missing, got %v", verdicts)
+	}
+	if len(rep.NewSeries) != 1 || rep.NewSeries[0] != "brand-new" {
+		t.Errorf("NewSeries = %v, want [brand-new]", rep.NewSeries)
+	}
+
+	// An ungated series going missing is reported but never fails.
+	base2 := mkResult("base", series("ungated-one", false, 1000, 10))
+	rep2, err := Diff(base2, cand, DiffOptions{Metrics: []Metric{MetricAllocs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Failed {
+		t.Error("ungated missing series must not fail the diff")
+	}
+}
+
+func TestDiffGatedOnlySkipsUngated(t *testing.T) {
+	base := mkResult("base",
+		series("gated-one", true, 1000, 10),
+		series("ungated-one", false, 1000, 10),
+	)
+	cand := mkResult("cand",
+		series("gated-one", true, 1000, 10),
+		// Huge ungated regression: must not even appear in a gated-only diff.
+		series("ungated-one", false, 9000, 90),
+	)
+	rep, err := Diff(base, cand, DiffOptions{Metrics: []Metric{MetricAllocs}, GatedOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Error("gated-only diff must ignore the ungated regression")
+	}
+	for _, d := range rep.Deltas {
+		if d.Name == "ungated-one" {
+			t.Error("gated-only diff must not include ungated series")
+		}
+	}
+}
+
+func TestDiffZeroVarianceBaseline(t *testing.T) {
+	// Constant samples → MAD 0 on both sides → the time noise guard
+	// degrades to the plain threshold test and must still catch a clear
+	// regression.
+	base := mkResult("base", series("s", true, 1000, 10))
+	cand := mkResult("cand", series("s", true, 1500, 10))
+	rep, err := Diff(base, cand, DiffOptions{Metrics: []Metric{MetricTime}, Threshold: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deltas) != 1 || rep.Deltas[0].Verdict != Regressed || !rep.Failed {
+		t.Errorf("zero-variance 50%% time regression: got %+v, failed=%v", rep.Deltas, rep.Failed)
+	}
+}
+
+func TestDiffNoiseGuardSuppressesJitter(t *testing.T) {
+	// The median moved past the threshold, but the shift is inside
+	// NoiseMADs*(baseMAD+newMAD): no verdict change on the time metric.
+	noisy := func(center float64) []float64 {
+		return []float64{center - 200, center - 100, center, center + 100, center + 200}
+	}
+	base := mkResult("base", Series{Name: "s", Gated: true, Iters: 1,
+		TimeNsPerOp: noisy(1000), AllocsPerOp: flat(10, 5), BytesPerOp: flat(160, 5)})
+	cand := mkResult("cand", Series{Name: "s", Gated: true, Iters: 1,
+		TimeNsPerOp: noisy(1400), AllocsPerOp: flat(10, 5), BytesPerOp: flat(160, 5)})
+	rep, err := Diff(base, cand, DiffOptions{Metrics: []Metric{MetricTime}, Threshold: 0.25, NoiseMADs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MAD is 100 on each side → guard 3*(100+100)=600 > 400 shift.
+	if rep.Deltas[0].Verdict != Unchanged || rep.Failed {
+		t.Errorf("400ns shift inside the 600ns guard must stay unchanged, got %+v", rep.Deltas[0])
+	}
+
+	// The same relative change on allocs (no noise guard) regresses.
+	base2 := mkResult("base", series("s", true, 1000, 10))
+	cand2 := mkResult("cand", series("s", true, 1000, 14))
+	rep2, err := Diff(base2, cand2, DiffOptions{Metrics: []Metric{MetricAllocs}, Threshold: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Deltas[0].Verdict != Regressed {
+		t.Errorf("40%% alloc regression must flag without a noise guard, got %+v", rep2.Deltas[0])
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	// 0 → 0 is unchanged; 0 → nonzero is a regression with NaN relative
+	// change (an alloc-free path starting to allocate).
+	base := mkResult("base",
+		series("stays-zero", true, 100, 0),
+		series("goes-nonzero", true, 100, 0),
+	)
+	cand := mkResult("cand",
+		series("stays-zero", true, 100, 0),
+		series("goes-nonzero", true, 100, 3),
+	)
+	rep, err := Diff(base, cand, DiffOptions{Metrics: []Metric{MetricAllocs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Deltas {
+		switch d.Name {
+		case "stays-zero":
+			if d.Verdict != Unchanged || d.Change != 0 {
+				t.Errorf("0→0: got %+v", d)
+			}
+		case "goes-nonzero":
+			if d.Verdict != Regressed || !math.IsNaN(d.Change) {
+				t.Errorf("0→3: got %+v", d)
+			}
+		}
+	}
+	if !rep.Failed {
+		t.Error("0→nonzero on a gated series must fail")
+	}
+}
+
+func TestDiffRejectsInvalidInput(t *testing.T) {
+	bad := mkResult("bad", series("s", true, 1000, 10))
+	bad.Series[0].TimeNsPerOp[2] = math.NaN()
+	good := mkResult("good", series("s", true, 1000, 10))
+	if _, err := Diff(bad, good, DiffOptions{}); err == nil {
+		t.Error("NaN sample in baseline must be rejected")
+	}
+	if _, err := Diff(good, bad, DiffOptions{}); err == nil {
+		t.Error("NaN sample in candidate must be rejected")
+	}
+	bad.Series[0].TimeNsPerOp[2] = math.Inf(1)
+	if _, err := Diff(bad, good, DiffOptions{}); err == nil {
+		t.Error("Inf sample must be rejected")
+	}
+	bad.Series[0].TimeNsPerOp[2] = -1
+	if _, err := Diff(bad, good, DiffOptions{}); err == nil {
+		t.Error("negative sample must be rejected")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	base := mkResult("base",
+		series("ok-series", true, 1000, 10),
+		series("gone", true, 1000, 10),
+	)
+	cand := mkResult("cand", series("ok-series", true, 1000, 10))
+	rep, err := Diff(base, cand, DiffOptions{Metrics: []Metric{MetricAllocs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"**MISSING**", "n/a", "**FAIL**", "ok-series"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseMetrics(t *testing.T) {
+	ms, err := ParseMetrics("time, allocs,bytes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 || ms[0] != MetricTime || ms[1] != MetricAllocs || ms[2] != MetricBytes {
+		t.Errorf("ParseMetrics = %v", ms)
+	}
+	if _, err := ParseMetrics("walltime"); err == nil {
+		t.Error("unknown metric must be rejected")
+	}
+}

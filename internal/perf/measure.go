@@ -1,0 +1,110 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// op is one benchmark iteration. It may return engine counters (solver
+// series); the last non-nil map of a series is recorded.
+type op func() (map[string]int64, error)
+
+// measureOptions fixes the sampling budget of one series.
+type measureOptions struct {
+	samples       int
+	minSampleTime time.Duration
+	maxIters      int
+}
+
+// calibrate picks the per-sample iteration count: the smallest power-of
+// -ten multiple (1, 2, 5, 10, ...) whose total runtime reaches
+// minSampleTime, capped by maxIters. Fixing the count once — rather than
+// re-deriving it per sample — keeps every sample of a series, and every
+// run of the same tier, measuring the same workload shape.
+func calibrate(o op, opts measureOptions) (int, error) {
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := o(); err != nil {
+				return 0, err
+			}
+		}
+		elapsed := time.Since(start)
+		if elapsed >= opts.minSampleTime || iters >= opts.maxIters {
+			return iters, nil
+		}
+		// Grow along the 1-2-5 sequence like testing.B does.
+		switch {
+		case elapsed <= 0:
+			iters *= 100
+		default:
+			want := int(float64(iters) * float64(opts.minSampleTime) / float64(elapsed))
+			iters = roundUp125(want + want/5) // 20% headroom
+		}
+		if iters > opts.maxIters {
+			iters = opts.maxIters
+		}
+	}
+}
+
+// roundUp125 rounds n up to the next 1, 2 or 5 times a power of ten.
+func roundUp125(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	base := 1
+	for {
+		for _, m := range []int{1, 2, 5} {
+			if v := m * base; v >= n {
+				return v
+			}
+		}
+		base *= 10
+	}
+}
+
+// measure runs one series: calibrates the iteration count, then takes
+// opts.samples timed samples, reading the allocator counters around each
+// so allocations and bytes per op come out exact (single-goroutine
+// benchmark bodies make the MemStats delta attributable). A GC runs
+// before each sample so collection debt from one sample is not billed to
+// the next.
+func measure(ctx context.Context, name string, gated bool, o op, opts measureOptions) (Series, error) {
+	iters, err := calibrate(o, opts)
+	if err != nil {
+		return Series{}, fmt.Errorf("perf: %s: %w", name, err)
+	}
+	s := Series{Name: name, Gated: gated, Iters: iters}
+	var ms1, ms2 runtime.MemStats
+	for i := 0; i < opts.samples; i++ {
+		if err := ctx.Err(); err != nil {
+			return Series{}, err
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&ms1)
+		start := time.Now()
+		var stats map[string]int64
+		for j := 0; j < iters; j++ {
+			st, err := o()
+			if err != nil {
+				return Series{}, fmt.Errorf("perf: %s: %w", name, err)
+			}
+			if st != nil {
+				stats = st
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms2)
+		n := float64(iters)
+		s.TimeNsPerOp = append(s.TimeNsPerOp, float64(elapsed.Nanoseconds())/n)
+		s.AllocsPerOp = append(s.AllocsPerOp, float64(ms2.Mallocs-ms1.Mallocs)/n)
+		s.BytesPerOp = append(s.BytesPerOp, float64(ms2.TotalAlloc-ms1.TotalAlloc)/n)
+		if stats != nil {
+			s.SolverStats = stats
+		}
+	}
+	return s, nil
+}

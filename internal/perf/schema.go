@@ -1,0 +1,176 @@
+// Package perf is the benchmark-regression substrate: it runs the
+// paper's benchmark suite (MRRG generation, ILP formulation, solver
+// end-to-end) under fixed budgets, records wall time, allocations and
+// solver counters into a versioned JSON schema, and compares two result
+// files with robust statistics (median + MAD) so that CI can gate on
+// performance regressions and PRs can commit before/after evidence
+// (the BENCH_<label>.json files at the repository root).
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump it on
+// incompatible changes; Validate rejects files from other versions so a
+// diff never silently compares mismatched schemas.
+const SchemaVersion = 1
+
+// Result is one benchmark run: a labelled collection of measured series
+// plus enough environment metadata to judge comparability.
+type Result struct {
+	SchemaVersion int    `json:"schema_version"`
+	Label         string `json:"label"`
+	CreatedAt     string `json:"created_at,omitempty"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	// Short marks a run of the reduced tier (gated series only, smaller
+	// budgets) used by CI.
+	Short  bool     `json:"short,omitempty"`
+	Series []Series `json:"series"`
+}
+
+// Series is one measured benchmark series. Each sample runs Iters
+// iterations back to back; the per-op figures are that sample's totals
+// divided by Iters. Keeping every sample (rather than a single mean)
+// is what lets the diff use median + MAD.
+type Series struct {
+	Name string `json:"name"`
+	// Gated series participate in CI pass/fail; ungated series (the
+	// solver end-to-end runs, whose timing is search-order noisy) are
+	// reported but never fail a diff.
+	Gated bool `json:"gated,omitempty"`
+	// Iters is the per-sample iteration count fixed by calibration.
+	Iters int `json:"iters"`
+	// TimeNsPerOp, AllocsPerOp and BytesPerOp hold one per-op figure
+	// per sample.
+	TimeNsPerOp []float64 `json:"time_ns_per_op"`
+	AllocsPerOp []float64 `json:"allocs_per_op"`
+	BytesPerOp  []float64 `json:"bytes_per_op"`
+	// SolverStats carries engine counters (decisions, propagations,
+	// conflicts, ...) from the last iteration of solver series.
+	SolverStats map[string]int64 `json:"solver_stats,omitempty"`
+}
+
+// NewResult returns a Result labelled and stamped with the current
+// environment.
+func NewResult(label string, short bool) *Result {
+	return &Result{
+		SchemaVersion: SchemaVersion,
+		Label:         label,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Short:         short,
+	}
+}
+
+// Validate checks schema version, series-name uniqueness, sample-shape
+// consistency and that every figure is finite and non-negative (JSON
+// cannot carry NaN/Inf, but a hand-edited or corrupted file could carry
+// "1e999"-style values that decode to +Inf).
+func (r *Result) Validate() error {
+	if r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("perf: schema version %d, this tool reads %d", r.SchemaVersion, SchemaVersion)
+	}
+	if len(r.Series) == 0 {
+		return fmt.Errorf("perf: result %q has no series", r.Label)
+	}
+	seen := make(map[string]bool, len(r.Series))
+	for i := range r.Series {
+		s := &r.Series[i]
+		if s.Name == "" {
+			return fmt.Errorf("perf: series %d has no name", i)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("perf: duplicate series %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Iters <= 0 {
+			return fmt.Errorf("perf: series %q has non-positive iters %d", s.Name, s.Iters)
+		}
+		if len(s.TimeNsPerOp) == 0 {
+			return fmt.Errorf("perf: series %q has no samples", s.Name)
+		}
+		if len(s.AllocsPerOp) != len(s.TimeNsPerOp) || len(s.BytesPerOp) != len(s.TimeNsPerOp) {
+			return fmt.Errorf("perf: series %q has mismatched sample counts (%d time, %d allocs, %d bytes)",
+				s.Name, len(s.TimeNsPerOp), len(s.AllocsPerOp), len(s.BytesPerOp))
+		}
+		for _, samples := range [][]float64{s.TimeNsPerOp, s.AllocsPerOp, s.BytesPerOp} {
+			for _, v := range samples {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					return fmt.Errorf("perf: series %q has invalid sample %v", s.Name, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FindSeries returns the named series, or nil.
+func (r *Result) FindSeries(name string) *Series {
+	for i := range r.Series {
+		if r.Series[i].Name == name {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// Write serialises the result as indented JSON.
+func (r *Result) Write(w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the result to path.
+func (r *Result) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses and validates a result.
+func Read(rd io.Reader) (*Result, error) {
+	var r Result
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ReadFile reads and validates the result at path.
+func ReadFile(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

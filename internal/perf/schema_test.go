@@ -1,0 +1,153 @@
+package perf
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// validResult wraps Result with a quick.Generator that only produces
+// schema-valid values (finite non-negative samples, unique non-empty
+// names, consistent sample counts), so the property under test is the
+// JSON round trip, not Validate's rejections.
+type validResult struct{ R Result }
+
+var _ quick.Generator = validResult{}
+
+func (validResult) Generate(rng *rand.Rand, size int) reflect.Value {
+	nSeries := 1 + rng.Intn(5)
+	nSamples := 1 + rng.Intn(7)
+	r := Result{
+		SchemaVersion: SchemaVersion,
+		Label:         "label-" + strconv.Itoa(rng.Intn(1000)),
+		CreatedAt:     "2026-08-06T00:00:00Z",
+		GoVersion:     "go-test",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		NumCPU:        1 + rng.Intn(64),
+		Short:         rng.Intn(2) == 0,
+	}
+	samples := func() []float64 {
+		xs := make([]float64, nSamples)
+		for i := range xs {
+			// Mix magnitudes: integers, tiny fractions, zero, and large
+			// values near the float64 integer-precision edge.
+			switch rng.Intn(4) {
+			case 0:
+				xs[i] = float64(rng.Intn(1000))
+			case 1:
+				xs[i] = rng.Float64()
+			case 2:
+				xs[i] = 0
+			default:
+				xs[i] = rng.Float64() * 1e15
+			}
+		}
+		return xs
+	}
+	for i := 0; i < nSeries; i++ {
+		s := Series{
+			Name:        "series-" + strconv.Itoa(i),
+			Gated:       rng.Intn(2) == 0,
+			Iters:       1 + rng.Intn(100000),
+			TimeNsPerOp: samples(),
+			AllocsPerOp: samples(),
+			BytesPerOp:  samples(),
+		}
+		if rng.Intn(2) == 0 {
+			s.SolverStats = map[string]int64{
+				"decisions": rng.Int63(),
+				"conflicts": -rng.Int63(), // negative counters must survive too
+			}
+		}
+		r.Series = append(r.Series, s)
+	}
+	return reflect.ValueOf(validResult{R: r})
+}
+
+// TestResultRoundTrip checks Write→Read is the identity on every valid
+// result: encoding/json must preserve each float64 sample exactly and the
+// decoder must accept everything the encoder emits.
+func TestResultRoundTrip(t *testing.T) {
+	prop := func(vr validResult) bool {
+		var buf bytes.Buffer
+		if err := vr.R.Write(&buf); err != nil {
+			t.Logf("Write: %v", err)
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Logf("Read: %v", err)
+			return false
+		}
+		if !reflect.DeepEqual(*got, vr.R) {
+			t.Logf("round trip changed the result:\n in: %+v\nout: %+v", vr.R, *got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	valid := func() *Result {
+		r := NewResult("x", false)
+		r.Series = []Series{{
+			Name: "s", Iters: 1,
+			TimeNsPerOp: []float64{1}, AllocsPerOp: []float64{1}, BytesPerOp: []float64{1},
+		}}
+		return r
+	}
+	cases := []struct {
+		name string
+		mut  func(*Result)
+		frag string
+	}{
+		{"wrong schema version", func(r *Result) { r.SchemaVersion = SchemaVersion + 1 }, "schema version"},
+		{"no series", func(r *Result) { r.Series = nil }, "no series"},
+		{"empty name", func(r *Result) { r.Series[0].Name = "" }, "no name"},
+		{"duplicate name", func(r *Result) { r.Series = append(r.Series, r.Series[0]) }, "duplicate"},
+		{"zero iters", func(r *Result) { r.Series[0].Iters = 0 }, "iters"},
+		{"no samples", func(r *Result) {
+			r.Series[0].TimeNsPerOp = nil
+			r.Series[0].AllocsPerOp = nil
+			r.Series[0].BytesPerOp = nil
+		}, "no samples"},
+		{"mismatched counts", func(r *Result) { r.Series[0].AllocsPerOp = []float64{1, 2} }, "mismatched"},
+		{"NaN sample", func(r *Result) { r.Series[0].TimeNsPerOp[0] = math.NaN() }, "invalid sample"},
+		{"Inf sample", func(r *Result) { r.Series[0].BytesPerOp[0] = math.Inf(1) }, "invalid sample"},
+		{"negative sample", func(r *Result) { r.Series[0].AllocsPerOp[0] = -1 }, "invalid sample"},
+	}
+	for _, c := range cases {
+		r := valid()
+		c.mut(r)
+		err := r.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted an invalid result", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Errorf("valid result rejected: %v", err)
+	}
+}
+
+// TestReadRejectsHugeLiteral documents the +Inf guard end to end: "1e999"
+// decodes without error but must not validate.
+func TestReadRejectsHugeLiteral(t *testing.T) {
+	blob := `{"schema_version":1,"label":"x","go_version":"g","goos":"l","goarch":"a","num_cpu":1,
+	  "series":[{"name":"s","iters":1,"time_ns_per_op":[1e999],"allocs_per_op":[1],"bytes_per_op":[1]}]}`
+	if _, err := Read(strings.NewReader(blob)); err == nil {
+		t.Fatal("1e999 sample must be rejected")
+	}
+}

@@ -1,0 +1,38 @@
+package perf
+
+import "sort"
+
+// Median returns the median of xs (the mean of the two central values
+// for even lengths). It returns 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation of xs: the median of
+// |x - median(xs)|. A robust spread estimate that a single outlier
+// sample (GC pause, scheduler hiccup) cannot inflate, which is why the
+// diff uses it as its noise guard instead of the standard deviation.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		d := x - m
+		if d < 0 {
+			d = -d
+		}
+		dev[i] = d
+	}
+	return Median(dev)
+}

@@ -1,0 +1,44 @@
+package perf
+
+import "testing"
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{7}, 7},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{5, 5, 5, 5, 100}, 5}, // one outlier cannot move it
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+	// Median must not reorder the caller's slice.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5, 5, 5}, 0},
+		{[]float64{1, 2, 3}, 1},
+		{[]float64{5, 5, 5, 5, 100}, 0}, // robust to the outlier
+	}
+	for _, c := range cases {
+		if got := MAD(c.xs); got != c.want {
+			t.Errorf("MAD(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}

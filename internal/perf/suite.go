@@ -1,0 +1,269 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"regexp"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+	"cgramap/internal/solve/bb"
+)
+
+// SuiteOptions configures a suite run.
+type SuiteOptions struct {
+	// Label names the run (the BENCH_<label>.json convention).
+	Label string
+	// Short selects the reduced tier: gated series only (MRRG
+	// generation and ILP formulation — the deterministic hot paths CI
+	// gates on), smaller sampling budgets.
+	Short bool
+	// Samples per series; 0 selects 7 (5 in short mode).
+	Samples int
+	// MinSampleTime is the calibration floor per sample; 0 selects
+	// 200ms (50ms in short mode).
+	MinSampleTime time.Duration
+	// Filter, when non-nil, restricts the run to matching series names.
+	Filter *regexp.Regexp
+	// SolveBudget bounds each iteration of the solver series; 0 selects
+	// 30s.
+	SolveBudget time.Duration
+}
+
+// seriesSpec declares one suite entry. Gated series are the ones CI
+// fails on; they must be deterministic enough (allocation counts,
+// single-threaded construction code) for cross-run comparison.
+type seriesSpec struct {
+	name  string
+	gated bool
+	// shortTier marks the series as part of the reduced CI tier.
+	shortTier bool
+	setup     func(opts SuiteOptions) (op, error)
+}
+
+// formulationArch is the architecture the formulation series build
+// against: the paper's 4x4 heterogeneous-capable grid with two contexts.
+var formulationArch = arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 2}
+
+// suite returns the standard series set. MRRG generation and ILP
+// formulation are gated (pure construction: deterministic allocations,
+// stable timing); end-to-end solves are recorded for trajectory and
+// engine counters but never gate, because CDCL search order makes their
+// timing restart-noisy.
+func suite() []seriesSpec {
+	var specs []seriesSpec
+	for _, gs := range []arch.GridSpec{
+		{Rows: 4, Cols: 4, Interconnect: arch.Orthogonal, Homogeneous: true, Contexts: 1},
+		{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: false, Contexts: 2},
+		{Rows: 8, Cols: 8, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 2},
+	} {
+		gs := gs
+		specs = append(specs, seriesSpec{
+			name:      "mrrg-gen/" + gs.Name(),
+			gated:     true,
+			shortTier: true,
+			setup: func(SuiteOptions) (op, error) {
+				a, err := arch.Grid(gs)
+				if err != nil {
+					return nil, err
+				}
+				return func() (map[string]int64, error) {
+					_, err := mrrg.Generate(a)
+					return nil, err
+				}, nil
+			},
+		})
+	}
+	for _, kernel := range []string{"2x2-f", "accum", "extreme"} {
+		kernel := kernel
+		specs = append(specs, seriesSpec{
+			name:      "formulate/" + kernel,
+			gated:     true,
+			shortTier: true,
+			setup: func(SuiteOptions) (op, error) {
+				a, err := arch.Grid(formulationArch)
+				if err != nil {
+					return nil, err
+				}
+				mg, err := mrrg.Generate(a)
+				if err != nil {
+					return nil, err
+				}
+				g, err := bench.Get(kernel)
+				if err != nil {
+					return nil, err
+				}
+				return func() (map[string]int64, error) {
+					m, reason, err := mapper.BuildModel(g, mg, mapper.Options{})
+					if err != nil {
+						return nil, err
+					}
+					if m == nil {
+						return nil, fmt.Errorf("unexpectedly infeasible: %s", reason)
+					}
+					return nil, nil
+				}, nil
+			},
+		})
+	}
+	specs = append(specs,
+		solveSpec("solve-cdcl/accum", "accum",
+			arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 1},
+			mapper.Options{}),
+		// BB cannot crack full mapping models within any sane budget
+		// (the engine ablation shows mostly "T" cells), so its series
+		// exercises the LP/branch-and-bound machinery on a synthetic
+		// assignment model instead.
+		seriesSpec{
+			name: "solve-bb/assignment-8",
+			setup: func(opts SuiteOptions) (op, error) {
+				budget := opts.SolveBudget
+				if budget <= 0 {
+					budget = 30 * time.Second
+				}
+				return func() (map[string]int64, error) {
+					m := assignmentModel(8)
+					ctx, cancel := context.WithTimeout(context.Background(), budget)
+					defer cancel()
+					sol, err := bb.New().Solve(ctx, m)
+					if err != nil {
+						return nil, err
+					}
+					if sol.Status != ilp.Optimal {
+						return nil, fmt.Errorf("expected an optimal assignment, got %v", sol.Status)
+					}
+					return sol.Stats, nil
+				}, nil
+			},
+		},
+	)
+	return specs
+}
+
+// assignmentModel builds an n x n assignment problem: every row picks
+// exactly one column, every column carries at most one row, minimising a
+// fixed cost table. Deterministic by construction.
+func assignmentModel(n int) *ilp.Model {
+	m := ilp.NewModel(fmt.Sprintf("assignment-%d", n))
+	vars := make([][]ilp.Var, n)
+	for i := range vars {
+		vars[i] = make([]ilp.Var, n)
+		for j := range vars[i] {
+			v := m.Binary(fmt.Sprintf("x[%d,%d]", i, j))
+			vars[i][j] = v
+			m.Objective = append(m.Objective, ilp.Term{Var: v, Coef: (i*7+j*3)%11 + 1})
+		}
+	}
+	for i := 0; i < n; i++ {
+		m.AddEQ("row", ilp.Sum(vars[i]...), 1)
+		col := make([]ilp.Var, n)
+		for j := 0; j < n; j++ {
+			col[j] = vars[j][i]
+		}
+		m.AddLE("col", ilp.Sum(col...), 1)
+	}
+	return m
+}
+
+// solveSpec builds an ungated end-to-end solver series that records the
+// engine's counters (decisions, propagations, conflicts, ...).
+func solveSpec(name, kernel string, gs arch.GridSpec, mopts mapper.Options) seriesSpec {
+	return seriesSpec{
+		name: name,
+		setup: func(opts SuiteOptions) (op, error) {
+			a, err := arch.Grid(gs)
+			if err != nil {
+				return nil, err
+			}
+			mg, err := mrrg.Generate(a)
+			if err != nil {
+				return nil, err
+			}
+			g, err := bench.Get(kernel)
+			if err != nil {
+				return nil, err
+			}
+			budget := opts.SolveBudget
+			if budget <= 0 {
+				budget = 30 * time.Second
+			}
+			return func() (map[string]int64, error) {
+				ctx, cancel := context.WithTimeout(context.Background(), budget)
+				defer cancel()
+				res, err := mapper.Map(ctx, g, mg, mopts)
+				if err != nil {
+					return nil, err
+				}
+				if !res.Feasible() {
+					return nil, fmt.Errorf("expected a feasible mapping, got %v", res.Status)
+				}
+				return res.SolverStats, nil
+			}, nil
+		},
+	}
+}
+
+// SeriesNames lists the suite's series for the given tier, in run order.
+func SeriesNames(short bool) []string {
+	var names []string
+	for _, sp := range suite() {
+		if short && !sp.shortTier {
+			continue
+		}
+		names = append(names, sp.name)
+	}
+	return names
+}
+
+// RunSuite runs the benchmark suite and returns the collected result.
+// Progress (one line per series) goes to progress when non-nil.
+func RunSuite(ctx context.Context, opts SuiteOptions, progress io.Writer) (*Result, error) {
+	samples := opts.Samples
+	minTime := opts.MinSampleTime
+	if samples <= 0 {
+		samples = 7
+		if opts.Short {
+			samples = 5
+		}
+	}
+	if minTime <= 0 {
+		minTime = 200 * time.Millisecond
+		if opts.Short {
+			minTime = 50 * time.Millisecond
+		}
+	}
+	res := NewResult(opts.Label, opts.Short)
+	res.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	for _, sp := range suite() {
+		if opts.Short && !sp.shortTier {
+			continue
+		}
+		if opts.Filter != nil && !opts.Filter.MatchString(sp.name) {
+			continue
+		}
+		o, err := sp.setup(opts)
+		if err != nil {
+			return nil, fmt.Errorf("perf: %s: %w", sp.name, err)
+		}
+		mopts := measureOptions{samples: samples, minSampleTime: minTime, maxIters: 1_000_000}
+		start := time.Now()
+		s, err := measure(ctx, sp.name, sp.gated, o, mopts)
+		if err != nil {
+			return nil, err
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "%-40s %4d samples x %6d iters   %12.0f ns/op %10.0f allocs/op   (%v)\n",
+				sp.name, samples, s.Iters, Median(s.TimeNsPerOp), Median(s.AllocsPerOp), time.Since(start).Round(time.Millisecond))
+		}
+		res.Series = append(res.Series, s)
+	}
+	if len(res.Series) == 0 {
+		return nil, fmt.Errorf("perf: no series matched")
+	}
+	return res, nil
+}

@@ -115,24 +115,19 @@ func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
 
 // Wait polls until the job reaches a terminal state or ctx ends.
 func (c *Client) Wait(ctx context.Context, id string) (*JobStatus, error) {
-	interval := c.PollInterval
-	if interval <= 0 {
-		interval = 50 * time.Millisecond
-	}
-	for {
+	var last *JobStatus
+	err := Poll(ctx, c.PollInterval, func(ctx context.Context) (bool, error) {
 		st, err := c.Job(ctx, id)
 		if err != nil {
-			return nil, err
+			return false, err
 		}
-		if st.State.Terminal() {
-			return st, nil
-		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(interval):
-		}
+		last = st
+		return st.State.Terminal(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return last, nil
 }
 
 // Solve submits a job, waits for it, and returns its result. On ctx

@@ -1,0 +1,64 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// DefaultPollInterval is the cadence used by Poll-based waiters when the
+// caller does not override it.
+const DefaultPollInterval = 50 * time.Millisecond
+
+// Poll invokes fn at the given interval until it reports done, returns an
+// error, or ctx ends. It runs fn once immediately, so a condition that
+// already holds never waits out an interval. A non-positive interval uses
+// DefaultPollInterval.
+//
+// This is the single polling loop shared by Client.Wait, Client.WaitHealthy
+// and cmd/waitready; timeouts live in the caller's ctx so every consumer
+// (CLI flags, CI scripts, tests) configures them in one place.
+func Poll(ctx context.Context, interval time.Duration, fn func(context.Context) (done bool, err error)) error {
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	for {
+		done, err := fn(ctx)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// WaitHealthy polls the server's /healthz endpoint until it answers 200,
+// the context ends, or a non-transport error surfaces. Transport errors
+// (connection refused while the daemon boots) are retried; HTTP responses
+// other than 200 are also retried, since the server may still be starting
+// its listeners. The poll cadence is the client's PollInterval.
+func (c *Client) WaitHealthy(ctx context.Context) error {
+	err := Poll(ctx, c.PollInterval, func(ctx context.Context) (bool, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+		if err != nil {
+			return false, err
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return false, nil // not up yet; keep polling
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK, nil
+	})
+	if err != nil && ctx.Err() != nil {
+		return fmt.Errorf("service: %s not healthy: %w", c.BaseURL, err)
+	}
+	return err
+}

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPollRunsImmediately(t *testing.T) {
+	calls := 0
+	err := Poll(context.Background(), time.Hour, func(context.Context) (bool, error) {
+		calls++
+		return true, nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("Poll = %v after %d calls; an already-true condition must not wait", err, calls)
+	}
+}
+
+func TestPollPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := Poll(context.Background(), time.Millisecond, func(context.Context) (bool, error) {
+		return false, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Poll = %v, want %v", err, boom)
+	}
+}
+
+func TestPollStopsOnContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := Poll(ctx, time.Millisecond, func(context.Context) (bool, error) {
+		return false, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Poll = %v, want deadline exceeded", err)
+	}
+}
+
+func TestWaitHealthy(t *testing.T) {
+	// The server 503s while "booting", then turns healthy.
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		if hits.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.PollInterval = time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.WaitHealthy(ctx); err != nil {
+		t.Fatalf("WaitHealthy = %v", err)
+	}
+	if hits.Load() < 3 {
+		t.Fatalf("healthz polled %d times, want >= 3", hits.Load())
+	}
+}
+
+func TestWaitHealthyTimesOut(t *testing.T) {
+	// Nothing listens on this address: transport errors must be retried
+	// until the context ends, then reported with the base URL.
+	c := NewClient("http://127.0.0.1:1")
+	c.PollInterval = time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := c.WaitHealthy(ctx)
+	if err == nil {
+		t.Fatal("WaitHealthy against a dead port must fail")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitHealthy = %v, want wrapped deadline exceeded", err)
+	}
+}

@@ -37,7 +37,7 @@ func NewSeeded(seed int64) *Engine { return &Engine{Seed: seed} }
 // routing obligations are locally contradictory. Returns false when the
 // model is proven infeasible outright.
 func probe(ctx context.Context, s *solver, candidates []int) bool {
-	if confl := s.propagate(); confl != nil {
+	if confl := s.propagate(); !confl.none() {
 		s.ok = false
 		return false
 	}
@@ -51,14 +51,14 @@ func probe(ctx context.Context, s *solver, candidates []int) bool {
 			s.enqueue(mkLit(v, false), nil, -1)
 			confl := s.propagate()
 			s.cancelUntil(0)
-			if confl == nil {
+			if confl.none() {
 				continue
 			}
 			progress = true
 			if !s.addFact(mkLit(v, true)) {
 				return false
 			}
-			if c := s.propagate(); c != nil {
+			if c := s.propagate(); !c.none() {
 				s.ok = false
 				return false
 			}

@@ -58,6 +58,15 @@ type solver struct {
 	claInc     float64
 	maxLearnts int
 
+	// Conflict-analysis scratch, reused across conflicts and restarts
+	// (the learnt clause itself is copied out exactly sized, so these
+	// grow to the working-set high-water mark once and then allocate
+	// nothing per conflict).
+	learntBuf []lit
+	origBuf   []lit
+	reasonBuf []lit
+	minBuf    []lit
+
 	conflicts, decisions, propagations, restarts int64
 }
 
@@ -220,15 +229,22 @@ func (s *solver) attach(c *clause) {
 }
 
 // conflictRef identifies the constraint a conflict arose from: a clause
-// or a card index.
+// or a card index. The zero-ish value noConflict means none — passing it
+// by value keeps the propagation loop allocation-free.
 type conflictRef struct {
 	cl *clause
 	cd int32
 }
 
+var noConflict = conflictRef{cl: nil, cd: -1}
+
+// none reports the absence of a conflict.
+func (c conflictRef) none() bool { return c.cl == nil && c.cd < 0 }
+
 // propagate performs unit propagation over clauses and counter
-// propagation over cards; it returns the conflicting constraint or nil.
-func (s *solver) propagate() *conflictRef {
+// propagation over cards; it returns the conflicting constraint or
+// noConflict.
+func (s *solver) propagate() conflictRef {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -273,7 +289,7 @@ func (s *solver) propagate() *conflictRef {
 				out = append(out, ws[wi+1:]...)
 				s.watches[fl] = out
 				s.qhead = len(s.trail)
-				return &conflictRef{cl: c, cd: -1}
+				return conflictRef{cl: c, cd: -1}
 			}
 			s.enqueue(first, c, -1)
 		}
@@ -285,7 +301,7 @@ func (s *solver) propagate() *conflictRef {
 			c := s.cards[ci]
 			if c.count > c.k {
 				s.qhead = len(s.trail)
-				return &conflictRef{cl: nil, cd: ci}
+				return conflictRef{cl: nil, cd: ci}
 			}
 			if c.count == c.k {
 				for _, l := range c.lits {
@@ -296,7 +312,7 @@ func (s *solver) propagate() *conflictRef {
 			}
 		}
 	}
-	return nil
+	return noConflict
 }
 
 // cancelUntil backtracks to the given decision level.
@@ -345,14 +361,16 @@ func (s *solver) reasonLits(p lit, rc *clause, rd int32, buf []lit) []lit {
 }
 
 // analyze derives a first-UIP learnt clause from a conflict and returns
-// it with the backjump level. learnt[0] is the asserting literal.
-func (s *solver) analyze(confl *conflictRef) (learnt []lit, btLevel int) {
-	learnt = append(learnt, litUndef)
+// it with the backjump level. learnt[0] is the asserting literal. The
+// returned slice is freshly allocated at its exact final size (the
+// caller stores it in a clause); all intermediate work happens in the
+// solver's reusable scratch buffers.
+func (s *solver) analyze(confl conflictRef) (learnt []lit, btLevel int) {
+	work := append(s.learntBuf[:0], litUndef)
 	pathC := 0
 	p := litUndef
 	idx := len(s.trail) - 1
-	var scratch []lit
-	reason := s.reasonLits(litUndef, confl.cl, confl.cd, scratch)
+	reason := s.reasonLits(litUndef, confl.cl, confl.cd, s.reasonBuf)
 
 	for {
 		for _, q := range reason {
@@ -368,7 +386,7 @@ func (s *solver) analyze(confl *conflictRef) (learnt []lit, btLevel int) {
 			if int(s.level[v]) >= s.decisionLevel() {
 				pathC++
 			} else {
-				learnt = append(learnt, q)
+				work = append(work, q)
 			}
 		}
 		for !s.seen[s.trail[idx].vi()] {
@@ -384,16 +402,18 @@ func (s *solver) analyze(confl *conflictRef) (learnt []lit, btLevel int) {
 		v := p.vi()
 		reason = s.reasonLits(p, s.reasonCl[v], s.reasonCd[v], reason)
 	}
-	learnt[0] = p.neg()
+	work[0] = p.neg()
+	s.reasonBuf = reason
 
 	// Local clause minimisation: a literal is redundant when every
 	// antecedent of its implication is already in the clause (or fixed
 	// at level 0). seen[] still marks exactly the learnt literals'
 	// variables here, which is what the check needs.
-	original := append([]lit(nil), learnt[1:]...)
-	kept := learnt[:1]
-	var buf []lit
-	for _, q := range learnt[1:] {
+	original := append(s.origBuf[:0], work[1:]...)
+	s.origBuf = original
+	kept := work[:1]
+	buf := s.minBuf
+	for _, q := range original {
 		v := q.vi()
 		rc, rd := s.reasonCl[v], s.reasonCd[v]
 		if rc == nil && rd < 0 {
@@ -415,23 +435,26 @@ func (s *solver) analyze(confl *conflictRef) (learnt []lit, btLevel int) {
 			kept = append(kept, q)
 		}
 	}
-	learnt = kept
+	s.minBuf = buf
+	s.learntBuf = work
 
 	// Backjump level: highest level among the other literals.
 	btLevel = 0
 	maxI := 1
-	for i := 1; i < len(learnt); i++ {
-		if int(s.level[learnt[i].vi()]) > btLevel {
-			btLevel = int(s.level[learnt[i].vi()])
+	for i := 1; i < len(kept); i++ {
+		if int(s.level[kept[i].vi()]) > btLevel {
+			btLevel = int(s.level[kept[i].vi()])
 			maxI = i
 		}
 	}
-	if len(learnt) > 1 {
-		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+	if len(kept) > 1 {
+		kept[1], kept[maxI] = kept[maxI], kept[1]
 	}
 	for _, l := range original {
 		s.seen[l.vi()] = false
 	}
+	learnt = make([]lit, len(kept))
+	copy(learnt, kept)
 	return learnt, btLevel
 }
 
@@ -536,7 +559,7 @@ func (s *solver) search(ctx context.Context) lbool {
 				return lUndef
 			}
 		}
-		if confl != nil {
+		if !confl.none() {
 			s.conflicts++
 			conflictsSinceRestart++
 			if s.decisionLevel() == 0 {
