@@ -24,6 +24,7 @@ import (
 	"cgramap/internal/anneal"
 	"cgramap/internal/arch"
 	"cgramap/internal/bench"
+	"cgramap/internal/budget"
 	"cgramap/internal/config"
 	"cgramap/internal/dfg"
 	"cgramap/internal/faultinject"
@@ -156,6 +157,24 @@ func AnnealMap(ctx context.Context, g *DFG, m *MRRG, opts AnnealOptions) (*Annea
 
 // NewCDCLSolver returns the default propagation-based ILP engine.
 func NewCDCLSolver() Solver { return cdcl.New() }
+
+// NewParallelCDCLSolver returns a clause-sharing portfolio of diversified
+// CDCL workers racing on the same formulation. workers <= 1 (or an empty
+// worker budget) degrades to the sequential engine; with seed fixed and
+// workers == 1 the run is bit-identical to NewCDCLSolver. Extra workers
+// draw tokens from the process-wide budget (SetWorkerBudget).
+func NewParallelCDCLSolver(workers int, seed int64) Solver {
+	return cdcl.NewParallel(workers, seed)
+}
+
+// SetWorkerBudget caps the number of extra solver workers the whole
+// process may run concurrently — shared by parallel gangs, speculative
+// MapAuto sweeps, portfolio races and the job service. The default is
+// $CGRAMAP_WORKERS or the CPU count.
+func SetWorkerBudget(n int) { budget.SetGlobal(n) }
+
+// WorkerBudgetSize reports the process-wide worker budget's capacity.
+func WorkerBudgetSize() int { return budget.Global().Size() }
 
 // NewBranchBoundSolver returns the LP-relaxation branch-and-bound engine
 // (tractable on small instances; used for cross-checking).

@@ -66,11 +66,15 @@ func runRun(args []string) error {
 	series := fs.String("series", "", "regexp restricting which series run")
 	minSample := fs.Duration("min-sample-time", 0, "per-sample calibration floor (0 = tier default)")
 	solveBudget := fs.Duration("solve-budget", 0, "per-iteration budget of solver series (0 = 30s)")
+	workers := fs.Int("workers", 1, "gang width of the parallel mapauto series (diff a -workers 1 file against a -workers 4 file to measure scaling)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("run takes no positional arguments")
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1")
 	}
 	opts := perf.SuiteOptions{
 		Label:         *label,
@@ -78,6 +82,7 @@ func runRun(args []string) error {
 		Samples:       *samples,
 		MinSampleTime: *minSample,
 		SolveBudget:   *solveBudget,
+		Workers:       *workers,
 	}
 	if *series != "" {
 		re, err := regexp.Compile(*series)

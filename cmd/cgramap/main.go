@@ -21,6 +21,7 @@ import (
 	"cgramap/internal/anneal"
 	"cgramap/internal/arch"
 	"cgramap/internal/bench"
+	"cgramap/internal/budget"
 	"cgramap/internal/config"
 	"cgramap/internal/dfg"
 	"cgramap/internal/ilp"
@@ -32,30 +33,45 @@ import (
 	"cgramap/internal/visual"
 )
 
+// runOpts carries one invocation's parsed flags.
+type runOpts struct {
+	dfgFile, benchName, archFile string
+	rows, cols, contexts         int
+	diagonal, hetero             bool
+	objective, engine            string
+	fallback, useSA              bool
+	workers                      int
+	seed                         int64
+	timeout                      time.Duration
+	lpOut                        string
+	quiet, showCfg, validate     bool
+	floorplan                    bool
+}
+
 func main() {
-	var (
-		dfgFile   = flag.String("dfg", "", "application DFG file (textual format)")
-		benchName = flag.String("benchmark", "", "built-in benchmark name (see 'experiments table1')")
-		archFile  = flag.String("arch", "", "architecture XML file (default: grid flags below)")
-		rows      = flag.Int("rows", 4, "grid rows")
-		cols      = flag.Int("cols", 4, "grid columns")
-		contexts  = flag.Int("contexts", 1, "execution contexts (II)")
-		diagonal  = flag.Bool("diagonal", false, "diagonal interconnect")
-		hetero    = flag.Bool("heterogeneous", false, "multipliers in only half the blocks")
-		objective = flag.String("objective", "feasibility", "feasibility | routing (minimise routing resources)")
-		engine    = flag.String("engine", "cdcl", "ILP engine: cdcl | bb | portfolio (race all engines under the timeout)")
-		fallback  = flag.Bool("fallback", true, "portfolio only: degrade to the annealing heuristic when no exact engine decides")
-		useSA     = flag.Bool("anneal", false, "use the simulated-annealing mapper instead of ILP")
-		timeout   = flag.Duration("timeout", 5*time.Minute, "solve timeout")
-		lpOut     = flag.String("lp", "", "write the ILP model in LP format to this file and exit")
-		quiet     = flag.Bool("q", false, "print only the status line")
-		showCfg   = flag.Bool("config", false, "print the extracted fabric configuration")
-		validate  = flag.Bool("validate", false, "simulate the configuration and check it against DFG evaluation")
-		floorplan = flag.Bool("floorplan", false, "print an ASCII floor plan of the mapping (grid architectures)")
-	)
+	var o runOpts
+	flag.StringVar(&o.dfgFile, "dfg", "", "application DFG file (textual format)")
+	flag.StringVar(&o.benchName, "benchmark", "", "built-in benchmark name (see 'experiments table1')")
+	flag.StringVar(&o.archFile, "arch", "", "architecture XML file (default: grid flags below)")
+	flag.IntVar(&o.rows, "rows", 4, "grid rows")
+	flag.IntVar(&o.cols, "cols", 4, "grid columns")
+	flag.IntVar(&o.contexts, "contexts", 1, "execution contexts (II)")
+	flag.BoolVar(&o.diagonal, "diagonal", false, "diagonal interconnect")
+	flag.BoolVar(&o.hetero, "heterogeneous", false, "multipliers in only half the blocks")
+	flag.StringVar(&o.objective, "objective", "feasibility", "feasibility | routing (minimise routing resources)")
+	flag.StringVar(&o.engine, "engine", "cdcl", "ILP engine: cdcl | bb | portfolio (race all engines under the timeout)")
+	flag.BoolVar(&o.fallback, "fallback", true, "portfolio only: degrade to the annealing heuristic when no exact engine decides")
+	flag.BoolVar(&o.useSA, "anneal", false, "use the simulated-annealing mapper instead of ILP")
+	flag.IntVar(&o.workers, "workers", 0, "parallel solver workers: the clause-sharing gang width and the process worker budget (0 = all CPUs or $CGRAMAP_WORKERS; 1 = sequential, bit-reproducible with -seed)")
+	flag.Int64Var(&o.seed, "seed", 0, "base solver seed (0 = the engine default)")
+	flag.DurationVar(&o.timeout, "timeout", 5*time.Minute, "solve timeout")
+	flag.StringVar(&o.lpOut, "lp", "", "write the ILP model in LP format to this file and exit")
+	flag.BoolVar(&o.quiet, "q", false, "print only the status line")
+	flag.BoolVar(&o.showCfg, "config", false, "print the extracted fabric configuration")
+	flag.BoolVar(&o.validate, "validate", false, "simulate the configuration and check it against DFG evaluation")
+	flag.BoolVar(&o.floorplan, "floorplan", false, "print an ASCII floor plan of the mapping (grid architectures)")
 	flag.Parse()
-	code, err := run(*dfgFile, *benchName, *archFile, *rows, *cols, *contexts,
-		*diagonal, *hetero, *objective, *engine, *fallback, *useSA, *timeout, *lpOut, *quiet, *showCfg, *validate, *floorplan)
+	code, err := run(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgramap:", err)
 		if code == 0 {
@@ -75,15 +91,12 @@ const (
 	exitUnknown    = 3 // timeout / undecided (the paper's "T")
 )
 
-func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
-	diagonal, hetero bool, objective, engine string, fallback, useSA bool,
-	timeout time.Duration, lpOut string, quiet, showCfg, validate, floorplan bool) (int, error) {
-
-	g, err := loadDFG(dfgFile, benchName)
+func run(o runOpts) (int, error) {
+	g, err := loadDFG(o.dfgFile, o.benchName)
 	if err != nil {
 		return exitError, err
 	}
-	a, err := loadArch(archFile, rows, cols, contexts, diagonal, hetero)
+	a, err := loadArch(o.archFile, o.rows, o.cols, o.contexts, o.diagonal, o.hetero)
 	if err != nil {
 		return exitError, err
 	}
@@ -94,23 +107,34 @@ func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 	fmt.Printf("mapping %s (%d ops, %d values) onto %s (%d MRRG nodes, %d contexts)\n",
 		g.Name, g.NumOps(), g.NumVals(), a.Name, len(mg.Nodes), mg.Contexts)
 
-	opts := mapper.Options{}
-	switch objective {
+	if o.workers < 0 {
+		return exitError, fmt.Errorf("-workers must be non-negative")
+	}
+	if o.workers > 0 {
+		budget.SetGlobal(o.workers)
+	}
+	workers := o.workers
+	if workers == 0 {
+		workers = budget.Global().Size()
+	}
+
+	opts := mapper.Options{Workers: workers, Seed: o.seed}
+	switch o.objective {
 	case "feasibility":
 	case "routing":
 		opts.Objective = mapper.MinimizeRouting
 	default:
-		return exitError, fmt.Errorf("unknown objective %q", objective)
+		return exitError, fmt.Errorf("unknown objective %q", o.objective)
 	}
-	switch engine {
+	switch o.engine {
 	case "cdcl", "portfolio":
 	case "bb":
 		opts.Solver = bb.New()
 	default:
-		return exitError, fmt.Errorf("unknown engine %q", engine)
+		return exitError, fmt.Errorf("unknown engine %q", o.engine)
 	}
 
-	if lpOut != "" {
+	if o.lpOut != "" {
 		model, reason, err := mapper.BuildModel(g, mg, opts)
 		if err != nil {
 			return exitError, err
@@ -118,7 +142,7 @@ func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 		if model == nil {
 			return exitInfeasible, fmt.Errorf("instance infeasible before solving: %s", reason)
 		}
-		f, err := os.Create(lpOut)
+		f, err := os.Create(o.lpOut)
 		if err != nil {
 			return exitError, err
 		}
@@ -126,13 +150,13 @@ func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 		if err := model.WriteLP(f); err != nil {
 			return exitError, err
 		}
-		fmt.Printf("wrote %s (%d binaries, %d constraints)\n", lpOut, model.NumVars(), len(model.Constraints))
+		fmt.Printf("wrote %s (%d binaries, %d constraints)\n", o.lpOut, model.NumVars(), len(model.Constraints))
 		return exitOK, nil
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
 	defer cancel()
-	if useSA {
+	if o.useSA {
 		res, err := anneal.Map(ctx, g, mg, anneal.Options{})
 		if err != nil {
 			return exitError, err
@@ -144,7 +168,7 @@ func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 		}
 		fmt.Printf("status: feasible (annealing, %d moves, routing cost %d)\n",
 			res.Moves, res.Mapping.RoutingCost())
-		if !quiet {
+		if !o.quiet {
 			if err := res.Mapping.Write(os.Stdout); err != nil {
 				return exitError, err
 			}
@@ -154,10 +178,12 @@ func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 
 	start := time.Now()
 	var res *mapper.Result
-	if engine == "portfolio" {
+	if o.engine == "portfolio" {
 		pres, err := portfolio.Map(ctx, g, mg, portfolio.Options{
-			Timeout:         timeout,
-			DisableFallback: !fallback,
+			Timeout:         o.timeout,
+			DisableFallback: !o.fallback,
+			Workers:         workers,
+			Seed:            o.seed,
 			Mapper:          opts,
 		})
 		if err != nil {
@@ -196,7 +222,7 @@ func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 		fmt.Println()
 		return exitInfeasible, nil
 	case ilp.Unknown:
-		fmt.Printf("status: timeout after %v (T)\n", timeout)
+		fmt.Printf("status: timeout after %v (T)\n", o.timeout)
 		if res.Reason != "" {
 			fmt.Printf("  %s\n", res.Reason)
 		}
@@ -205,12 +231,12 @@ func run(dfgFile, benchName, archFile string, rows, cols, contexts int,
 		fmt.Printf("status: %s in %v (%d vars, %d constraints, routing cost %d)\n",
 			res.Status, time.Since(start).Round(time.Millisecond),
 			res.Vars, res.Constraints, res.Mapping.RoutingCost())
-		if !quiet {
+		if !o.quiet {
 			if err := res.Mapping.Write(os.Stdout); err != nil {
 				return exitError, err
 			}
 		}
-		if err := postProcess(res.Mapping, g, showCfg, validate, floorplan); err != nil {
+		if err := postProcess(res.Mapping, g, o.showCfg, o.validate, o.floorplan); err != nil {
 			return exitError, err
 		}
 		return exitOK, nil

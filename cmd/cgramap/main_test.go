@@ -57,8 +57,8 @@ func TestLoadArch(t *testing.T) {
 func TestRunLPExport(t *testing.T) {
 	dir := t.TempDir()
 	lp := filepath.Join(dir, "m.lp")
-	code, err := run("", "2x2-f", "", 4, 4, 1, true, false, "feasibility", "cdcl", true, false,
-		time.Minute, lp, true, false, false, false)
+	code, err := run(runOpts{benchName: "2x2-f", rows: 4, cols: 4, contexts: 1, diagonal: true,
+		objective: "feasibility", engine: "cdcl", fallback: true, timeout: time.Minute, lpOut: lp, quiet: true})
 	if err != nil || code != exitOK {
 		t.Fatal(code, err)
 	}
@@ -72,23 +72,31 @@ func TestRunLPExport(t *testing.T) {
 }
 
 func TestRunSolveSmall(t *testing.T) {
-	code, err := run("", "2x2-f", "", 4, 4, 2, true, false, "feasibility", "cdcl", true, false,
-		2*time.Minute, "", true, true, true, true)
+	code, err := run(runOpts{benchName: "2x2-f", rows: 4, cols: 4, contexts: 2, diagonal: true,
+		objective: "feasibility", engine: "cdcl", fallback: true, timeout: 2 * time.Minute,
+		quiet: true, showCfg: true, validate: true, floorplan: true})
 	if err != nil || code != exitOK {
 		t.Fatal(code, err)
 	}
 	// Bad flag values.
-	if code, err := run("", "2x2-f", "", 4, 4, 1, false, false, "zorp", "cdcl", true, false, time.Minute, "", true, false, false, false); err == nil || code != exitError {
+	if code, err := run(runOpts{benchName: "2x2-f", rows: 4, cols: 4, contexts: 1,
+		objective: "zorp", engine: "cdcl", fallback: true, timeout: time.Minute, quiet: true}); err == nil || code != exitError {
 		t.Error("bad objective accepted")
 	}
-	if code, err := run("", "2x2-f", "", 4, 4, 1, false, false, "feasibility", "zorp", true, false, time.Minute, "", true, false, false, false); err == nil || code != exitError {
+	if code, err := run(runOpts{benchName: "2x2-f", rows: 4, cols: 4, contexts: 1,
+		objective: "feasibility", engine: "zorp", fallback: true, timeout: time.Minute, quiet: true}); err == nil || code != exitError {
 		t.Error("bad engine accepted")
+	}
+	if code, err := run(runOpts{benchName: "2x2-f", rows: 4, cols: 4, contexts: 1, workers: -1,
+		objective: "feasibility", engine: "cdcl", fallback: true, timeout: time.Minute, quiet: true}); err == nil || code != exitError {
+		t.Error("negative -workers accepted")
 	}
 }
 
 func TestRunSolvePortfolio(t *testing.T) {
-	code, err := run("", "2x2-f", "", 2, 2, 2, true, false, "feasibility", "portfolio", true, false,
-		time.Minute, "", true, false, false, false)
+	code, err := run(runOpts{benchName: "2x2-f", rows: 2, cols: 2, contexts: 2, diagonal: true,
+		objective: "feasibility", engine: "portfolio", fallback: true, workers: 2, seed: 7,
+		timeout: time.Minute, quiet: true})
 	if err != nil || code != exitOK {
 		t.Fatal(code, err)
 	}
@@ -112,8 +120,8 @@ func TestRunExitInfeasible(t *testing.T) {
 	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	code, err := run(path, "", "", 2, 2, 1, true, false, "feasibility", "cdcl", true, false,
-		time.Minute, "", true, false, false, false)
+	code, err := run(runOpts{dfgFile: path, rows: 2, cols: 2, contexts: 1, diagonal: true,
+		objective: "feasibility", engine: "cdcl", fallback: true, timeout: time.Minute, quiet: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,8 +133,8 @@ func TestRunExitInfeasible(t *testing.T) {
 // TestRunExitUnknown: an expired deadline leaves the instance undecided,
 // which must surface as exit status 3, not as infeasibility.
 func TestRunExitUnknown(t *testing.T) {
-	code, err := run("", "mac", "", 4, 4, 2, true, false, "feasibility", "cdcl", true, false,
-		time.Nanosecond, "", true, false, false, false)
+	code, err := run(runOpts{benchName: "mac", rows: 4, cols: 4, contexts: 2, diagonal: true,
+		objective: "feasibility", engine: "cdcl", fallback: true, timeout: time.Nanosecond, quiet: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,13 +28,16 @@ import (
 	"syscall"
 	"time"
 
+	"cgramap/internal/budget"
 	"cgramap/internal/service"
 )
 
 func main() {
 	var (
 		addr         = flag.String("addr", ":8537", "HTTP listen address")
-		workers      = flag.Int("workers", 4, "solver worker pool size")
+		workers      = flag.Int("workers", 4, "solver worker pool size (concurrent jobs)")
+		solveWorkers = flag.Int("solve-workers", 0, "parallel solver workers inside each job: clause-sharing gang width and process worker budget (0 = all CPUs or $CGRAMAP_WORKERS; 1 = sequential solves)")
+		seed         = flag.Int64("seed", 0, "base solver seed for every job (0 = engine defaults)")
 		queue        = flag.Int("queue", 64, "max queued solves before 429 backpressure")
 		cacheSize    = flag.Int("cache", 512, "result cache entries (negative disables)")
 		deadline     = flag.Duration("default-deadline", time.Minute, "solve deadline for jobs that set none")
@@ -47,12 +50,21 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *solveWorkers > 0 {
+		budget.SetGlobal(*solveWorkers)
+	}
+	sw := *solveWorkers
+	if sw == 0 {
+		sw = budget.Global().Size()
+	}
 	opts := service.Options{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheEntries:    *cacheSize,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
+		SolveWorkers:    sw,
+		Seed:            *seed,
 		Logf:            logger.Printf,
 	}
 	if err := serve(ctx, *addr, opts, *drainTimeout, logger, nil); err != nil {

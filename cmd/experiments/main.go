@@ -19,6 +19,7 @@ import (
 	"cgramap/internal/anneal"
 	"cgramap/internal/arch"
 	"cgramap/internal/bench"
+	"cgramap/internal/budget"
 	"cgramap/internal/exper"
 	"cgramap/internal/mapper"
 	"cgramap/internal/portfolio"
@@ -62,16 +63,17 @@ func usage() {
 // for both Table 2 and the ILP side of Fig. 8.
 func runAll(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
-	timeout, benchList, verbose, engine, fallback, daemon := sweepFlags(fs)
+	cfg := sweepFlags(fs)
 	saTimeout := fs.Duration("sa-timeout", 10*time.Second, "per-instance annealer budget")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	names, err := parseBenchList(*benchList)
+	timeout, verbose := cfg.timeout, cfg.verbose
+	names, err := parseBenchList(*cfg.benchList)
 	if err != nil {
 		return err
 	}
-	mOpts, err := mapperOptions(*engine, *fallback, *daemon)
+	mOpts, err := cfg.mapperOptions()
 	if err != nil {
 		return err
 	}
@@ -114,23 +116,49 @@ func runAll(args []string) error {
 	return runAblate([]string{"-timeout", timeout.String()})
 }
 
-func sweepFlags(fs *flag.FlagSet) (timeout *time.Duration, benchList *string, verbose *bool, engine *string, fallback *bool, daemon *string) {
-	timeout = fs.Duration("timeout", 60*time.Second, "per-instance solver timeout")
-	benchList = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all 19)")
-	verbose = fs.Bool("v", false, "print per-instance progress to stderr")
-	engine = fs.String("engine", "cdcl", "ILP engine per cell: cdcl | bb | portfolio")
-	fallback = fs.Bool("fallback", false, "portfolio only: let cells degrade to heuristic witnesses")
-	daemon = fs.String("daemon", "", "offload every solve to a cgramapd server at this URL (duplicate instances across sweeps hit its cache)")
-	return
+// sweepConfig holds the flags shared by every sweep subcommand.
+type sweepConfig struct {
+	timeout   *time.Duration
+	benchList *string
+	verbose   *bool
+	engine    *string
+	fallback  *bool
+	daemon    *string
+	workers   *int
+	seed      *int64
+}
+
+func sweepFlags(fs *flag.FlagSet) sweepConfig {
+	return sweepConfig{
+		timeout:   fs.Duration("timeout", 60*time.Second, "per-instance solver timeout"),
+		benchList: fs.String("benchmarks", "", "comma-separated benchmark subset (default: all 19)"),
+		verbose:   fs.Bool("v", false, "print per-instance progress to stderr"),
+		engine:    fs.String("engine", "cdcl", "ILP engine per cell: cdcl | bb | portfolio"),
+		fallback:  fs.Bool("fallback", false, "portfolio only: let cells degrade to heuristic witnesses"),
+		daemon:    fs.String("daemon", "", "offload every solve to a cgramapd server at this URL (duplicate instances across sweeps hit its cache)"),
+		workers:   fs.Int("workers", 1, "parallel solver workers per cell: clause-sharing gang width and process worker budget (0 = all CPUs or $CGRAMAP_WORKERS; 1 = sequential, reproducible runtimes)"),
+		seed:      fs.Int64("seed", 0, "base solver seed (0 = engine defaults)"),
+	}
 }
 
 // mapperOptions translates the engine flags into per-cell mapper options.
 // The portfolio engine rides the cell's own deadline, so no separate
 // timeout is set here. A daemon URL reroutes every cell through the
-// cgramapd job service with the same engine name; -fallback does not
-// cross the wire (the daemon's portfolio keeps its own default).
-func mapperOptions(engine string, fallback bool, daemon string) (mapper.Options, error) {
-	opts := mapper.Options{}
+// cgramapd job service with the same engine name; -fallback and -workers
+// do not cross the wire (the daemon solves with its own configuration).
+func (c sweepConfig) mapperOptions() (mapper.Options, error) {
+	engine, fallback, daemon := *c.engine, *c.fallback, *c.daemon
+	if *c.workers < 0 {
+		return mapper.Options{}, fmt.Errorf("-workers must be non-negative")
+	}
+	if *c.workers > 0 {
+		budget.SetGlobal(*c.workers)
+	}
+	workers := *c.workers
+	if workers == 0 {
+		workers = budget.Global().Size()
+	}
+	opts := mapper.Options{Workers: workers, Seed: *c.seed}
 	if daemon != "" {
 		switch engine {
 		case "cdcl", "bb", "portfolio":
@@ -153,7 +181,8 @@ func mapperOptions(engine string, fallback bool, daemon string) (mapper.Options,
 	case "bb":
 		opts.Solver = bb.New()
 	case "portfolio":
-		opts.MapWith = portfolio.MapFunc(portfolio.Options{DisableFallback: !fallback})
+		opts.MapWith = portfolio.MapFunc(portfolio.Options{
+			DisableFallback: !fallback, Workers: workers, Seed: *c.seed})
 	default:
 		return opts, fmt.Errorf("unknown engine %q", engine)
 	}
@@ -175,16 +204,17 @@ func parseBenchList(s string) ([]string, error) {
 
 func runTable2(args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
-	timeout, benchList, verbose, engine, fallback, daemon := sweepFlags(fs)
+	cfg := sweepFlags(fs)
 	times := fs.Bool("times", false, "print the runtime distribution summary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	names, err := parseBenchList(*benchList)
+	timeout, verbose := cfg.timeout, cfg.verbose
+	names, err := parseBenchList(*cfg.benchList)
 	if err != nil {
 		return err
 	}
-	mOpts, err := mapperOptions(*engine, *fallback, *daemon)
+	mOpts, err := cfg.mapperOptions()
 	if err != nil {
 		return err
 	}
@@ -208,17 +238,18 @@ func runTable2(args []string) error {
 
 func runFig8(args []string) error {
 	fs := flag.NewFlagSet("fig8", flag.ExitOnError)
-	timeout, benchList, verbose, engine, fallback, daemon := sweepFlags(fs)
+	cfg := sweepFlags(fs)
 	saSeed := fs.Int64("sa-seed", 1, "annealer random seed")
 	saMoves := fs.Int("sa-moves", 0, "annealer moves per temperature (0 = moderate default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	names, err := parseBenchList(*benchList)
+	timeout, verbose := cfg.timeout, cfg.verbose
+	names, err := parseBenchList(*cfg.benchList)
 	if err != nil {
 		return err
 	}
-	mOpts, err := mapperOptions(*engine, *fallback, *daemon)
+	mOpts, err := cfg.mapperOptions()
 	if err != nil {
 		return err
 	}
@@ -246,11 +277,12 @@ func runFig8(args []string) error {
 
 func runAblate(args []string) error {
 	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
-	timeout, benchList, _, _, _, _ := sweepFlags(fs)
+	cfg := sweepFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	names, err := parseBenchList(*benchList)
+	timeout := cfg.timeout
+	names, err := parseBenchList(*cfg.benchList)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,105 @@
+package budget
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTryAcquireBounded(t *testing.T) {
+	p := New(3)
+	if got := p.TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire(2) = %d, want 2", got)
+	}
+	if got := p.TryAcquire(5); got != 1 {
+		t.Fatalf("TryAcquire(5) on 1 free = %d, want 1", got)
+	}
+	if got := p.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire on empty pool = %d, want 0", got)
+	}
+	if p.InUse() != 3 || p.Peak() != 3 {
+		t.Fatalf("InUse=%d Peak=%d, want 3/3", p.InUse(), p.Peak())
+	}
+	p.Release(3)
+	if p.InUse() != 0 {
+		t.Fatalf("InUse after full release = %d", p.InUse())
+	}
+	if got := p.TryAcquire(3); got != 3 {
+		t.Fatalf("TryAcquire after release = %d, want 3", got)
+	}
+	p.Release(3)
+}
+
+func TestNilPoolIsUnlimited(t *testing.T) {
+	var p *Pool
+	if got := p.TryAcquire(7); got != 7 {
+		t.Fatalf("nil pool TryAcquire(7) = %d", got)
+	}
+	p.Release(7) // must not panic
+	if p.InUse() != 0 {
+		t.Fatal("nil pool reports usage")
+	}
+}
+
+func TestOverReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced Release did not panic")
+		}
+	}()
+	New(1).Release(1)
+}
+
+func TestNegativeAndZero(t *testing.T) {
+	p := New(-5)
+	if p.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", p.Size())
+	}
+	if got := p.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire on empty = %d", got)
+	}
+	if got := p.TryAcquire(0); got != 0 {
+		t.Fatalf("TryAcquire(0) = %d", got)
+	}
+}
+
+// TestConcurrentAccounting hammers the pool from many goroutines and
+// checks that tokens are conserved (run under -race in CI).
+func TestConcurrentAccounting(t *testing.T) {
+	p := New(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				n := p.TryAcquire(2)
+				if n > 0 {
+					p.Release(n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p.InUse() != 0 {
+		t.Fatalf("tokens leaked: InUse = %d", p.InUse())
+	}
+	if p.Peak() > 4 {
+		t.Fatalf("peak %d exceeds pool size 4", p.Peak())
+	}
+}
+
+func TestGlobalConfigurable(t *testing.T) {
+	SetGlobal(2)
+	defer SetGlobal(DefaultSize())
+	if Global().Size() != 2 {
+		t.Fatalf("global size = %d, want 2", Global().Size())
+	}
+	t.Setenv("CGRAMAP_WORKERS", "9")
+	if DefaultSize() != 9 {
+		t.Fatalf("DefaultSize with env = %d, want 9", DefaultSize())
+	}
+	t.Setenv("CGRAMAP_WORKERS", "bogus")
+	if DefaultSize() < 1 {
+		t.Fatal("DefaultSize with bad env must fall back to NumCPU")
+	}
+}

@@ -25,7 +25,12 @@ type Cell struct {
 	Benchmark string
 	Arch      string
 	Status    ilp.Status
+	// Elapsed is the cell's wall clock (build + solve + decode across
+	// however many workers ran); SolveTime is the solver's own share.
+	// With parallel workers the two diverge: wall clock is what a user
+	// waits, solver time is what the machine spent.
 	Elapsed   time.Duration
+	SolveTime time.Duration
 	Vars      int
 	Consts    int
 	Reason    string
@@ -113,9 +118,10 @@ func RunSweep(ctx context.Context, opts SweepOptions) (*Sweep, error) {
 			}
 			row[a] = cell
 			if opts.Progress != nil {
-				fmt.Fprintf(opts.Progress, "%-14s %-20s %s  %8.1fms  (%d vars, %d constraints) %s\n",
+				fmt.Fprintf(opts.Progress, "%-14s %-20s %s  wall %8.1fms  solve %8.1fms  (%d vars, %d constraints) %s\n",
 					name, spec.Name(), cell.Mark(),
-					float64(cell.Elapsed.Microseconds())/1000, cell.Vars, cell.Consts, cell.Reason)
+					float64(cell.Elapsed.Microseconds())/1000,
+					float64(cell.SolveTime.Microseconds())/1000, cell.Vars, cell.Consts, cell.Reason)
 			}
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -155,6 +161,7 @@ func runCell(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, archName string,
 		return cell, nil
 	}
 	cell.Status = res.Status
+	cell.SolveTime = res.SolveTime
 	cell.Vars = res.Vars
 	cell.Consts = res.Constraints
 	cell.Reason = res.Reason
@@ -189,10 +196,13 @@ func (s *Sweep) RenderTable2(w io.Writer) error {
 // within one hour" observation, rescaled to this solver stack.
 func (s *Sweep) RuntimeSummary(w io.Writer, budgets ...time.Duration) error {
 	var all []time.Duration
+	var totalWall, totalSolve time.Duration
 	worst := Cell{}
 	for _, row := range s.Cells {
 		for _, c := range row {
 			all = append(all, c.Elapsed)
+			totalWall += c.Elapsed
+			totalSolve += c.SolveTime
 			if c.Elapsed > worst.Elapsed {
 				worst = c
 			}
@@ -209,6 +219,8 @@ func (s *Sweep) RuntimeSummary(w io.Writer, budgets ...time.Duration) error {
 		fmt.Fprintf(bw, "runs within %-8v: %d/%d (%.0f%%)\n", b, n, len(all), 100*float64(n)/float64(len(all)))
 	}
 	fmt.Fprintf(bw, "slowest run: %s on %s (%v, %s)\n", worst.Benchmark, worst.Arch, worst.Elapsed, worst.Mark())
+	fmt.Fprintf(bw, "total wall clock %v, total solver time %v\n",
+		totalWall.Round(time.Millisecond), totalSolve.Round(time.Millisecond))
 	return bw.Flush()
 }
 

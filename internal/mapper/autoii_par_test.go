@@ -1,0 +1,216 @@
+package mapper
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/budget"
+	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mrrg"
+)
+
+func grid2x2(t *testing.T) *arch.Arch {
+	t.Helper()
+	a, err := arch.Grid(arch.GridSpec{Rows: 2, Cols: 2, Contexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// tinyDFG is small enough that its MII on a 2x2 grid is 1, so the
+// stub-driven sweeps below deterministically start at II=1.
+func tinyDFG(t *testing.T) *dfg.Graph {
+	t.Helper()
+	g := dfg.New("tiny")
+	x := g.In("x")
+	op, err := g.AddOp("s", dfg.Add, x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Out("o", op.Out)
+	return g
+}
+
+func status(s ilp.Status) *Result { return &Result{Status: s} }
+
+// TestMapAutoSpeculativeMinimalII: even when a higher II finishes first,
+// the sweep must wait for — and return — the lower feasible II.
+func TestMapAutoSpeculativeMinimalII(t *testing.T) {
+	gate := make(chan struct{}) // closed once II=2 has answered
+	var once sync.Once
+	stub := func(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts Options) (*Result, error) {
+		switch mg.Contexts {
+		case 2:
+			once.Do(func() { close(gate) })
+			return status(ilp.Feasible), nil
+		default: // II=1 resolves feasible only after II=2 already has
+			<-gate
+			return status(ilp.Feasible), nil
+		}
+	}
+	res, err := MapAuto(context.Background(), tinyDFG(t), grid2x2(t), 2,
+		Options{Workers: 2, Budget: budget.New(4), MapWith: stub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.II != 1 || !res.Feasible() {
+		t.Errorf("II=%d status=%v, want the minimal II=1 despite II=2 finishing first", res.II, res.Status)
+	}
+	if len(res.Tried) != 1 || res.Tried[0] != ilp.Feasible {
+		t.Errorf("Tried = %v, want the sequential sweep's [feasible]", res.Tried)
+	}
+}
+
+// TestMapAutoSpeculativeSkipsInfeasible: an infeasible lower II lets the
+// already-finished higher II win, with sequential-identical Tried.
+func TestMapAutoSpeculativeSkipsInfeasible(t *testing.T) {
+	stub := func(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts Options) (*Result, error) {
+		if mg.Contexts == 1 {
+			return status(ilp.Infeasible), nil
+		}
+		return status(ilp.Feasible), nil
+	}
+	res, err := MapAuto(context.Background(), tinyDFG(t), grid2x2(t), 3,
+		Options{Workers: 2, Budget: budget.New(4), MapWith: stub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.II != 2 || !res.Feasible() {
+		t.Errorf("II=%d status=%v, want feasible at II=2", res.II, res.Status)
+	}
+	if len(res.Tried) != 2 || res.Tried[0] != ilp.Infeasible || res.Tried[1] != ilp.Feasible {
+		t.Errorf("Tried = %v, want [infeasible feasible]", res.Tried)
+	}
+}
+
+// TestMapAutoSpeculativeCancelsLosers: once the lowest II proves
+// feasible, every speculative attempt at a higher II must be cancelled
+// rather than left running.
+func TestMapAutoSpeculativeCancelsLosers(t *testing.T) {
+	var cancelled atomic.Int32
+	stub := func(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts Options) (*Result, error) {
+		if mg.Contexts == 1 {
+			return status(ilp.Feasible), nil
+		}
+		<-ctx.Done() // higher IIs block until somebody cancels them
+		cancelled.Add(1)
+		return status(ilp.Unknown), nil
+	}
+	res, err := MapAuto(context.Background(), tinyDFG(t), grid2x2(t), 4,
+		Options{Workers: 3, Budget: budget.New(4), MapWith: stub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.II != 1 || !res.Feasible() {
+		t.Fatalf("II=%d status=%v, want feasible at II=1", res.II, res.Status)
+	}
+	if got := cancelled.Load(); got != 2 {
+		t.Errorf("%d speculative losers saw cancellation, want 2 (IIs 2 and 3 in flight)", got)
+	}
+}
+
+// TestMapAutoSequentialCancelledStatus: a context cancelled mid-sweep
+// must yield Unknown — an interrupted search proves nothing — never the
+// old Infeasible verdict.
+func TestMapAutoSequentialCancelledStatus(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stub := func(context.Context, *dfg.Graph, *mrrg.Graph, Options) (*Result, error) {
+		cancel() // the deadline fires while the first attempt runs
+		return status(ilp.Unknown), nil
+	}
+	res, err := MapAuto(ctx, tinyDFG(t), grid2x2(t), 3, Options{MapWith: stub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ilp.Unknown {
+		t.Errorf("status = %v, want unknown after cancellation", res.Status)
+	}
+	if res.Reason == "" {
+		t.Error("cancelled sweep should explain itself in Reason")
+	}
+	if len(res.Tried) != 1 {
+		t.Errorf("Tried = %v, want only the interrupted attempt", res.Tried)
+	}
+}
+
+func TestMapAutoSpeculativeCancelledStatus(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stub := func(context.Context, *dfg.Graph, *mrrg.Graph, Options) (*Result, error) {
+		cancel()
+		return status(ilp.Unknown), nil
+	}
+	res, err := MapAuto(ctx, tinyDFG(t), grid2x2(t), 4,
+		Options{Workers: 2, Budget: budget.New(4), MapWith: stub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ilp.Unknown {
+		t.Errorf("status = %v, want unknown after cancellation (never infeasible)", res.Status)
+	}
+}
+
+// TestMapAutoSpeculativeBudgetStarved: with no budget tokens the sweep
+// degrades to one attempt at a time but still finds the minimal II.
+func TestMapAutoSpeculativeBudgetStarved(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	stub := func(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts Options) (*Result, error) {
+		n := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		if mg.Contexts < 3 {
+			return status(ilp.Infeasible), nil
+		}
+		return status(ilp.Feasible), nil
+	}
+	res, err := MapAuto(context.Background(), tinyDFG(t), grid2x2(t), 4,
+		Options{Workers: 4, Budget: budget.New(0), MapWith: stub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.II != 3 || !res.Feasible() {
+		t.Errorf("II=%d status=%v, want feasible at II=3", res.II, res.Status)
+	}
+	if peak.Load() != 1 {
+		t.Errorf("peak concurrency %d with an empty budget, want 1", peak.Load())
+	}
+}
+
+// TestMapAutoSpeculativeEndToEnd runs the real pipeline (no stubs):
+// formulation, parallel gang, decode, verify.
+func TestMapAutoSpeculativeEndToEnd(t *testing.T) {
+	a, err := arch.Grid(arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Orthogonal, Homogeneous: true, Contexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancelT := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancelT()
+	res, err := MapAuto(ctx, bench.MustGet("2x2-f"), a, 2,
+		Options{Workers: 2, Seed: 11, Budget: budget.New(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() || res.II != 1 {
+		t.Fatalf("2x2-f speculative: II=%d status=%v (%s), want feasible at II=1", res.II, res.Status, res.Reason)
+	}
+	if res.Mapping == nil {
+		t.Fatal("feasible result without a mapping")
+	}
+	if err := res.Mapping.Verify(); err != nil {
+		t.Error(err)
+	}
+}

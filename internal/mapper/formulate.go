@@ -2,6 +2,7 @@ package mapper
 
 import (
 	"fmt"
+	"sort"
 
 	"cgramap/internal/dfg"
 	"cgramap/internal/ilp"
@@ -38,6 +39,22 @@ type formulation struct {
 	// copies its input, so one buffer serves every constraint without
 	// per-constraint slice allocations.
 	terms []ilp.Term
+	// keys is the scratch buffer for iterating the routing-variable
+	// maps in sorted node order. Map iteration order must never reach
+	// the model: variable numbering and constraint order would then
+	// vary run to run, and with them the solver's entire search path —
+	// seeded runs have to be reproducible across processes.
+	keys []int
+}
+
+// sortedKeys returns m's keys ascending, reusing buf.
+func sortedKeys(buf []int, m map[int]ilp.Var) []int {
+	buf = buf[:0]
+	for i := range m {
+		buf = append(buf, i)
+	}
+	sort.Ints(buf)
+	return buf
 }
 
 // build constructs the full model. On return, either f.infeasible is
@@ -79,9 +96,10 @@ func (f *formulation) build() error {
 	f.addRoutingConstraints()
 	if f.opts.Objective == MinimizeRouting {
 		for j := range f.r2 {
-			for i, v := range f.r2[j] {
+			f.keys = sortedKeys(f.keys, f.r2[j])
+			for _, i := range f.keys {
 				f.model.Objective = append(f.model.Objective,
-					ilp.Term{Var: v, Coef: f.mg.Nodes[i].Cost})
+					ilp.Term{Var: f.r2[j][i], Coef: f.mg.Nodes[i].Cost})
 			}
 		}
 	}
@@ -314,7 +332,12 @@ func (f *formulation) createVars(allowed [][][]bool) {
 			}
 		}
 		f.r2[v.ID] = make(map[int]ilp.Var, len(union))
+		f.keys = f.keys[:0]
 		for i := range union {
+			f.keys = append(f.keys, i)
+		}
+		sort.Ints(f.keys)
+		for _, i := range f.keys {
 			f.r2[v.ID][i] = f.model.BinaryComposite("R", f.mg.Nodes[i].Name, v.Name, -1)
 		}
 	}
@@ -337,8 +360,8 @@ func (f *formulation) addPlacementConstraints() {
 			perFU[p] = append(perFU[p], ilp.Term{Var: f.fvar[op.ID][p], Coef: 1})
 		}
 	}
-	for _, terms := range perFU {
-		if len(terms) > 1 {
+	for _, p := range f.mg.FuncUnits() {
+		if terms := perFU[p]; len(terms) > 1 {
 			f.model.AddLE("fu-exclusivity", terms, 1)
 		}
 	}
@@ -354,8 +377,8 @@ func (f *formulation) addRoutingConstraints() {
 			perNode[i] = append(perNode[i], ilp.Term{Var: rv, Coef: 1})
 		}
 	}
-	for _, terms := range perNode {
-		if len(terms) > 1 {
+	for i := range mg.Nodes {
+		if terms := perNode[i]; len(terms) > 1 {
 			f.model.AddLE("route-exclusivity", terms, 1)
 		}
 	}
@@ -363,7 +386,9 @@ func (f *formulation) addRoutingConstraints() {
 	for _, v := range f.g.Vals() {
 		for k, u := range v.Uses {
 			rk := f.r3[v.ID][k]
-			for i, rv := range rk {
+			f.keys = sortedKeys(f.keys, rk)
+			for _, i := range f.keys {
+				rv := rk[i]
 				node := mg.Nodes[i]
 				// (5) Fanout Routing: a used node drives a
 				// downstream node with the same sub-value or
@@ -445,7 +470,9 @@ func (f *formulation) addRoutingConstraints() {
 			}
 			k0 := useIndex(v, op, 0)
 			k1 := useIndex(v, op, 1)
-			for i, rv0 := range f.r3[v.ID][k0] {
+			f.keys = sortedKeys(f.keys, f.r3[v.ID][k0])
+			for _, i := range f.keys {
+				rv0 := f.r3[v.ID][k0][i]
 				if f.mg.Nodes[i].OperandPort < 0 {
 					continue
 				}
@@ -460,7 +487,9 @@ func (f *formulation) addRoutingConstraints() {
 		// nodes the value enters through exactly as many inputs as
 		// the node is used — preventing self-reinforcing loops
 		// (paper Example 2) and forcing per-value route trees.
-		for i, rv := range f.r2[v.ID] {
+		f.keys = sortedKeys(f.keys, f.r2[v.ID])
+		for _, i := range f.keys {
+			rv := f.r2[v.ID][i]
 			node := mg.Nodes[i]
 			if len(node.Fanins) <= 1 {
 				continue

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"cgramap/internal/budget"
 	"cgramap/internal/dfg"
 	"cgramap/internal/ilp"
 	"cgramap/internal/mrrg"
@@ -37,6 +38,18 @@ type Options struct {
 	// DisablePresolve turns off the counting presolve, forcing even
 	// pigeonhole-infeasible instances through the solver.
 	DisablePresolve bool
+	// Workers requests parallelism of this width: Map runs a
+	// clause-sharing CDCL gang (when Solver is nil), and MapAuto
+	// additionally speculates on several candidate IIs concurrently.
+	// Values <= 1 keep both fully sequential; with Workers <= 1 and a
+	// fixed Seed every run is bit-identical.
+	Workers int
+	// Seed fixes the solver's search trajectory (and derives the
+	// diversified trajectories of a parallel gang).
+	Seed int64
+	// Budget pays for parallelism beyond the caller's own goroutine;
+	// nil selects the process-wide budget.Global pool.
+	Budget *budget.Pool
 	// MapWith, when non-nil, replaces the direct build-and-solve
 	// pipeline for callers that go through Dispatch (MapAuto, the
 	// experiment sweeps, the CLIs). It is the seam that lets an
@@ -105,7 +118,15 @@ func BuildModel(g *dfg.Graph, mg *mrrg.Graph, opts Options) (*ilp.Model, string,
 func Map(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts Options) (*Result, error) {
 	solver := opts.Solver
 	if solver == nil {
-		solver = cdcl.New()
+		if opts.Workers > 1 {
+			pe := cdcl.NewParallel(opts.Workers, opts.Seed)
+			pe.Budget = opts.Budget
+			solver = pe
+		} else if opts.Seed != 0 {
+			solver = cdcl.NewSeeded(opts.Seed)
+		} else {
+			solver = cdcl.New()
+		}
 	}
 	start := time.Now()
 	f := &formulation{g: g, mg: mg, opts: opts}

@@ -9,6 +9,7 @@ import (
 
 	"cgramap/internal/arch"
 	"cgramap/internal/bench"
+	"cgramap/internal/budget"
 	"cgramap/internal/ilp"
 	"cgramap/internal/mapper"
 	"cgramap/internal/mrrg"
@@ -33,6 +34,10 @@ type SuiteOptions struct {
 	// SolveBudget bounds each iteration of the solver series; 0 selects
 	// 30s.
 	SolveBudget time.Duration
+	// Workers sets the clause-sharing gang width of the parallel
+	// mapauto series (0 selects 1 — the sequential scaling baseline).
+	// The fixed-width solve-scale series ignore it.
+	Workers int
 }
 
 // seriesSpec declares one suite entry. Gated series are the ones CI
@@ -115,6 +120,16 @@ func suite() []seriesSpec {
 		solveSpec("solve-cdcl/accum", "accum",
 			arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 1},
 			mapper.Options{}),
+		// Fixed-width scaling ladder: the same instance solved by gangs
+		// of 1, 2 and 4 clause-sharing workers with a private budget, so
+		// one result file exhibits the intra-run scaling curve. Seeded
+		// for cross-run comparability; w1 doubles as a determinism
+		// anchor (it must track solve-cdcl/accum's counters).
+		solveScaleSpec(1), solveScaleSpec(2), solveScaleSpec(4),
+		// mapAutoSpec follows SuiteOptions.Workers, so diffing a
+		// Workers=1 file against a Workers=4 file measures the
+		// speculative sweep + gang speedup end to end.
+		mapAutoSpec(),
 		// BB cannot crack full mapping models within any sane budget
 		// (the engine ablation shows mostly "T" cells), so its series
 		// exercises the LP/branch-and-bound machinery on a synthetic
@@ -168,6 +183,93 @@ func assignmentModel(n int) *ilp.Model {
 		m.AddLE("col", ilp.Sum(col...), 1)
 	}
 	return m
+}
+
+// solveScaleSpec builds one rung of the fixed-width scaling ladder: the
+// accum kernel solved by a clause-sharing gang of w workers. The budget
+// is private to the series so the rung measures a true w-gang regardless
+// of what else the process caps workers at. Ungated: gang timing scales
+// with the runner's core count by design.
+func solveScaleSpec(w int) seriesSpec {
+	gs := arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 1}
+	return seriesSpec{
+		name: fmt.Sprintf("solve-scale/accum@w%d", w),
+		setup: func(opts SuiteOptions) (op, error) {
+			a, err := arch.Grid(gs)
+			if err != nil {
+				return nil, err
+			}
+			mg, err := mrrg.Generate(a)
+			if err != nil {
+				return nil, err
+			}
+			g, err := bench.Get("accum")
+			if err != nil {
+				return nil, err
+			}
+			solveBudget := opts.SolveBudget
+			if solveBudget <= 0 {
+				solveBudget = 30 * time.Second
+			}
+			mopts := mapper.Options{Workers: w, Seed: 1, Budget: budget.New(w)}
+			return func() (map[string]int64, error) {
+				ctx, cancel := context.WithTimeout(context.Background(), solveBudget)
+				defer cancel()
+				res, err := mapper.Map(ctx, g, mg, mopts)
+				if err != nil {
+					return nil, err
+				}
+				if !res.Feasible() {
+					return nil, fmt.Errorf("expected a feasible mapping, got %v", res.Status)
+				}
+				return res.SolverStats, nil
+			}, nil
+		},
+	}
+}
+
+// mapAutoSpec is the end-to-end auto-II series whose gang width follows
+// SuiteOptions.Workers, so a Workers=1 result file diffed against a
+// Workers=4 file measures the full parallel stack (speculative sweep +
+// clause-sharing gangs) on the same instance. mult_10 on the
+// heterogeneous grid is the classic MII-gated case: the sweep starts at
+// II=2 and must prove feasibility there.
+func mapAutoSpec() seriesSpec {
+	gs := arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: false, Contexts: 1}
+	return seriesSpec{
+		name: "mapauto/mult_10",
+		setup: func(opts SuiteOptions) (op, error) {
+			a, err := arch.Grid(gs)
+			if err != nil {
+				return nil, err
+			}
+			g, err := bench.Get("mult_10")
+			if err != nil {
+				return nil, err
+			}
+			solveBudget := opts.SolveBudget
+			if solveBudget <= 0 {
+				solveBudget = 30 * time.Second
+			}
+			w := opts.Workers
+			if w < 1 {
+				w = 1
+			}
+			mopts := mapper.Options{Workers: w, Seed: 1, Budget: budget.New(w)}
+			return func() (map[string]int64, error) {
+				ctx, cancel := context.WithTimeout(context.Background(), solveBudget)
+				defer cancel()
+				res, err := mapper.MapAuto(ctx, g, a, 4, mopts)
+				if err != nil {
+					return nil, err
+				}
+				if !res.Feasible() || res.II != 2 {
+					return nil, fmt.Errorf("expected mult_10 feasible at II=2, got II=%d %v", res.II, res.Status)
+				}
+				return res.SolverStats, nil
+			}, nil
+		},
+	}
 }
 
 // solveSpec builds an ungated end-to-end solver series that records the

@@ -61,6 +61,12 @@ type Options struct {
 	// ReseededRacers is how many extra CDCL strategies race with
 	// randomized branching seeds (default 1).
 	ReseededRacers int
+	// Workers, when > 1, adds a clause-sharing parallel CDCL gang of
+	// that width ("cdcl-par") to the race. The gang's extra workers pay
+	// tokens from Mapper.Budget (nil selects the process-wide pool), so
+	// the strategy narrows rather than oversubscribes when the machine
+	// is busy.
+	Workers int
 	// DisableFallback drops the annealing strategy, leaving only exact
 	// engines.
 	DisableFallback bool
@@ -197,6 +203,18 @@ func strategies(g *dfg.Graph, mg *mrrg.Graph, opts Options) []strategy {
 		k := k
 		sts = append(sts, exact(fmt.Sprintf("cdcl-rand%d", k), func(attempt int) ilp.Solver {
 			return cdcl.NewSeeded(deriveSeed(opts.Seed, k, attempt))
+		}))
+	}
+	if opts.Workers > 1 {
+		idx := len(sts)
+		sts = append(sts, exact("cdcl-par", func(attempt int) ilp.Solver {
+			seed := opts.Seed
+			if attempt > 0 {
+				seed = deriveSeed(opts.Seed, idx, attempt)
+			}
+			pe := cdcl.NewParallel(opts.Workers, seed)
+			pe.Budget = opts.Mapper.Budget
+			return pe
 		}))
 	}
 	if !opts.DisableBB {

@@ -100,6 +100,15 @@ type JobSpec struct {
 	Objective mapper.ObjectiveMode
 	AutoII    int
 	Deadline  time.Duration
+	// Workers is the solver-level parallelism inside this job: a
+	// clause-sharing CDCL gang (and, with AutoII, a speculative II
+	// sweep) of this width, paid for from the process-wide worker
+	// budget. Like the deadline it is excluded from the fingerprint —
+	// it changes how fast the answer arrives, never what it is.
+	Workers int
+	// Seed fixes the base search trajectory (also fingerprint-exempt:
+	// every trajectory proves the same answer).
+	Seed int64
 	// Fingerprint is the canonical content-address of this job (see
 	// Fingerprint); equal fingerprints have equal answers.
 	Fingerprint string
@@ -187,6 +196,15 @@ type Options struct {
 	// status/result polling before the oldest are forgotten
 	// (default 4096).
 	RetainJobs int
+	// SolveWorkers requests solver-level parallelism of this width
+	// inside every job (see JobSpec.Workers); <= 1 keeps each solve
+	// sequential. The job pool (Workers) and the solver gangs share the
+	// process-wide worker budget, so layering the two degrades
+	// gracefully instead of oversubscribing.
+	SolveWorkers int
+	// Seed fixes the base solver trajectory of every job (0 keeps the
+	// engines' defaults).
+	Seed int64
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 	// Solve replaces the built-in engine dispatch — the seam the tests
@@ -373,6 +391,8 @@ func (s *Server) ParseRequest(req *JobRequest) (*JobSpec, error) {
 		Objective:   objective,
 		AutoII:      req.AutoII,
 		Deadline:    deadline,
+		Workers:     s.opts.SolveWorkers,
+		Seed:        s.opts.Seed,
 		Fingerprint: Fingerprint(g, a, engine, objective, req.AutoII),
 	}, nil
 }
@@ -690,7 +710,7 @@ func RunSpec(ctx context.Context, spec *JobSpec) (*JobResult, error) {
 		return out, nil
 	}
 
-	mo := mapper.Options{Objective: spec.Objective}
+	mo := mapper.Options{Objective: spec.Objective, Workers: spec.Workers, Seed: spec.Seed}
 	switch spec.Engine {
 	case EngineCDCL:
 	case EngineBB:
@@ -705,7 +725,8 @@ func RunSpec(ctx context.Context, spec *JobSpec) (*JobResult, error) {
 			// Exact engines only inside the auto-II loop: a heuristic
 			// miss at some II proves nothing, which would poison the
 			// "smallest feasible II" claim.
-			mo.MapWith = portfolio.MapFunc(portfolio.Options{DisableFallback: true})
+			mo.MapWith = portfolio.MapFunc(portfolio.Options{
+				DisableFallback: true, Workers: spec.Workers, Seed: spec.Seed})
 		}
 		auto, err := mapper.MapAuto(ctx, spec.DFG, spec.Arch, spec.AutoII, mo)
 		if err != nil {
@@ -722,7 +743,8 @@ func RunSpec(ctx context.Context, spec *JobSpec) (*JobResult, error) {
 		return nil, err
 	}
 	if spec.Engine == EnginePortfolio {
-		pres, err := portfolio.Map(ctx, spec.DFG, mg, portfolio.Options{Mapper: mo})
+		pres, err := portfolio.Map(ctx, spec.DFG, mg, portfolio.Options{
+			Mapper: mo, Workers: spec.Workers, Seed: spec.Seed})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,329 @@
+package cdcl
+
+import (
+	"context"
+	"sync"
+
+	"cgramap/internal/budget"
+	"cgramap/internal/ilp"
+)
+
+// ParallelEngine solves unit-coefficient 0-1 ILP models with a gang of
+// diversified CDCL workers exchanging learnt clauses — the ManySAT-style
+// multicore counterpart of Engine. Each worker runs the same complete
+// search over the same formula but from a different trajectory
+// (branching seed, VSIDS decay, saved-phase polarity, restart schedule);
+// workers export short learnt clauses into a bounded shared pool and
+// import their peers' clauses at restart boundaries. The first worker to
+// reach a definitive answer — a satisfying model or an unsatisfiability
+// proof — wins and cancels the rest. Both outcomes stay proofs: every
+// shared clause is a logical consequence of the common formula, so the
+// gang is as complete as a single solver.
+//
+// Worker count: Workers is a request, not a demand. One worker always
+// runs on the caller's goroutine budget; each additional worker must win
+// a token from Budget (default: the process-wide budget.Global pool), so
+// layered parallelism — a daemon's job pool above, speculative auto-II
+// sweeps beside — degrades to narrower gangs instead of oversubscribing
+// the machine.
+//
+// Determinism: with Workers <= 1 the engine delegates to the sequential
+// Engine with the same seed, producing bit-identical results (same
+// assignment, same stats). With more workers the winning trajectory is
+// a race and stats vary run to run, but the answer itself (and, for
+// optimisation models, the optimal objective value) is unique.
+//
+// It implements ilp.Solver.
+type ParallelEngine struct {
+	// Workers is the requested gang size (see above; values <= 1 select
+	// the sequential engine).
+	Workers int
+	// Seed drives worker 0's trajectory exactly like Engine.Seed; the
+	// other workers derive their diversification seeds from it, so a
+	// fixed Seed makes the whole gang's trajectories reproducible.
+	Seed int64
+	// DisableProbing turns off root-level failed-literal probing (run by
+	// worker 0, which shares the derived facts with the gang).
+	DisableProbing bool
+	// ShareMaxLen caps the length of exported clauses (default 8):
+	// short clauses prune the most per byte shipped.
+	ShareMaxLen int
+	// SharePoolCap bounds the shared pool's clause ring (default 4096).
+	SharePoolCap int
+	// Budget pays for workers beyond the first; nil selects the
+	// process-wide budget.Global pool.
+	Budget *budget.Pool
+}
+
+// NewParallel returns a ParallelEngine with the given gang size and base
+// seed.
+func NewParallel(workers int, seed int64) *ParallelEngine {
+	return &ParallelEngine{Workers: workers, Seed: seed}
+}
+
+var _ ilp.Solver = (*ParallelEngine)(nil)
+
+// Per-worker diversification tables (index = worker lane mod table
+// length). Lane 0 keeps the sequential defaults so that the flagship
+// trajectory is exactly the one the sequential engine would run.
+var (
+	laneDecay   = []float64{0.95, 0.85, 0.99, 0.75, 0.93, 0.88, 0.97, 0.80}
+	laneRestart = []int64{100, 50, 300, 150, 700, 80, 200, 40}
+)
+
+// mixSeed derives a worker lane's seed from the base seed with a
+// splitmix64-style finalizer (the same construction the portfolio racer
+// uses for attempt reseeds). Lane 0 returns the base unchanged, so the
+// flagship worker is bit-compatible with Engine{Seed: base}.
+func mixSeed(base int64, lane int) int64 {
+	if lane == 0 {
+		return base
+	}
+	h := uint64(base) + uint64(lane)*0x9E3779B97F4A7C15
+	h ^= h >> 31
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 27
+	if h == 0 {
+		h = 1
+	}
+	return int64(h & 0x7FFFFFFFFFFFFFFF)
+}
+
+func (e *ParallelEngine) shareMaxLen() int {
+	if e.ShareMaxLen > 0 {
+		return e.ShareMaxLen
+	}
+	return 8
+}
+
+func (e *ParallelEngine) sharePoolCap() int {
+	if e.SharePoolCap > 0 {
+		return e.SharePoolCap
+	}
+	return 4096
+}
+
+// Solve decides (and, with an objective, optimises) the model. See
+// Engine.Solve for the contract; the parallel engine adds aggregated
+// per-worker counters plus clause-sharing statistics ("workers",
+// "shared_exported", "shared_imported", "winner") to Solution.Stats.
+func (e *ParallelEngine) Solve(ctx context.Context, m *ilp.Model) (*ilp.Solution, error) {
+	if e.Workers <= 1 {
+		return (&Engine{Seed: e.Seed, DisableProbing: e.DisableProbing}).Solve(ctx, m)
+	}
+	pool := e.Budget
+	if pool == nil {
+		pool = budget.Global()
+	}
+	extra := pool.TryAcquire(e.Workers - 1)
+	defer pool.Release(extra)
+	if extra == 0 {
+		// No spare tokens: run the sequential engine on the caller's
+		// goroutine rather than a one-worker gang with pool overhead.
+		return (&Engine{Seed: e.Seed, DisableProbing: e.DisableProbing}).Solve(ctx, m)
+	}
+	k := 1 + extra
+
+	if ctx.Err() != nil {
+		return &ilp.Solution{Status: ilp.Unknown, Stats: map[string]int64{"cancelled": 1}}, nil
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	objLits, offset, err := objectiveLits(m)
+	if err != nil {
+		return nil, err
+	}
+
+	total := map[string]int64{"workers": int64(k)}
+	accumulate := func(st map[string]int64) {
+		for key, v := range st {
+			if key == "workers" {
+				continue
+			}
+			total[key] += v
+		}
+	}
+
+	// The optimisation loop runs at the coordinator level: each bound
+	// step is one parallel decision query over the same formula, which
+	// keeps clause sharing sound (every worker of a step solves exactly
+	// the same constraint set, including the incumbent bound).
+	var best ilp.Assignment
+	bestObj := 0
+	var bound *atMostBound
+	for {
+		res, asg, stats, err := e.decide(ctx, m, bound, k)
+		accumulate(stats)
+		if err != nil {
+			return nil, err
+		}
+		switch res {
+		case lUndef: // cancelled
+			total["cancelled"] = 1
+			if best != nil {
+				return &ilp.Solution{Status: ilp.Feasible, Assignment: best, Objective: bestObj, Stats: total}, nil
+			}
+			return &ilp.Solution{Status: ilp.Unknown, Stats: total}, nil
+		case lFalse:
+			if best != nil {
+				return &ilp.Solution{Status: ilp.Optimal, Assignment: best, Objective: bestObj, Stats: total}, nil
+			}
+			return &ilp.Solution{Status: ilp.Infeasible, Stats: total}, nil
+		}
+		best = asg
+		bestObj = best.Eval(m.Objective)
+		if len(m.Objective) == 0 {
+			return &ilp.Solution{Status: ilp.Optimal, Assignment: best, Objective: 0, Stats: total}, nil
+		}
+		litCount := bestObj - offset
+		if litCount == 0 {
+			return &ilp.Solution{Status: ilp.Optimal, Assignment: best, Objective: bestObj, Stats: total}, nil
+		}
+		bound = &atMostBound{lits: objLits, k: litCount - 1}
+	}
+}
+
+// atMostBound is an objective-strengthening constraint added on top of
+// the compiled model for one decision query.
+type atMostBound struct {
+	lits []lit
+	k    int
+}
+
+// workerOutcome is what one gang member reports back.
+type workerOutcome struct {
+	id  int
+	res lbool
+	s   *solver
+}
+
+// decide runs one parallel decision query: is the model (plus the
+// optional bound) satisfiable? It returns the winner's verdict, the
+// satisfying assignment when lTrue, and the gang's aggregated counters.
+func (e *ParallelEngine) decide(ctx context.Context, m *ilp.Model, bound *atMostBound, k int) (lbool, ilp.Assignment, map[string]int64, error) {
+	pool := newSharePool(e.shareMaxLen(), e.sharePoolCap())
+
+	// Compile the gang serially: identical formula, diversified
+	// trajectories. A root-level contradiction surfaces here without
+	// spawning anything.
+	workers := make([]*solver, k)
+	imported := make([]int64, k) // per-worker import counters, indexed by id
+	for i := 0; i < k; i++ {
+		s, err := compile(m, mixSeed(e.Seed, i))
+		if err != nil {
+			return lUndef, nil, nil, err
+		}
+		s.varDecay = laneDecay[i%len(laneDecay)]
+		s.restartScale = laneRestart[i%len(laneRestart)]
+		if bound != nil && s.ok {
+			s.addAtMost(bound.lits, bound.k)
+		}
+		workers[i] = s
+	}
+
+	stats := func() map[string]int64 {
+		agg := map[string]int64{}
+		exp, ref, drop := pool.Stats()
+		agg["shared_exported"] = exp
+		agg["shared_refused"] = ref
+		agg["shared_dropped"] = drop
+		for i, s := range workers {
+			agg["conflicts"] += s.conflicts
+			agg["decisions"] += s.decisions
+			agg["propagations"] += s.propagations
+			agg["restarts"] += s.restarts
+			agg["shared_imported"] += imported[i]
+		}
+		agg["clauses"] = int64(len(workers[0].clauses))
+		agg["cards"] = int64(len(workers[0].cards))
+		agg["learnts"] = int64(len(workers[0].learnts))
+		return agg
+	}
+
+	if !workers[0].ok {
+		return lFalse, nil, stats(), nil
+	}
+
+	gangCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	outcomes := make(chan workerOutcome, k)
+	var wg sync.WaitGroup
+	maxLen := e.shareMaxLen()
+	for i := 0; i < k; i++ {
+		i, s := i, workers[i]
+		var cursor uint64
+		s.onLearn = func(lits []lit) {
+			if len(lits) <= maxLen {
+				pool.Export(i, lits)
+			}
+		}
+		s.onRestart = func() bool {
+			sound := true
+			var n int
+			cursor, n = pool.Import(i, cursor, func(lits []lit) bool {
+				if !s.importLearnt(lits) {
+					sound = false
+					return false
+				}
+				return true
+			})
+			imported[i] += int64(n)
+			return sound
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := lFalse
+			if s.ok {
+				if i == 0 && !e.DisableProbing {
+					var candidates []int
+					for v := 0; v < m.NumVars(); v++ {
+						if m.BranchPriority(ilp.Var(v)) > 0 {
+							candidates = append(candidates, v)
+						}
+					}
+					if len(candidates) > 0 && !probe(gangCtx, s, candidates) {
+						outcomes <- workerOutcome{i, lFalse, s}
+						return
+					}
+					// Publish the probe's level-0 facts so the other
+					// workers prune the same placements without paying
+					// for the probing themselves.
+					for _, l := range s.trail {
+						pool.Export(i, []lit{l})
+					}
+				}
+				res = s.search(gangCtx)
+			}
+			outcomes <- workerOutcome{i, res, s}
+		}()
+	}
+
+	winner := -1
+	verdict := lUndef
+	for range workers {
+		o := <-outcomes
+		if o.res != lUndef && winner < 0 {
+			winner = o.id
+			verdict = o.res
+			cancel() // first definitive answer ends the race
+		}
+	}
+	wg.Wait() // all counters quiescent before aggregation
+
+	agg := stats()
+	if winner >= 0 {
+		agg["winner"] = int64(winner)
+	}
+	if verdict == lTrue {
+		ws := workers[winner]
+		asg := make(ilp.Assignment, m.NumVars())
+		for v := range asg {
+			asg[v] = ws.modelValue(v)
+		}
+		return lTrue, asg, agg, nil
+	}
+	return verdict, nil, agg, nil
+}

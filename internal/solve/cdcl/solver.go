@@ -58,6 +58,23 @@ type solver struct {
 	claInc     float64
 	maxLearnts int
 
+	// Diversification parameters. The defaults reproduce the historical
+	// single-threaded search exactly; the parallel engine varies them per
+	// worker so that the gang explores genuinely different trajectories
+	// (ManySAT-style portfolio diversification).
+	varDecay     float64 // VSIDS decay: varInc /= varDecay per conflict
+	restartScale int64   // Luby restart unit, in conflicts
+
+	// Clause-sharing hooks (nil for the sequential engine). onLearn is
+	// invoked with every learnt clause, immediately after conflict
+	// analysis; the callee must copy the slice if it retains it (the
+	// solver reorders a clause's literals as watches move). onRestart is
+	// invoked at every restart boundary with the trail at level 0; it
+	// returns false when an imported clause produced a top-level
+	// conflict, proving the formula unsatisfiable.
+	onLearn   func(lits []lit)
+	onRestart func() bool
+
 	// Conflict-analysis scratch, reused across conflicts and restarts
 	// (the learnt clause itself is copied out exactly sized, so these
 	// grow to the working-set high-water mark once and then allocate
@@ -72,20 +89,22 @@ type solver struct {
 
 func newSolver(nVars int) *solver {
 	s := &solver{
-		nVars:      nVars,
-		ok:         true,
-		watches:    make([][]watcher, 2*nVars),
-		cardOcc:    make([][]int32, 2*nVars),
-		assigns:    make([]lbool, nVars),
-		level:      make([]int32, nVars),
-		reasonCl:   make([]*clause, nVars),
-		reasonCd:   make([]int32, nVars),
-		activity:   make([]float64, nVars),
-		phase:      make([]bool, nVars),
-		seen:       make([]bool, nVars),
-		varInc:     1,
-		claInc:     1,
-		maxLearnts: 20000,
+		nVars:        nVars,
+		ok:           true,
+		watches:      make([][]watcher, 2*nVars),
+		cardOcc:      make([][]int32, 2*nVars),
+		assigns:      make([]lbool, nVars),
+		level:        make([]int32, nVars),
+		reasonCl:     make([]*clause, nVars),
+		reasonCd:     make([]int32, nVars),
+		activity:     make([]float64, nVars),
+		phase:        make([]bool, nVars),
+		seen:         make([]bool, nVars),
+		varInc:       1,
+		claInc:       1,
+		maxLearnts:   20000,
+		varDecay:     0.95,
+		restartScale: 100,
 	}
 	for i := range s.reasonCd {
 		s.reasonCd[i] = -1
@@ -470,7 +489,7 @@ func (s *solver) bumpVar(v int) {
 }
 
 func (s *solver) decayActivities() {
-	s.varInc /= 0.95
+	s.varInc /= s.varDecay
 	s.claInc /= 0.999
 }
 
@@ -548,8 +567,14 @@ func (s *solver) search(ctx context.Context) lbool {
 	}
 	restartIdx := int64(0)
 	conflictsSinceRestart := int64(0)
-	restartBudget := luby(1) * 100
+	restartBudget := luby(1) * s.restartScale
 	nextPropCheck := s.propagations + propCheckInterval
+	// A search start is a restart boundary too: pick up clauses shared
+	// by workers that got ahead before this one finished compiling.
+	if s.onRestart != nil && !s.onRestart() {
+		s.ok = false
+		return lFalse
+	}
 
 	for {
 		confl := s.propagate()
@@ -567,6 +592,9 @@ func (s *solver) search(ctx context.Context) lbool {
 				return lFalse
 			}
 			learnt, bt := s.analyze(confl)
+			if s.onLearn != nil {
+				s.onLearn(learnt)
+			}
 			s.cancelUntil(bt)
 			if len(learnt) == 1 {
 				if !s.addFact(learnt[0]) {
@@ -589,11 +617,15 @@ func (s *solver) search(ctx context.Context) lbool {
 		if conflictsSinceRestart >= restartBudget {
 			restartIdx++
 			conflictsSinceRestart = 0
-			restartBudget = luby(restartIdx+1) * 100
+			restartBudget = luby(restartIdx+1) * s.restartScale
 			s.restarts++
 			s.cancelUntil(0)
 			if len(s.learnts) > s.maxLearnts {
 				s.reduceDB()
+			}
+			if s.onRestart != nil && !s.onRestart() {
+				s.ok = false
+				return lFalse
 			}
 			if ctx.Err() != nil {
 				return lUndef
