@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"cgramap/internal/budget"
+	"cgramap/internal/faultinject"
 	"cgramap/internal/service"
 )
 
@@ -42,7 +43,11 @@ func main() {
 		cacheSize    = flag.Int("cache", 512, "result cache entries (negative disables)")
 		deadline     = flag.Duration("default-deadline", time.Minute, "solve deadline for jobs that set none")
 		maxDeadline  = flag.Duration("max-deadline", 15*time.Minute, "upper clamp on client-requested deadlines")
+		jobTimeout   = flag.Duration("job-timeout", 0, "server-side cap on each job's solve wall clock (0 = no cap)")
+		degrade      = flag.Bool("degrade", false, "answer queue-full submissions with a fast labelled heuristic mapping (degraded: true) instead of shedding with 429")
+		degradedBy   = flag.Duration("degraded-deadline", 2*time.Second, "solve budget for each degraded heuristic answer")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max wait for accepted jobs on shutdown")
+		chaos        = flag.String("chaos", "", "inject HTTP faults in front of the API (testing only), e.g. 'error=0.1,drop=0.05,truncate=0.1,latency=20ms,latency-p=0.3,seed=1'")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "cgramapd: ", log.LstdFlags)
@@ -58,16 +63,28 @@ func main() {
 		sw = budget.Global().Size()
 	}
 	opts := service.Options{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheEntries:    *cacheSize,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		SolveWorkers:    sw,
-		Seed:            *seed,
-		Logf:            logger.Printf,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheEntries:      *cacheSize,
+		DefaultDeadline:   *deadline,
+		MaxDeadline:       *maxDeadline,
+		JobTimeout:        *jobTimeout,
+		DegradeOnOverload: *degrade,
+		DegradedDeadline:  *degradedBy,
+		SolveWorkers:      sw,
+		Seed:              *seed,
+		Logf:              logger.Printf,
 	}
-	if err := serve(ctx, *addr, opts, *drainTimeout, logger, nil); err != nil {
+	var mw func(http.Handler) http.Handler
+	if *chaos != "" {
+		ho, err := faultinject.ParseHTTPOptions(*chaos)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("CHAOS MODE: injecting HTTP faults (%s) — not for production", *chaos)
+		mw = func(h http.Handler) http.Handler { return faultinject.HTTPMiddleware(h, ho) }
+	}
+	if err := serve(ctx, *addr, opts, *drainTimeout, logger, nil, mw); err != nil {
 		logger.Fatal(err)
 	}
 }
@@ -75,13 +92,18 @@ func main() {
 // serve runs the daemon until ctx is cancelled, then drains. When ready
 // is non-nil it receives the bound listen address once the server
 // accepts connections (the seam the integration tests use for :0).
-func serve(ctx context.Context, addr string, opts service.Options, drainTimeout time.Duration, logger *log.Logger, ready chan<- string) error {
+// mw, when non-nil, wraps the HTTP API (the -chaos fault injector).
+func serve(ctx context.Context, addr string, opts service.Options, drainTimeout time.Duration, logger *log.Logger, ready chan<- string, mw func(http.Handler) http.Handler) error {
 	svc := service.New(opts)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if mw != nil {
+		handler = mw(handler)
+	}
+	httpSrv := &http.Server{Handler: handler}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()

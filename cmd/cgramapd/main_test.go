@@ -2,12 +2,19 @@ package main
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io"
 	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"cgramap/internal/arch"
+	"cgramap/internal/faultinject"
+	"cgramap/internal/ilp"
 	"cgramap/internal/service"
 )
 
@@ -20,7 +27,7 @@ func TestServeLifecycle(t *testing.T) {
 	done := make(chan error, 1)
 	logger := log.New(io.Discard, "", 0)
 	go func() {
-		done <- serve(ctx, "127.0.0.1:0", service.Options{Workers: 2}, time.Minute, logger, ready)
+		done <- serve(ctx, "127.0.0.1:0", service.Options{Workers: 2}, time.Minute, logger, ready, nil)
 	}()
 	var addr string
 	select {
@@ -53,6 +60,180 @@ func TestServeLifecycle(t *testing.T) {
 	}
 
 	cancel() // SIGTERM equivalent
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain and exit")
+	}
+}
+
+func gridJob(contexts int) *service.JobRequest {
+	return &service.JobRequest{
+		Benchmark: "2x2-f",
+		Grid:      &arch.GridSpec{Rows: 2, Cols: 2, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: contexts},
+	}
+}
+
+// TestDrainSemantics pins down what SIGTERM means: the in-flight job
+// finishes, queued jobs complete, new submissions are refused with 503 +
+// Retry-After while draining, and the process then exits cleanly.
+func TestDrainSemantics(t *testing.T) {
+	release := make(chan struct{})
+	running := make(chan struct{}, 8)
+	var solved atomic.Int64
+	opts := service.Options{
+		Workers:    1,
+		QueueDepth: 4,
+		Solve: func(ctx context.Context, spec *service.JobSpec) (*service.JobResult, error) {
+			running <- struct{}{}
+			<-release
+			solved.Add(1)
+			return &service.JobResult{Status: ilp.Feasible, Feasible: true, Reason: "stub"}, nil
+		},
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	logger := log.New(io.Discard, "", 0)
+	go func() {
+		done <- serve(ctx, "127.0.0.1:0", opts, time.Minute, logger, ready, nil)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	}
+
+	c := service.NewClient("http://" + addr)
+	c.MaxRetries = -1 // the 503 assertions below must see the first answer
+	reqCtx, reqCancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer reqCancel()
+
+	// One in-flight, two queued.
+	ids := make([]string, 0, 3)
+	for i := 2; i <= 4; i++ {
+		st, err := c.Submit(reqCtx, gridJob(i))
+		if err != nil {
+			t.Fatalf("submit contexts=%d: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+		if i == 2 {
+			<-running // the worker holds job 1 before we queue the rest
+		}
+	}
+
+	cancel() // SIGTERM
+
+	// Draining: /healthz flips to 503 and new submissions are refused
+	// with 503 + Retry-After, while the accepted jobs keep running.
+	err := service.Poll(reqCtx, 5*time.Millisecond, func(ctx context.Context) (bool, error) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			return false, err
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable, nil
+	})
+	if err != nil {
+		t.Fatalf("healthz never reported draining: %v", err)
+	}
+	_, err = c.Submit(reqCtx, gridJob(9))
+	var se *service.Error
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submission during drain: got %v, want 503", err)
+	}
+	if se.RetryAfter < 1 {
+		t.Errorf("drain 503 without Retry-After: %+v", se)
+	}
+	if got := solved.Load(); got != 0 {
+		t.Fatalf("%d jobs finished before release; test lost control of the drain", got)
+	}
+
+	close(release)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain and exit")
+	}
+	if got := solved.Load(); got != int64(len(ids)) {
+		t.Errorf("%d of %d accepted jobs solved across the drain", got, len(ids))
+	}
+}
+
+// TestServeChaos is the daemon-level chaos smoke: real solves behind the
+// -chaos fault-injecting middleware, multiple concurrent clients, and
+// every Solve must converge through retries.
+func TestServeChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos smoke")
+	}
+	ho, err := faultinject.ParseHTTPOptions("error=0.15,drop=0.1,truncate=0.15,latency=2ms,latency-p=0.3,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := func(h http.Handler) http.Handler { return faultinject.HTTPMiddleware(h, ho) }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	logger := log.New(io.Discard, "", 0)
+	go func() {
+		done <- serve(ctx, "127.0.0.1:0", service.Options{Workers: 2}, time.Minute, logger, ready, mw)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	}
+
+	const clients = 4
+	reqCtx, reqCancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer reqCancel()
+	errs := make(chan error, clients*2)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		c := service.NewClient("http://" + addr)
+		c.PollInterval = 10 * time.Millisecond
+		c.MaxRetries = 12
+		c.RetryBaseDelay = 5 * time.Millisecond
+		c.RetryMaxDelay = 100 * time.Millisecond
+		c.RetrySeed = int64(i + 1)
+		c.BreakerThreshold = 5
+		c.BreakerCooldown = 50 * time.Millisecond
+		wg.Add(1)
+		go func(id int, c *service.Client) {
+			defer wg.Done()
+			for _, contexts := range []int{2, 3} {
+				res, err := c.Solve(reqCtx, gridJob(contexts))
+				if err != nil {
+					errs <- fmt.Errorf("client %d contexts=%d: %w", id, contexts, err)
+					return
+				}
+				if !res.Feasible || res.Mapping == nil {
+					errs <- fmt.Errorf("client %d contexts=%d: no feasible mapping", id, contexts)
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	cancel()
 	select {
 	case err := <-done:
 		if err != nil {

@@ -1,0 +1,339 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HTTPOptions configures service-level fault injection: the failure
+// modes a mapping daemon's clients actually see in production — slow
+// networks, flaky load balancers answering 5xx, dropped connections,
+// and responses cut off mid-body. Each class fires independently per
+// request with its own probability; everything is seeded so chaos runs
+// are reproducible.
+type HTTPOptions struct {
+	// Latency is the added delay when the latency fault fires (default
+	// 20ms when LatencyProb > 0).
+	Latency time.Duration
+	// LatencyProb is the per-request probability of added latency.
+	LatencyProb float64
+	// ErrorProb synthesizes a gateway-style 5xx response (502/503/504)
+	// without the request reaching the inner transport/handler — the
+	// retryable class a flaky load balancer serves up.
+	ErrorProb float64
+	// DropProb fails the exchange like a dropped connection: a transport
+	// error client-side, an aborted connection server-side.
+	DropProb float64
+	// TruncateProb cuts the response body short, so readers observe an
+	// unexpected EOF.
+	TruncateProb float64
+	// Seed seeds the fault lottery (0 selects a fixed default).
+	Seed int64
+}
+
+func (o *HTTPOptions) fill() {
+	if o.Latency == 0 {
+		o.Latency = 20 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// ParseHTTPOptions parses a compact comma-separated spec, the form the
+// daemon's -chaos flag takes, e.g.
+//
+//	"error=0.1,drop=0.05,truncate=0.1,latency=20ms,latency-p=0.3,seed=7"
+func ParseHTTPOptions(spec string) (HTTPOptions, error) {
+	var o HTTPOptions
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return o, fmt.Errorf("faultinject: %q is not key=value", field)
+		}
+		var err error
+		switch k {
+		case "latency":
+			o.Latency, err = time.ParseDuration(v)
+		case "latency-p":
+			o.LatencyProb, err = strconv.ParseFloat(v, 64)
+		case "error":
+			o.ErrorProb, err = strconv.ParseFloat(v, 64)
+		case "drop":
+			o.DropProb, err = strconv.ParseFloat(v, 64)
+		case "truncate":
+			o.TruncateProb, err = strconv.ParseFloat(v, 64)
+		case "seed":
+			o.Seed, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return o, fmt.Errorf("faultinject: unknown chaos key %q", k)
+		}
+		if err != nil {
+			return o, fmt.Errorf("faultinject: parsing %q: %v", field, err)
+		}
+	}
+	return o, nil
+}
+
+// httpRoll is one request's fault draw.
+type httpRoll struct {
+	latency   time.Duration
+	drop      bool
+	errCode   int     // 0 = none
+	truncFrac float64 // < 0 = none; else fraction of the body to keep
+}
+
+// httpLottery is the shared seeded fault chooser behind the round
+// tripper and the middleware. Safe for concurrent use.
+type httpLottery struct {
+	opts HTTPOptions
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	calls int64
+	fired map[string]int64
+}
+
+func newHTTPLottery(opts HTTPOptions) *httpLottery {
+	opts.fill()
+	return &httpLottery{
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		fired: make(map[string]int64),
+	}
+}
+
+var injectedCodes = []int{
+	http.StatusBadGateway,
+	http.StatusServiceUnavailable,
+	http.StatusGatewayTimeout,
+}
+
+func (l *httpLottery) roll() httpRoll {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.calls++
+	r := httpRoll{truncFrac: -1}
+	if l.rng.Float64() < l.opts.LatencyProb {
+		r.latency = l.opts.Latency
+		l.fired["latency"]++
+	}
+	if l.rng.Float64() < l.opts.DropProb {
+		r.drop = true
+		l.fired["drop"]++
+	}
+	if l.rng.Float64() < l.opts.ErrorProb {
+		r.errCode = injectedCodes[l.rng.Intn(len(injectedCodes))]
+		l.fired["error"]++
+	}
+	if l.rng.Float64() < l.opts.TruncateProb {
+		r.truncFrac = l.rng.Float64()
+		l.fired["truncate"]++
+	}
+	return r
+}
+
+func (l *httpLottery) snapshot() (calls int64, fired map[string]int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fired = make(map[string]int64, len(l.fired))
+	for k, v := range l.fired {
+		fired[k] = v
+	}
+	return l.calls, fired
+}
+
+// HTTPInjector is an http.RoundTripper decorator injecting the
+// HTTPOptions fault classes into a client's exchanges. It proves,
+// end to end, that the service client's retry/backoff/breaker layer
+// converges through the failures a real deployment serves up.
+type HTTPInjector struct {
+	inner http.RoundTripper
+	lot   *httpLottery
+}
+
+var _ http.RoundTripper = (*HTTPInjector)(nil)
+
+// NewHTTPInjector wraps inner (nil selects http.DefaultTransport).
+func NewHTTPInjector(inner http.RoundTripper, opts HTTPOptions) *HTTPInjector {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &HTTPInjector{inner: inner, lot: newHTTPLottery(opts)}
+}
+
+// Calls returns how many requests the injector has seen.
+func (in *HTTPInjector) Calls() int64 {
+	calls, _ := in.lot.snapshot()
+	return calls
+}
+
+// Fired returns a copy of the per-fault fire counts, keyed by class.
+func (in *HTTPInjector) Fired() map[string]int64 {
+	_, fired := in.lot.snapshot()
+	return fired
+}
+
+// RoundTrip injects the rolled faults around the inner transport.
+func (in *HTTPInjector) RoundTrip(req *http.Request) (*http.Response, error) {
+	r := in.lot.roll()
+	if r.latency > 0 {
+		t := time.NewTimer(r.latency)
+		select {
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		case <-t.C:
+		}
+	}
+	if r.drop {
+		// The request may or may not have reached the server in a real
+		// drop; modelling "never sent" exercises the ambiguity clients
+		// must tolerate either way.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("faultinject: injected connection drop (%s %s)", req.Method, req.URL.Path)
+	}
+	if r.errCode != 0 {
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		body := fmt.Sprintf("faultinject: injected %d", r.errCode)
+		return &http.Response{
+			StatusCode:    r.errCode,
+			Status:        fmt.Sprintf("%d %s", r.errCode, http.StatusText(r.errCode)),
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	resp, err := in.inner.RoundTrip(req)
+	if err != nil || resp == nil || r.truncFrac < 0 {
+		return resp, err
+	}
+	resp.Body = &truncatedBody{inner: resp.Body, frac: r.truncFrac}
+	return resp, nil
+}
+
+// truncatedBody serves a fraction of the inner body, then reports an
+// unexpected EOF — what a reader sees when the peer vanishes mid-body.
+type truncatedBody struct {
+	inner io.ReadCloser
+	frac  float64
+
+	buf  []byte
+	pos  int
+	read bool
+}
+
+func (t *truncatedBody) Read(p []byte) (int, error) {
+	if !t.read {
+		t.read = true
+		all, err := io.ReadAll(t.inner)
+		if err != nil {
+			return 0, err
+		}
+		t.buf = all[:int(float64(len(all))*t.frac)]
+	}
+	if t.pos >= len(t.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, t.buf[t.pos:])
+	t.pos += n
+	return n, nil
+}
+
+func (t *truncatedBody) Close() error { return t.inner.Close() }
+
+// HTTPMiddleware wraps an http.Handler with the same fault classes on
+// the server side, so a daemon can be run "behind" the injector (the
+// -chaos flag of cmd/cgramapd): added latency, synthesized 5xx, aborted
+// connections, truncated response bodies.
+func HTTPMiddleware(next http.Handler, opts HTTPOptions) http.Handler {
+	lot := newHTTPLottery(opts)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r := lot.roll()
+		if r.latency > 0 {
+			t := time.NewTimer(r.latency)
+			select {
+			case <-req.Context().Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		if r.drop {
+			// Abort the connection without a response; the client sees
+			// EOF, like a crashed or LB-killed backend.
+			panic(http.ErrAbortHandler)
+		}
+		if r.errCode != 0 {
+			http.Error(w, fmt.Sprintf("faultinject: injected %d", r.errCode), r.errCode)
+			return
+		}
+		if r.truncFrac >= 0 {
+			rec := &recordingWriter{header: make(http.Header)}
+			next.ServeHTTP(rec, req)
+			for k, v := range rec.header {
+				w.Header()[k] = v
+			}
+			// Advertise the full length, deliver a prefix, then kill the
+			// connection: readers observe an unexpected EOF.
+			w.Header().Set("Content-Length", strconv.Itoa(len(rec.body)))
+			w.WriteHeader(rec.code())
+			w.Write(rec.body[:int(float64(len(rec.body))*r.truncFrac)])
+			if f, ok := w.(http.Flusher); ok {
+				// Push the prefix onto the wire before aborting, so the
+				// client observes a mid-body EOF rather than no response.
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		}
+		next.ServeHTTP(w, req)
+	})
+}
+
+// recordingWriter buffers a handler's response so the middleware can
+// replay a truncated prefix of it.
+type recordingWriter struct {
+	header     http.Header
+	statusCode int
+	body       []byte
+}
+
+func (r *recordingWriter) Header() http.Header { return r.header }
+
+func (r *recordingWriter) WriteHeader(code int) {
+	if r.statusCode == 0 {
+		r.statusCode = code
+	}
+}
+
+func (r *recordingWriter) Write(p []byte) (int, error) {
+	r.WriteHeader(http.StatusOK)
+	r.body = append(r.body, p...)
+	return len(p), nil
+}
+
+func (r *recordingWriter) code() int {
+	if r.statusCode == 0 {
+		return http.StatusOK
+	}
+	return r.statusCode
+}

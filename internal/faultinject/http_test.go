@@ -1,0 +1,203 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseHTTPOptions(t *testing.T) {
+	o, err := ParseHTTPOptions("error=0.1,drop=0.05,truncate=0.2,latency=30ms,latency-p=0.3,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ErrorProb != 0.1 || o.DropProb != 0.05 || o.TruncateProb != 0.2 ||
+		o.Latency != 30*time.Millisecond || o.LatencyProb != 0.3 || o.Seed != 7 {
+		t.Fatalf("parsed %+v", o)
+	}
+	if _, err := ParseHTTPOptions("bogus=1"); err == nil {
+		t.Error("unknown key accepted")
+	}
+	if _, err := ParseHTTPOptions("error=notafloat"); err == nil {
+		t.Error("bad float accepted")
+	}
+	if _, err := ParseHTTPOptions("error"); err == nil {
+		t.Error("missing value accepted")
+	}
+	if o, err := ParseHTTPOptions(""); err != nil || o != (HTTPOptions{}) {
+		t.Errorf("empty spec: %+v, %v", o, err)
+	}
+}
+
+func injectorBackend(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "hello from the backend")
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestHTTPInjectorError(t *testing.T) {
+	var hits atomic.Int64
+	ts := injectorBackend(t, &hits)
+	in := NewHTTPInjector(nil, HTTPOptions{ErrorProb: 1})
+	c := &http.Client{Transport: in}
+
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 500 {
+		t.Fatalf("status = %d, want injected 5xx", resp.StatusCode)
+	}
+	if hits.Load() != 0 {
+		t.Error("injected error still reached the backend")
+	}
+	if in.Calls() != 1 || in.Fired()["error"] != 1 {
+		t.Errorf("calls=%d fired=%v", in.Calls(), in.Fired())
+	}
+}
+
+func TestHTTPInjectorDrop(t *testing.T) {
+	var hits atomic.Int64
+	ts := injectorBackend(t, &hits)
+	in := NewHTTPInjector(nil, HTTPOptions{DropProb: 1})
+	c := &http.Client{Transport: in}
+
+	_, err := c.Get(ts.URL)
+	if err == nil || !strings.Contains(err.Error(), "injected connection drop") {
+		t.Fatalf("got %v, want injected drop error", err)
+	}
+	if in.Fired()["drop"] != 1 {
+		t.Errorf("fired=%v", in.Fired())
+	}
+}
+
+func TestHTTPInjectorTruncate(t *testing.T) {
+	var hits atomic.Int64
+	ts := injectorBackend(t, &hits)
+	in := NewHTTPInjector(nil, HTTPOptions{TruncateProb: 1})
+	c := &http.Client{Transport: in}
+
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read returned %v, want unexpected EOF", err)
+	}
+	if len(body) >= len("hello from the backend") {
+		t.Errorf("body %q not truncated", body)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("backend hits = %d, want 1 (truncation happens after the exchange)", hits.Load())
+	}
+}
+
+func TestHTTPInjectorLatency(t *testing.T) {
+	var hits atomic.Int64
+	ts := injectorBackend(t, &hits)
+	in := NewHTTPInjector(nil, HTTPOptions{LatencyProb: 1, Latency: 50 * time.Millisecond})
+	c := &http.Client{Transport: in}
+
+	start := time.Now()
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Errorf("request took %v, want >= ~50ms injected latency", elapsed)
+	}
+}
+
+func TestHTTPInjectorSeededReproducible(t *testing.T) {
+	run := func() []string {
+		in := NewHTTPInjector(http.RoundTripper(roundTripFunc(func(req *http.Request) (*http.Response, error) {
+			return &http.Response{StatusCode: 200, Body: io.NopCloser(strings.NewReader("ok")), Request: req}, nil
+		})), HTTPOptions{ErrorProb: 0.3, DropProb: 0.3, Seed: 99})
+		c := &http.Client{Transport: in}
+		var outcomes []string
+		for i := 0; i < 50; i++ {
+			resp, err := c.Get("http://fake.invalid/")
+			switch {
+			case err != nil:
+				outcomes = append(outcomes, "drop")
+			case resp.StatusCode >= 500:
+				resp.Body.Close()
+				outcomes = append(outcomes, "5xx")
+			default:
+				resp.Body.Close()
+				outcomes = append(outcomes, "ok")
+			}
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+func middlewareServer(t *testing.T, opts HTTPOptions) *httptest.Server {
+	t.Helper()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hello from the handler")
+	})
+	ts := httptest.NewServer(HTTPMiddleware(inner, opts))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestHTTPMiddlewareError(t *testing.T) {
+	ts := middlewareServer(t, HTTPOptions{ErrorProb: 1})
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 500 {
+		t.Fatalf("status = %d, want injected 5xx", resp.StatusCode)
+	}
+}
+
+func TestHTTPMiddlewareDrop(t *testing.T) {
+	ts := middlewareServer(t, HTTPOptions{DropProb: 1})
+	resp, err := http.Get(ts.URL)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("dropped connection still produced a response")
+	}
+}
+
+func TestHTTPMiddlewareTruncate(t *testing.T) {
+	ts := middlewareServer(t, HTTPOptions{TruncateProb: 1})
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("full body %q read through a truncating middleware", body)
+	}
+	if len(body) >= len("hello from the handler") {
+		t.Errorf("body %q not truncated", body)
+	}
+}

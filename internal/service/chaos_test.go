@@ -1,0 +1,121 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cgramap/internal/faultinject"
+)
+
+// TestChaosSoak drives one server at 2x+ worker capacity through a
+// fault-injecting transport — added latency, synthesized 5xx, dropped
+// connections, truncated bodies — and requires every Solve to converge
+// via the client's retry/backoff/breaker layer, with no goroutine leaks
+// and bounded memory. This is the service-level companion to the
+// solver-level faultinject harness.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	baseline := runtime.NumGoroutine()
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	s := New(Options{
+		Workers:    2,
+		QueueDepth: 64,
+		Solve: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+			// Tiny variable solve time, derived from the instance so
+			// identical jobs stay deterministic.
+			time.Sleep(time.Duration(1+int(spec.Fingerprint[0])%3) * time.Millisecond)
+			return fakeResult(spec.Fingerprint[:8]), nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+
+	const clients = 6 // 3x the worker pool
+	const perClient = 10
+	var wg sync.WaitGroup
+	injectors := make([]*faultinject.HTTPInjector, clients)
+	errs := make(chan error, clients*perClient)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	for i := 0; i < clients; i++ {
+		inj := faultinject.NewHTTPInjector(nil, faultinject.HTTPOptions{
+			Latency:      2 * time.Millisecond,
+			LatencyProb:  0.3,
+			ErrorProb:    0.15,
+			DropProb:     0.08,
+			TruncateProb: 0.08,
+			Seed:         int64(1000 + i),
+		})
+		injectors[i] = inj
+		c := NewClient(ts.URL)
+		c.HTTPClient = &http.Client{Transport: inj}
+		c.PollInterval = 3 * time.Millisecond
+		c.MaxRetries = 12
+		c.RetryBaseDelay = 2 * time.Millisecond
+		c.RetryMaxDelay = 40 * time.Millisecond
+		c.RetrySeed = int64(500 + i)
+		c.BreakerThreshold = 4
+		c.BreakerCooldown = 25 * time.Millisecond
+
+		wg.Add(1)
+		go func(id int, c *Client) {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				// A mix of duplicate and distinct instances, so the soak
+				// also exercises dedup/caching under faults.
+				req := gridReq((id*perClient+j)%8 + 1)
+				req.DeadlineMS = 60_000
+				res, err := c.Solve(ctx, req)
+				if err != nil {
+					errs <- fmt.Errorf("client %d job %d: %w", id, j, err)
+					return
+				}
+				if !res.Feasible {
+					errs <- fmt.Errorf("client %d job %d: infeasible result", id, j)
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	var fired int64
+	for _, inj := range injectors {
+		for _, n := range inj.Fired() {
+			fired += n
+		}
+	}
+	if fired == 0 {
+		t.Error("fault injectors never fired — the soak exercised nothing")
+	}
+	t.Logf("chaos soak: %d injected faults across %d clients x %d jobs", fired, clients, perClient)
+
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+
+	waitGoroutines(t, baseline)
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > before.HeapAlloc && after.HeapAlloc-before.HeapAlloc > 64<<20 {
+		t.Errorf("heap grew by %d bytes across the soak, want bounded", after.HeapAlloc-before.HeapAlloc)
+	}
+}

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func okStatusHandler(calls *atomic.Int64, failFirst int, failWith func(w http.ResponseWriter)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(failFirst) {
+			failWith(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"x","state":"done"}`)
+	}
+}
+
+func fastClient(url string) *Client {
+	c := NewClient(url)
+	c.RetryBaseDelay = time.Millisecond
+	c.RetryMaxDelay = 10 * time.Millisecond
+	return c
+}
+
+func TestClientRetriesTransient5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(okStatusHandler(&calls, 2, func(w http.ResponseWriter) {
+		http.Error(w, `{"error":"upstream hiccup"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	st, err := c.Job(context.Background(), "x")
+	if err != nil {
+		t.Fatalf("Job after transient 503s: %v", err)
+	}
+	if st.State != JobDone {
+		t.Fatalf("state = %s, want done", st.State)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (2 failures + success)", got)
+	}
+	if got := c.Retries.Load(); got != 2 {
+		t.Errorf("client counted %d retries, want 2", got)
+	}
+}
+
+func TestClientDoesNotRetryPermanentErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(okStatusHandler(&calls, 99, func(w http.ResponseWriter) {
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	_, err := c.Job(context.Background(), "x")
+	var se *Error
+	if !errors.As(err, &se) || se.Code != 404 {
+		t.Fatalf("got %v, want 404 *Error", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls for a 404, want 1 (no retries)", got)
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(okStatusHandler(&calls, 1, func(w http.ResponseWriter) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL) // backoff alone would be ~1ms
+	start := time.Now()
+	if _, err := c.Job(context.Background(), "x"); err != nil {
+		t.Fatalf("Job after 429: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("retried after %v, want >= ~1s (the server's Retry-After)", elapsed)
+	}
+}
+
+func TestClientRetriesTruncatedBody(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Advertise more bytes than delivered, then kill the
+			// connection: the client reads an unexpected EOF mid-body.
+			w.Header().Set("Content-Length", "4096")
+			w.Write([]byte(`{"id":"x"`))
+			panic(http.ErrAbortHandler)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"x","state":"done"}`)
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	st, err := c.Job(context.Background(), "x")
+	if err != nil {
+		t.Fatalf("Job after truncated body: %v", err)
+	}
+	if st.State != JobDone {
+		t.Fatalf("state = %s, want done", st.State)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+}
+
+func TestClientCircuitBreaker(t *testing.T) {
+	// A closed listener gives instant connection-refused transport errors.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + ln.Addr().String()
+	ln.Close()
+
+	c := NewClient(deadURL)
+	c.MaxRetries = -1 // isolate the breaker from the retry loop
+	c.BreakerThreshold = 2
+	c.BreakerCooldown = 250 * time.Millisecond
+
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		_, err := c.Job(ctx, "x")
+		var te *transportError
+		if !errors.As(err, &te) {
+			t.Fatalf("call %d: got %v, want transport error", i, err)
+		}
+	}
+	// Threshold reached: the breaker is open and calls fail fast.
+	_, err = c.Job(ctx, "x")
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("post-threshold call: got %v, want ErrCircuitOpen", err)
+	}
+
+	// After the cooldown one half-open trial goes through; its transport
+	// failure re-opens the breaker immediately.
+	time.Sleep(300 * time.Millisecond)
+	_, err = c.Job(ctx, "x")
+	var te *transportError
+	if !errors.As(err, &te) {
+		t.Fatalf("half-open trial: got %v, want transport error", err)
+	}
+	_, err = c.Job(ctx, "x")
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("post-trial call: got %v, want ErrCircuitOpen (re-opened)", err)
+	}
+}
+
+func TestClientBreakerIgnoresHTTPErrors(t *testing.T) {
+	// 5xx proves the server is up; only transport failures may open the
+	// breaker.
+	var calls atomic.Int64
+	ts := httptest.NewServer(okStatusHandler(&calls, 99, func(w http.ResponseWriter) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	c.MaxRetries = -1
+	c.BreakerThreshold = 2
+	for i := 0; i < 5; i++ {
+		_, err := c.Job(context.Background(), "x")
+		var se *Error
+		if !errors.As(err, &se) || se.Code != 500 {
+			t.Fatalf("call %d: got %v, want 500 *Error", i, err)
+		}
+		if errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("breaker opened on HTTP 500s at call %d", i)
+		}
+	}
+}
+
+func TestBackoffDelayBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := 100 * time.Millisecond
+	max := 5 * time.Second
+	for attempt := 0; attempt < 12; attempt++ {
+		full := base << uint(attempt)
+		if full <= 0 || full > max {
+			full = max
+		}
+		for i := 0; i < 100; i++ {
+			d := backoffDelay(rng, base, max, attempt)
+			if d < full/2 || d > full {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, full/2, full)
+			}
+		}
+	}
+}

@@ -17,18 +17,19 @@ import (
 //	GET    /metrics             Prometheus text exposition
 //
 // Errors are rendered as {"error": "..."} with the *Error status code;
-// 429 responses carry a Retry-After header.
+// backpressure (429) and draining (503) responses carry a Retry-After
+// header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req JobRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, errf(400, "decoding request: %v", err))
+			s.writeError(w, errf(400, "decoding request: %v", err))
 			return
 		}
 		st, err := s.Submit(&req)
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, st)
@@ -36,7 +37,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Job(r.PathValue("id"))
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
@@ -44,7 +45,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		res, err := s.Result(r.PathValue("id"))
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
@@ -52,13 +53,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Cancel(r.PathValue("id"))
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.Draining() {
+			w.Header().Set("Retry-After", strconv.Itoa(drainRetryAfter))
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
@@ -78,13 +80,37 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	var se *Error
-	if !errors.As(err, &se) {
-		se = &Error{Code: http.StatusInternalServerError, Message: err.Error()}
-	}
+// writeError renders any failure as the wire error envelope, counting
+// delivered Retry-After hints so backpressure is observable in /metrics.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	se := httpError(err)
 	if se.RetryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(se.RetryAfter))
+		s.Metrics.RetryAfterSent.Add(1)
 	}
 	writeJSON(w, se.Code, map[string]string{"error": se.Message})
+}
+
+// httpError normalises a failure into a wire *Error. Typed service
+// errors pass through (backpressure codes are guaranteed a Retry-After
+// even if the producer forgot one); bare queue-full / shed / draining
+// sentinels from other layers map to 429/503 with a Retry-After hint
+// instead of a generic 5xx; anything else is a 500.
+func httpError(err error) *Error {
+	var se *Error
+	if errors.As(err, &se) && se.Code != 0 {
+		if (se.Code == http.StatusTooManyRequests || se.Code == http.StatusServiceUnavailable) && se.RetryAfter <= 0 {
+			out := *se
+			out.RetryAfter = 1
+			return &out
+		}
+		return se
+	}
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDeadlineUnservable):
+		return &Error{Code: http.StatusTooManyRequests, Message: err.Error(), RetryAfter: 1, Err: err}
+	case errors.Is(err, ErrDraining):
+		return &Error{Code: http.StatusServiceUnavailable, Message: err.Error(), RetryAfter: drainRetryAfter, Err: err}
+	}
+	return &Error{Code: http.StatusInternalServerError, Message: err.Error()}
 }

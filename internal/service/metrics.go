@@ -47,15 +47,29 @@ type Metrics struct {
 	CacheMisses   atomic.Int64
 	Deduplicated  atomic.Int64
 	WorkersBusy   atomic.Int64
+	// JobsShed counts submissions rejected by deadline-aware admission
+	// control (the estimated queue wait exceeded the job's deadline);
+	// each shed is also counted in JobsRejected.
+	JobsShed atomic.Int64
+	// JobsDegraded counts submissions accepted into the overload fast
+	// lane and answered with a labelled heuristic instead of shed.
+	JobsDegraded atomic.Int64
+	// DeadlineExceeded counts jobs whose deadline fired server-side:
+	// expired while queued, or cancelled mid-solve.
+	DeadlineExceeded atomic.Int64
+	// RetryAfterSent counts HTTP error responses that carried a
+	// Retry-After header (backpressure advice actually delivered).
+	RetryAfterSent atomic.Int64
 
 	mu        sync.Mutex
 	completed map[string]int64      // final job state -> count
 	solve     map[string]*histogram // engine -> solve latency
 
 	// Gauge sources, wired by the Server at construction.
-	queueDepth func() int
-	cacheLen   func() int
-	workers    int
+	queueDepth    func() int
+	degQueueDepth func() int
+	cacheLen      func() int
+	workers       int
 }
 
 func newMetrics() *Metrics {
@@ -98,6 +112,10 @@ func (m *Metrics) Render(w io.Writer) error {
 	counter("cgramapd_cache_hits_total", "Submissions answered from the content-addressed result cache.", m.CacheHits.Load())
 	counter("cgramapd_cache_misses_total", "Submissions that required a new solve.", m.CacheMisses.Load())
 	counter("cgramapd_singleflight_dedup_total", "Submissions coalesced onto an identical in-flight solve.", m.Deduplicated.Load())
+	counter("cgramapd_jobs_shed_total", "Submissions shed by deadline-aware admission control.", m.JobsShed.Load())
+	counter("cgramapd_jobs_degraded_total", "Submissions answered by the degraded heuristic fast lane.", m.JobsDegraded.Load())
+	counter("cgramapd_deadline_exceeded_total", "Jobs whose deadline fired server-side (queued or mid-solve).", m.DeadlineExceeded.Load())
+	counter("cgramapd_retry_after_responses_total", "Error responses that carried a Retry-After header.", m.RetryAfterSent.Load())
 
 	m.mu.Lock()
 	states := make([]string, 0, len(m.completed))
@@ -133,6 +151,9 @@ func (m *Metrics) Render(w io.Writer) error {
 	gauge("cgramapd_workers", "Size of the worker pool.", int64(m.workers))
 	if m.queueDepth != nil {
 		gauge("cgramapd_queue_depth", "Solves waiting for a worker.", int64(m.queueDepth()))
+	}
+	if m.degQueueDepth != nil {
+		gauge("cgramapd_degraded_queue_depth", "Jobs waiting in the degraded fast lane.", int64(m.degQueueDepth()))
 	}
 	if m.cacheLen != nil {
 		gauge("cgramapd_cache_entries", "Completed results held by the LRU cache.", int64(m.cacheLen()))

@@ -1,0 +1,365 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cgramap/internal/ilp"
+)
+
+// TestAdmissionShedsUnservableDeadlines: once the server has solve-time
+// evidence, a submission whose deadline is smaller than the estimated
+// queue wait is shed with 429 + Retry-After instead of accepted and
+// failed later.
+func TestAdmissionShedsUnservableDeadlines(t *testing.T) {
+	block := make(chan struct{})
+	var blocking atomic.Bool
+	s := New(Options{
+		Workers:    1,
+		QueueDepth: 4,
+		Solve: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+			if blocking.Load() {
+				<-block
+			} else {
+				time.Sleep(50 * time.Millisecond)
+			}
+			return fakeResult(spec.Fingerprint[:8]), nil
+		},
+	})
+	defer func() { close(block); s.Shutdown(context.Background()) }()
+
+	// Warm the admission estimator with two real ~50ms solves.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 1; i <= 2; i++ {
+		st, err := s.Submit(gridReq(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Wait(ctx, st.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pin the worker and park one job in the queue, so a new submission
+	// faces an estimated wait of roughly two average solves.
+	blocking.Store(true)
+	if _, err := s.Submit(gridReq(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(gridReq(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	req := gridReq(5)
+	req.DeadlineMS = 1
+	_, err := s.Submit(req)
+	var se *Error
+	if !errors.As(err, &se) || se.Code != 429 {
+		t.Fatalf("unservable-deadline submission: got %v, want 429", err)
+	}
+	if !errors.Is(err, ErrDeadlineUnservable) {
+		t.Errorf("shed error does not wrap ErrDeadlineUnservable: %v", err)
+	}
+	if se.RetryAfter < 1 {
+		t.Errorf("shed without Retry-After: %+v", se)
+	}
+	if got := s.Metrics.JobsShed.Load(); got != 1 {
+		t.Errorf("JobsShed = %d, want 1", got)
+	}
+
+	// The same job with a generous deadline is admitted.
+	req.DeadlineMS = 60_000
+	if _, err := s.Submit(req); err != nil {
+		t.Fatalf("generous-deadline submission rejected: %v", err)
+	}
+}
+
+// TestDegradedLaneAnswersUnderSaturation: with degradation enabled, a
+// queue-full submission is answered by the heuristic fast lane, marked
+// degraded, labelled, and never cached; auto-II jobs are still shed.
+func TestDegradedLaneAnswersUnderSaturation(t *testing.T) {
+	block := make(chan struct{})
+	running := make(chan struct{}, 4)
+	var degradedCalls atomic.Int64
+	s := New(Options{
+		Workers:           1,
+		QueueDepth:        1,
+		DegradeOnOverload: true,
+		Solve: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+			running <- struct{}{}
+			<-block
+			return fakeResult("exact"), nil
+		},
+		SolveDegraded: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+			degradedCalls.Add(1)
+			return &JobResult{Status: ilp.Feasible, Feasible: true, Engine: EngineAnneal}, nil
+		},
+	})
+	defer func() { close(block); s.Shutdown(context.Background()) }()
+
+	// Saturate: one running (wait until the worker has actually picked
+	// it up, or job 2 could land in the degraded lane), one queued.
+	if _, err := s.Submit(gridReq(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	if _, err := s.Submit(gridReq(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		st, err := s.Submit(gridReq(3))
+		if err != nil {
+			t.Fatalf("saturated submission %d not degraded: %v", i, err)
+		}
+		if !st.Degraded {
+			t.Fatalf("saturated submission %d status not marked degraded: %+v", i, st)
+		}
+		final, err := s.Wait(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != JobDone {
+			t.Fatalf("degraded job ended %s (%s)", final.State, final.Error)
+		}
+		res, err := s.Result(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Degraded || !strings.Contains(res.Reason, "degraded") {
+			t.Errorf("degraded result unlabelled: %+v", res)
+		}
+	}
+	// Two identical degraded submissions must both have run the fast
+	// lane: degraded answers are never cached or deduplicated.
+	if got := degradedCalls.Load(); got != 2 {
+		t.Errorf("degraded lane ran %d times for 2 identical submissions, want 2 (no cache/dedup)", got)
+	}
+	if got := s.Metrics.JobsDegraded.Load(); got != 2 {
+		t.Errorf("JobsDegraded = %d, want 2", got)
+	}
+
+	// Auto-II needs an exact proof chain, so it is shed, not degraded.
+	auto := gridReq(4)
+	auto.AutoII = 2
+	_, err := s.Submit(auto)
+	var se *Error
+	if !errors.As(err, &se) || se.Code != 429 {
+		t.Fatalf("saturated auto-II submission: got %v, want 429", err)
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		t.Errorf("auto-II shed does not wrap ErrQueueFull: %v", err)
+	}
+}
+
+// TestDeadlineExceededWhileQueued: the job deadline is absolute from
+// submission — a job that expires in the queue fails with a
+// deadline-exceeded error without burning a solve slot.
+func TestDeadlineExceededWhileQueued(t *testing.T) {
+	release := make(chan struct{})
+	var solves atomic.Int64
+	s := New(Options{
+		Workers:    1,
+		QueueDepth: 4,
+		Solve: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+			solves.Add(1)
+			<-release
+			return fakeResult("blocker"), nil
+		},
+	})
+	defer s.Shutdown(context.Background())
+
+	if _, err := s.Submit(gridReq(1)); err != nil {
+		t.Fatal(err)
+	}
+	victim := gridReq(2)
+	victim.DeadlineMS = 30
+	st, err := s.Submit(victim) // admitted: the estimator has no evidence yet
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond) // let the victim's deadline lapse in the queue
+	close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	final, err := s.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobFailed || !strings.Contains(final.Error, "deadline exceeded") {
+		t.Fatalf("expired-in-queue job ended %s (%q), want failed with deadline error", final.State, final.Error)
+	}
+	if got := solves.Load(); got != 1 {
+		t.Errorf("%d solves ran, want 1 (the expired job must not reach the solver)", got)
+	}
+	if got := s.Metrics.DeadlineExceeded.Load(); got < 1 {
+		t.Errorf("DeadlineExceeded = %d, want >= 1", got)
+	}
+}
+
+// TestJobTimeoutCapsSolve: the server-side -job-timeout cap cancels a
+// solve regardless of how generous the client's deadline was.
+func TestJobTimeoutCapsSolve(t *testing.T) {
+	s := New(Options{
+		Workers:    1,
+		JobTimeout: 30 * time.Millisecond,
+		Solve: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	defer s.Shutdown(context.Background())
+
+	req := gridReq(1)
+	req.DeadlineMS = 60_000
+	st, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	final, err := s.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobFailed {
+		t.Fatalf("capped job ended %s, want failed", final.State)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("job-timeout cap took %v to fire, want ~30ms", elapsed)
+	}
+	if got := s.Metrics.DeadlineExceeded.Load(); got != 1 {
+		t.Errorf("DeadlineExceeded = %d, want 1", got)
+	}
+}
+
+// TestSustainedOverload is the synthetic acceptance scenario: sustained
+// submissions at well over worker capacity. Every submission must be
+// accepted (and reach a terminal state), degraded, or shed with 429 +
+// Retry-After; the queue stays bounded by construction, the overload
+// counters are visible in /metrics, and no goroutines or memory leak.
+func TestSustainedOverload(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	s := New(Options{
+		Workers:           2,
+		QueueDepth:        8,
+		DegradeOnOverload: true,
+		Solve: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+			time.Sleep(2 * time.Millisecond)
+			return fakeResult("ok"), nil
+		},
+		SolveDegraded: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+			return fakeResult("fast"), nil
+		},
+	})
+
+	const clients = 4 // 2x the worker pool
+	const perClient = 100
+	var next atomic.Int64
+	var accepted, shed atomic.Int64
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				req := gridReq(int(next.Add(1))) // all distinct instances
+				req.DeadlineMS = 5000
+				st, err := s.Submit(req)
+				if err != nil {
+					var se *Error
+					if !errors.As(err, &se) || se.Code != 429 {
+						t.Errorf("overload submission: got %v, want accept or 429", err)
+						return
+					}
+					if se.RetryAfter < 1 {
+						t.Errorf("429 without Retry-After: %+v", se)
+						return
+					}
+					shed.Add(1)
+					continue
+				}
+				accepted.Add(1)
+				final, err := s.Wait(ctx, st.ID)
+				if err != nil {
+					t.Errorf("waiting accepted job: %v", err)
+					return
+				}
+				if !final.State.Terminal() {
+					t.Errorf("accepted job ended non-terminal: %+v", final)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := accepted.Load() + shed.Load(); got != clients*perClient {
+		t.Fatalf("accounted for %d submissions, want %d", got, clients*perClient)
+	}
+	if accepted.Load() == 0 {
+		t.Error("overload run accepted nothing")
+	}
+
+	m := metricsText(t, s)
+	for _, name := range []string{
+		"cgramapd_jobs_shed_total",
+		"cgramapd_jobs_degraded_total",
+		"cgramapd_deadline_exceeded_total",
+		"cgramapd_retry_after_responses_total",
+		"cgramapd_degraded_queue_depth",
+	} {
+		if !strings.Contains(m, name) {
+			t.Errorf("overload counter %s missing from /metrics", name)
+		}
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	waitGoroutines(t, baseline)
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > before.HeapAlloc && after.HeapAlloc-before.HeapAlloc > 64<<20 {
+		t.Errorf("heap grew by %d bytes across the overload run, want bounded", after.HeapAlloc-before.HeapAlloc)
+	}
+}
+
+// waitGoroutines waits for the goroutine count to settle back to the
+// baseline (plus scheduler slack), failing the test if it never does.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+8 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

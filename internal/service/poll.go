@@ -3,7 +3,9 @@ package service
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,10 +13,37 @@ import (
 // caller does not override it.
 const DefaultPollInterval = 50 * time.Millisecond
 
-// Poll invokes fn at the given interval until it reports done, returns an
-// error, or ctx ends. It runs fn once immediately, so a condition that
-// already holds never waits out an interval. A non-positive interval uses
-// DefaultPollInterval.
+// pollJitterFrac spreads every poll sleep across ±20% of the interval.
+// A fleet of Wait pollers started together (an archexplore sweep fanning
+// a batch onto one daemon) would otherwise synchronize into a thundering
+// herd that slams the status endpoint in lockstep.
+const pollJitterFrac = 0.2
+
+// pollSeq derives a distinct, deterministic jitter stream per Poll call:
+// seeded, so runs are reproducible, yet decorrelated across pollers.
+var pollSeq atomic.Uint64
+
+// mix64 is SplitMix64's finalizer: spreads consecutive sequence numbers
+// into independent-looking seeds.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// jitterInterval draws one sleep from [interval*(1-frac), interval*(1+frac)].
+func jitterInterval(rng *rand.Rand, interval time.Duration) time.Duration {
+	f := 1 + pollJitterFrac*(2*rng.Float64()-1)
+	return time.Duration(float64(interval) * f)
+}
+
+// Poll invokes fn at the given interval (jittered ±20%, seeded) until it
+// reports done, returns an error, or ctx ends. It runs fn once
+// immediately, so a condition that already holds never waits out an
+// interval. A non-positive interval uses DefaultPollInterval.
 //
 // This is the single polling loop shared by Client.Wait, Client.WaitHealthy
 // and cmd/waitready; timeouts live in the caller's ctx so every consumer
@@ -23,6 +52,7 @@ func Poll(ctx context.Context, interval time.Duration, fn func(context.Context) 
 	if interval <= 0 {
 		interval = DefaultPollInterval
 	}
+	rng := rand.New(rand.NewSource(int64(mix64(pollSeq.Add(1)))))
 	for {
 		done, err := fn(ctx)
 		if err != nil {
@@ -34,7 +64,7 @@ func Poll(ctx context.Context, interval time.Duration, fn func(context.Context) 
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(interval):
+		case <-time.After(jitterInterval(rng, interval)):
 		}
 	}
 }

@@ -3,12 +3,47 @@ package service
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 	"time"
 )
+
+func TestPollJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	interval := 100 * time.Millisecond
+	lo := time.Duration(float64(interval) * (1 - pollJitterFrac))
+	hi := time.Duration(float64(interval) * (1 + pollJitterFrac))
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 1000; i++ {
+		d := jitterInterval(rng, interval)
+		if d < lo || d > hi {
+			t.Fatalf("draw %d: %v outside [%v, %v]", i, d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("only %d distinct jittered sleeps over 1000 draws; jitter is not spreading", len(seen))
+	}
+}
+
+func TestPollJitterDecorrelatesPollers(t *testing.T) {
+	// Two pollers started at the same instant must draw different sleep
+	// sequences (per-poller seeded streams), or a fleet herds.
+	a := rand.New(rand.NewSource(int64(mix64(1))))
+	b := rand.New(rand.NewSource(int64(mix64(2))))
+	same := 0
+	for i := 0; i < 100; i++ {
+		if jitterInterval(a, time.Second) == jitterInterval(b, time.Second) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("%d/100 identical draws across pollers; streams are correlated", same)
+	}
+}
 
 func TestPollRunsImmediately(t *testing.T) {
 	calls := 0

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// ErrCircuitOpen is returned (inside *Error, match with errors.Is) when
+// the client's circuit breaker is open: recent calls all failed at the
+// transport level, so the daemon is presumed sick and calls fail fast
+// instead of piling more load onto it.
+var ErrCircuitOpen = errors.New("service client: circuit breaker open")
+
+// transportError wraps a failure that never produced an HTTP response —
+// dial/reset errors, or a response body that died mid-read (truncation).
+// These are the retryable-by-transport class, and the only class the
+// circuit breaker counts: a 5xx proves the server is at least up.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "service client: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// breaker is a consecutive-failure circuit breaker. threshold transport
+// failures in a row open it for cooldown; the first call after the
+// cooldown is the half-open trial — its failure re-opens the breaker,
+// its success closes it.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	fails     int
+	openUntil time.Time
+}
+
+// allow reports whether a call may proceed now; when it may not, it
+// returns how long until the next half-open trial.
+func (b *breaker) allow(now time.Time) (time.Duration, bool) {
+	if now.Before(b.openUntil) {
+		return b.openUntil.Sub(now), false
+	}
+	return 0, true
+}
+
+func (b *breaker) failure(now time.Time) {
+	b.fails++
+	if b.fails >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+	}
+}
+
+func (b *breaker) success() {
+	b.fails = 0
+	b.openUntil = time.Time{}
+}
+
+// classifyRetry decides whether an API call failure is worth retrying,
+// and surfaces any server-provided Retry-After delay.
+func classifyRetry(err error) (retryable bool, retryAfter time.Duration) {
+	var te *transportError
+	if errors.As(err, &te) {
+		return true, 0
+	}
+	var se *Error
+	if errors.As(err, &se) {
+		switch se.Code {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true, time.Duration(se.RetryAfter) * time.Second
+		}
+	}
+	return false, 0
+}
+
+// backoffDelay computes the attempt-th retry delay: exponential from
+// base, capped at max, with full [50%,100%] jitter so synchronized
+// clients decorrelate.
+func backoffDelay(rng *rand.Rand, base, max time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d <= 0 || d > max {
+		d = max
+	}
+	return time.Duration(float64(d) * (0.5 + 0.5*rng.Float64()))
+}
+
+// sleepCtx sleeps for d unless ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

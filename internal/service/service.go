@@ -23,10 +23,12 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cgramap/internal/anneal"
@@ -118,6 +120,11 @@ type JobSpec struct {
 type JobResult struct {
 	Status   ilp.Status `json:"status"`
 	Feasible bool       `json:"feasible"`
+	// Degraded is true when the answer came from the overload fast
+	// lane: a short heuristic solve served because the exact queue was
+	// saturated. A degraded answer is verified but proves nothing, and
+	// is never cached.
+	Degraded bool `json:"degraded,omitempty"`
 	// Proven is true when the answer is a proof from a complete engine;
 	// a heuristic witness is verified but proves nothing beyond
 	// feasibility.
@@ -145,11 +152,32 @@ type JobStatus struct {
 	Engine      string    `json:"engine"`
 	CacheHit    bool      `json:"cache_hit,omitempty"`
 	Deduped     bool      `json:"deduped,omitempty"`
+	Degraded    bool      `json:"degraded,omitempty"`
 	Error       string    `json:"error,omitempty"`
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitzero"`
 	FinishedAt  time.Time `json:"finished_at,omitzero"`
 }
+
+// Sentinel admission failures. They travel inside *Error (match with
+// errors.Is) so HTTP and client layers can map overload conditions to
+// 429/503 + Retry-After without string inspection.
+var (
+	// ErrQueueFull marks a submission rejected because no queue slot was
+	// available (429).
+	ErrQueueFull = errors.New("job queue full")
+	// ErrDeadlineUnservable marks a submission shed because the
+	// estimated queue wait already exceeds the job's deadline (429):
+	// accepting it would only fail it later, after burning a slot.
+	ErrDeadlineUnservable = errors.New("estimated queue wait exceeds job deadline")
+	// ErrDraining marks a submission refused during shutdown (503).
+	ErrDraining = errors.New("server is draining")
+)
+
+// drainRetryAfter is the Retry-After hint (seconds) sent with 503
+// draining responses, so load balancers and clients re-route or back
+// off instead of hammering a terminating instance.
+const drainRetryAfter = 10
 
 // Error is a service failure with an HTTP status code.
 type Error struct {
@@ -157,9 +185,15 @@ type Error struct {
 	Message string
 	// RetryAfter, in seconds, is set on backpressure rejections.
 	RetryAfter int
+	// Err is the underlying cause, when one of the sentinel admission
+	// errors applies (errors.Is sees through it).
+	Err error
 }
 
 func (e *Error) Error() string { return e.Message }
+
+// Unwrap exposes the sentinel cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
 
 func errf(code int, format string, args ...any) *Error {
 	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
@@ -205,12 +239,29 @@ type Options struct {
 	// Seed fixes the base solver trajectory of every job (0 keeps the
 	// engines' defaults).
 	Seed int64
+	// JobTimeout caps every job's solve wall clock server-side, measured
+	// from the moment a worker starts it (0 = no cap). It bounds the
+	// long tail regardless of the deadline the client asked for.
+	JobTimeout time.Duration
+	// DegradeOnOverload answers queue-full submissions with a fast
+	// labelled heuristic mapping (degraded: true) from a small dedicated
+	// lane instead of shedding them with 429. Auto-II jobs are still
+	// shed: a heuristic cannot prove an II minimal.
+	DegradeOnOverload bool
+	// DegradedDeadline bounds each degraded heuristic solve (default 2s,
+	// further clamped by the job's own deadline).
+	DegradedDeadline time.Duration
+	// DegradedWorkers sizes the degraded fast lane pool (default 1).
+	DegradedWorkers int
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 	// Solve replaces the built-in engine dispatch — the seam the tests
 	// (and embedders with custom pipelines) plug into. nil selects the
 	// real mappers.
 	Solve func(ctx context.Context, spec *JobSpec) (*JobResult, error)
+	// SolveDegraded replaces the degraded lane's dispatch (default
+	// RunSpecDegraded: one short simulated-annealing run).
+	SolveDegraded func(ctx context.Context, spec *JobSpec) (*JobResult, error)
 }
 
 func (o *Options) fill() {
@@ -232,11 +283,20 @@ func (o *Options) fill() {
 	if o.RetainJobs <= 0 {
 		o.RetainJobs = 4096
 	}
+	if o.DegradedDeadline <= 0 {
+		o.DegradedDeadline = 2 * time.Second
+	}
+	if o.DegradedWorkers <= 0 {
+		o.DegradedWorkers = 1
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
 	if o.Solve == nil {
 		o.Solve = RunSpec
+	}
+	if o.SolveDegraded == nil {
+		o.SolveDegraded = RunSpecDegraded
 	}
 }
 
@@ -249,6 +309,7 @@ type job struct {
 	state       JobState
 	cacheHit    bool
 	deduped     bool
+	degraded    bool
 	result      *JobResult
 	errMsg      string
 	submitted   time.Time
@@ -265,7 +326,14 @@ type exec struct {
 	spec   *JobSpec
 	ctx    context.Context
 	cancel context.CancelFunc
-	jobs   []*job // attached live jobs; empty means fully cancelled
+	// deadline is the job's absolute deadline, anchored at submission:
+	// time spent waiting in the queue spends it too, so a backlog can
+	// never make accepted work run arbitrarily late.
+	deadline time.Time
+	// degraded routes the exec through the overload fast lane (short
+	// heuristic solve, no dedup, no caching).
+	degraded bool
+	jobs     []*job // attached live jobs; empty means fully cancelled
 }
 
 // Server is the mapping job server. Create with New, serve its Handler,
@@ -279,8 +347,13 @@ type Server struct {
 	order    []string // finished-job retention ring, oldest first
 	inflight map[string]*exec
 	queue    chan *exec
+	degQueue chan *exec // overload fast lane; nil unless DegradeOnOverload
 	draining bool
 	nextID   uint64
+
+	// avgSolveNS is an EWMA of recent solve wall clocks (nanoseconds),
+	// feeding the admission estimator.
+	avgSolveNS atomic.Int64
 
 	cache *resultCache
 	wg    sync.WaitGroup
@@ -304,7 +377,56 @@ func New(opts Options) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if opts.DegradeOnOverload {
+		s.degQueue = make(chan *exec, opts.QueueDepth)
+		s.Metrics.degQueueDepth = func() int { return len(s.degQueue) }
+		for i := 0; i < opts.DegradedWorkers; i++ {
+			s.wg.Add(1)
+			go s.degradedWorker()
+		}
+	}
 	return s
+}
+
+// estimatedWait predicts how long a newly enqueued job would wait for a
+// worker: queue occupancy (plus itself) times the recent average solve
+// time, divided across the pool. Zero until the first solve completes —
+// with no evidence, everything is admitted. Callers hold s.mu.
+func (s *Server) estimatedWait() time.Duration {
+	avg := time.Duration(s.avgSolveNS.Load())
+	if avg <= 0 {
+		return 0
+	}
+	return avg * time.Duration(len(s.queue)+1) / time.Duration(s.opts.Workers)
+}
+
+// recordSolveTime folds one completed solve into the admission
+// estimator's EWMA (weight 0.3, integer arithmetic).
+func (s *Server) recordSolveTime(d time.Duration) {
+	for {
+		old := s.avgSolveNS.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)*3/10
+		}
+		if s.avgSolveNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds renders a wait estimate as a Retry-After header
+// value: at least 1 second (the header has second granularity), capped
+// so a pathological estimate never parks clients for minutes.
+func retryAfterSeconds(wait time.Duration) int {
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // ParseRequest validates a submission and resolves it into a JobSpec.
@@ -398,9 +520,10 @@ func (s *Server) ParseRequest(req *JobRequest) (*JobSpec, error) {
 }
 
 // Submit accepts a job: answered from cache, coalesced onto an identical
-// in-flight solve, or enqueued for a worker. It returns the job's
-// initial status snapshot, or an *Error (400 invalid, 429 backpressure,
-// 503 draining).
+// in-flight solve, enqueued for a worker, or — when the queue is
+// saturated and degradation is enabled — routed to the heuristic fast
+// lane. It returns the job's initial status snapshot, or an *Error
+// (400 invalid, 429 backpressure/shed, 503 draining).
 func (s *Server) Submit(req *JobRequest) (*JobStatus, error) {
 	spec, err := s.ParseRequest(req)
 	if err != nil {
@@ -411,7 +534,8 @@ func (s *Server) Submit(req *JobRequest) (*JobStatus, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return nil, errf(503, "server is draining")
+		return nil, &Error{Code: 503, Message: ErrDraining.Error(),
+			RetryAfter: drainRetryAfter, Err: ErrDraining}
 	}
 	j := &job{
 		fingerprint: spec.Fingerprint,
@@ -447,17 +571,48 @@ func (s *Server) Submit(req *JobRequest) (*JobStatus, error) {
 		return snapshot(j), nil
 	}
 
+	// Deadline-aware admission: estimate how long a new job would wait
+	// for a worker. A job whose deadline would expire in the queue is
+	// shed now, with a Retry-After hint sized to the backlog, instead of
+	// accepted and failed later.
+	if wait := s.estimatedWait(); wait > spec.Deadline {
+		s.Metrics.JobsShed.Add(1)
+		s.Metrics.JobsRejected.Add(1)
+		return nil, &Error{Code: 429,
+			Message: fmt.Sprintf("%v: estimated wait %v > deadline %v",
+				ErrDeadlineUnservable, wait.Round(time.Millisecond), spec.Deadline),
+			RetryAfter: retryAfterSeconds(wait), Err: ErrDeadlineUnservable}
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
-	ex := &exec{fp: spec.Fingerprint, spec: spec, ctx: ctx, cancel: cancel}
+	ex := &exec{fp: spec.Fingerprint, spec: spec, ctx: ctx, cancel: cancel,
+		deadline: now.Add(spec.Deadline)}
 	j.state = JobQueued
 	j.ex = ex
 	ex.jobs = []*job{j}
 	select {
 	case s.queue <- ex:
 	default:
+		// The exact queue is saturated. Degrade to the heuristic fast
+		// lane when enabled (auto-II jobs excluded: a heuristic cannot
+		// prove an II minimal), otherwise shed with 429.
+		if s.degQueue != nil && spec.AutoII == 0 {
+			ex.degraded = true
+			j.degraded = true
+			select {
+			case s.degQueue <- ex:
+				s.Metrics.JobsSubmitted.Add(1)
+				s.Metrics.JobsDegraded.Add(1)
+				s.register(j)
+				return snapshot(j), nil
+			default:
+				// Fast lane saturated too: fall through to shedding.
+			}
+		}
 		cancel()
 		s.Metrics.JobsRejected.Add(1)
-		return nil, &Error{Code: 429, Message: "job queue full", RetryAfter: 1}
+		return nil, &Error{Code: 429, Message: ErrQueueFull.Error(),
+			RetryAfter: retryAfterSeconds(s.estimatedWait()), Err: ErrQueueFull}
 	}
 	s.inflight[spec.Fingerprint] = ex
 	s.Metrics.JobsSubmitted.Add(1)
@@ -538,9 +693,14 @@ func (s *Server) Cancel(id string) (*JobStatus, error) {
 		}
 		ex.jobs = live
 		if len(ex.jobs) == 0 {
-			// Last interested submission gone: stop the solve.
+			// Last interested submission gone: stop the solve. Degraded
+			// execs never enter the inflight index, so only remove the
+			// entry when it is really this exec's (a live successor may
+			// own the fingerprint by now).
 			ex.cancel()
-			delete(s.inflight, ex.fp)
+			if s.inflight[ex.fp] == ex {
+				delete(s.inflight, ex.fp)
+			}
 		}
 	}
 	return snapshot(j), nil
@@ -584,6 +744,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue) // workers drain the remaining solves, then exit
+		if s.degQueue != nil {
+			close(s.degQueue)
+		}
 	}
 	s.mu.Unlock()
 
@@ -630,14 +793,35 @@ func (s *Server) runExec(ex *exec) {
 	}
 	s.mu.Unlock()
 
+	// The deadline is absolute from submission; a job whose deadline
+	// expired while it queued is failed without burning a solve slot
+	// (the admission estimator tries to shed these up front, but it is
+	// an estimate, not a guarantee).
+	if !ex.deadline.After(now) {
+		s.Metrics.DeadlineExceeded.Add(1)
+		s.failExec(ex, "deadline exceeded while queued")
+		return
+	}
+
 	s.Metrics.WorkersBusy.Add(1)
-	ctx, cancel := context.WithTimeout(ex.ctx, ex.spec.Deadline)
+	ctx, cancel := context.WithDeadline(ex.ctx, ex.deadline)
+	if s.opts.JobTimeout > 0 {
+		// Server-side cap on the solve itself, independent of how
+		// generous a deadline the client asked for.
+		var capCancel context.CancelFunc
+		ctx, capCancel = context.WithTimeout(ctx, s.opts.JobTimeout)
+		defer capCancel()
+	}
 	start := time.Now()
 	res, err := s.opts.Solve(ctx, ex.spec)
 	elapsed := time.Since(start)
+	if ctx.Err() == context.DeadlineExceeded {
+		s.Metrics.DeadlineExceeded.Add(1)
+	}
 	cancel()
 	s.Metrics.WorkersBusy.Add(-1)
 	s.Metrics.ObserveSolve(ex.spec.Engine, elapsed)
+	s.recordSolveTime(elapsed)
 	if err != nil {
 		s.opts.Logf("service: job %s (%s on %s) failed: %v",
 			ex.fp[:8], ex.spec.DFG.Name, ex.spec.Arch.Name, err)
@@ -668,6 +852,96 @@ func (s *Server) runExec(ex *exec) {
 	ex.cancel()
 }
 
+// failExec completes every job attached to ex as failed with msg.
+func (s *Server) failExec(ex *exec, msg string) {
+	s.mu.Lock()
+	if s.inflight[ex.fp] == ex {
+		delete(s.inflight, ex.fp)
+	}
+	now := time.Now()
+	for _, j := range ex.jobs {
+		j.finished = now
+		j.state = JobFailed
+		j.errMsg = msg
+		s.Metrics.IncCompleted(JobFailed)
+		close(j.done)
+	}
+	s.mu.Unlock()
+	ex.cancel()
+}
+
+// DegradedReason labels every answer served by the overload fast lane.
+const DegradedReason = "degraded: heuristic (simulated annealing) answer served under overload; no optimality or infeasibility proof"
+
+// degradedWorker consumes the overload fast lane until Shutdown closes it.
+func (s *Server) degradedWorker() {
+	defer s.wg.Done()
+	for ex := range s.degQueue {
+		s.runDegraded(ex)
+	}
+}
+
+// runDegraded answers one overload-admitted job from the fast lane: a
+// short heuristic solve, labelled degraded, never cached and never
+// deduplicated — the answer reflects this moment's overload, not a
+// property of the instance.
+func (s *Server) runDegraded(ex *exec) {
+	s.mu.Lock()
+	if len(ex.jobs) == 0 {
+		s.mu.Unlock()
+		ex.cancel()
+		return
+	}
+	now := time.Now()
+	for _, j := range ex.jobs {
+		j.state = JobRunning
+		j.started = now
+	}
+	s.mu.Unlock()
+
+	if !ex.deadline.After(now) {
+		s.Metrics.DeadlineExceeded.Add(1)
+		s.failExec(ex, "deadline exceeded while queued (degraded lane)")
+		return
+	}
+	deadline := now.Add(s.opts.DegradedDeadline)
+	if ex.deadline.Before(deadline) {
+		deadline = ex.deadline
+	}
+	ctx, cancel := context.WithDeadline(ex.ctx, deadline)
+	start := time.Now()
+	res, err := s.opts.SolveDegraded(ctx, ex.spec)
+	cancel()
+	s.Metrics.ObserveSolve("degraded", time.Since(start))
+	if err == nil && res != nil {
+		res.Degraded = true
+		if res.Reason == "" {
+			res.Reason = DegradedReason
+		}
+	}
+	if err != nil {
+		s.opts.Logf("service: degraded job %s (%s on %s) failed: %v",
+			ex.fp[:8], ex.spec.DFG.Name, ex.spec.Arch.Name, err)
+	}
+
+	s.mu.Lock()
+	now = time.Now()
+	for _, j := range ex.jobs {
+		j.finished = now
+		if err != nil {
+			j.state = JobFailed
+			j.errMsg = err.Error()
+		} else {
+			j.state = JobDone
+			j.result = res
+		}
+		s.Metrics.IncCompleted(j.state)
+		close(j.done)
+	}
+	s.mu.Unlock()
+	ex.cancel()
+}
+
 // snapshot renders a job's wire status. Callers hold s.mu.
 func snapshot(j *job) *JobStatus {
 	return &JobStatus{
@@ -677,6 +951,7 @@ func snapshot(j *job) *JobStatus {
 		Engine:      j.engine,
 		CacheHit:    j.cacheHit,
 		Deduped:     j.deduped,
+		Degraded:    j.degraded,
 		Error:       j.errMsg,
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
@@ -759,6 +1034,34 @@ func RunSpec(ctx context.Context, spec *JobSpec) (*JobResult, error) {
 	}
 	fillFromMapperResult(out, res)
 	out.Proven = res.Status != ilp.Unknown
+	return out, nil
+}
+
+// RunSpecDegraded is the degraded lane's default dispatch: one short
+// simulated-annealing run — the same labelled fallback the portfolio
+// degrades to when every exact engine times out. It is the default
+// Options.SolveDegraded.
+func RunSpecDegraded(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+	mg, err := mrrg.Generate(spec.Arch)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := anneal.Map(ctx, spec.DFG, mg, anneal.Options{Seed: spec.Seed})
+	if err != nil {
+		return nil, err
+	}
+	out := &JobResult{
+		Engine:   EngineAnneal,
+		Degraded: true,
+		Status:   res.Status,
+		Feasible: res.Feasible,
+		Reason:   DegradedReason,
+		SolveMS:  ms(time.Since(start)),
+	}
+	if res.Feasible {
+		out.Mapping = res.Mapping.Portable()
+	}
 	return out, nil
 }
 
