@@ -38,6 +38,7 @@ import (
 	"cgramap/internal/solve/bb"
 	"cgramap/internal/solve/cdcl"
 	"cgramap/internal/visual"
+	"cgramap/internal/workload"
 )
 
 // Core model types.
@@ -326,3 +327,60 @@ func DFGFingerprint(g *DFG) string { return g.Fingerprint() }
 
 // ArchFingerprint is the structural hash of an architecture alone.
 func ArchFingerprint(a *Arch) string { return a.Fingerprint() }
+
+// Workload generation: seeded random DFGs, kernel-family ladders and
+// scaled fabrics, plus the mappability-frontier engine that bisects
+// kernel size against the mapper. See internal/workload and
+// cmd/frontier.
+type (
+	// WorkloadSpec shape-controls the seeded random-DFG generator.
+	WorkloadSpec = workload.DFGSpec
+	// KernelFamily names a parameterised kernel ladder (dot, fir,
+	// stencil, reduce, gen).
+	KernelFamily = workload.Family
+	// FabricSpec parameterises a generated fabric beyond the paper's
+	// 4x4 (size, interconnect, contexts, memory-port layout).
+	FabricSpec = workload.FabricSpec
+	// FrontierSpec and FrontierOptions configure a mappability sweep;
+	// Frontier and FrontierBoundary report it.
+	FrontierSpec     = workload.FrontierSpec
+	FrontierOptions  = workload.FrontierOptions
+	Frontier         = workload.Frontier
+	FrontierBoundary = workload.Boundary
+	FrontierProbe    = workload.Probe
+)
+
+// GenerateDFG builds a random DFG with the spec's shape; equal specs
+// generate byte-identical graphs.
+func GenerateDFG(spec WorkloadSpec) (*DFG, error) { return workload.GenerateDFG(spec) }
+
+// Kernel builds rung n of a kernel family's ladder (seed matters only
+// for the gen family).
+func Kernel(family KernelFamily, n int, seed int64) (*DFG, error) {
+	return workload.Kernel(family, n, seed)
+}
+
+// KernelFamilies lists the kernel families in a stable order.
+func KernelFamilies() []KernelFamily { return workload.Families() }
+
+// Fabric builds a generated fabric's architecture netlist.
+func Fabric(spec FabricSpec) (*Arch, error) { return workload.Fabric(spec) }
+
+// ParseFabric parses a compact fabric description such as
+// "8x8:diag,hetero,c2" or "16x16:torus,mem4".
+func ParseFabric(desc string) (FabricSpec, error) { return workload.ParseFabric(desc) }
+
+// StandardFabrics is the default exploration ladder from the paper's
+// 4x4 through 16x16.
+func StandardFabrics() []FabricSpec { return workload.StandardFabrics() }
+
+// RunFrontier charts where a kernel ladder flips from mappable to
+// unmappable on each fabric, bisecting kernel size per (fabric, II)
+// pair with per-probe panic and timeout containment.
+func RunFrontier(ctx context.Context, spec FrontierSpec, opts FrontierOptions) (*Frontier, error) {
+	return workload.RunFrontier(ctx, spec, opts)
+}
+
+// ReadFrontierJSON parses a frontier report written by
+// Frontier.WriteJSON (or cmd/frontier's -json output).
+func ReadFrontierJSON(r io.Reader) (*Frontier, error) { return workload.ReadFrontierJSON(r) }

@@ -132,3 +132,59 @@ func TestFacadeExtensions(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestWorkloadFacade drives the workload subsystem through the facade:
+// generate a seeded DFG, build a kernel ladder rung, parse and build a
+// scaled fabric, and chart a tiny frontier whose flip is pinned by the
+// 2x2 heterogeneous fabric's two multiplier cells.
+func TestWorkloadFacade(t *testing.T) {
+	g, err := GenerateDFG(WorkloadSpec{Seed: 5, Ops: 12, Depth: 4, Inputs: 4, Outputs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(KernelFamilies()) < 5 {
+		t.Error("kernel family list too short")
+	}
+	k, err := Kernel(KernelFamily("reduce"), 8, 0)
+	if err != nil || k.Stats().IOs != 9 {
+		t.Fatalf("reduce_8: %v, %+v", err, k.Stats())
+	}
+	fs, err := ParseFabric("8x8:diag,mem4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, err := Fabric(fs); err != nil || a.Validate() != nil {
+		t.Fatalf("8x8 fabric: %v", err)
+	}
+	if len(StandardFabrics()) < 5 {
+		t.Error("standard fabric ladder too short")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	hetero, err := ParseFabric("2x2:diag,hetero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := RunFrontier(ctx, FrontierSpec{
+		Family: "dot", MinN: 1, MaxN: 4, Fabrics: []FabricSpec{hetero},
+	}, FrontierOptions{Timeout: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := front.Boundaries[0]
+	if !b.Bracketed() || b.MaxFeasibleN != 2 || b.MinInfeasibleN != 3 {
+		t.Fatalf("2x2 hetero dot frontier %+v, want the multiplier pigeonhole at [2, 3]", b)
+	}
+	var blob strings.Builder
+	if err := front.WriteJSON(&blob); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrontierJSON(strings.NewReader(blob.String()))
+	if err != nil || len(back.Boundaries) != 1 {
+		t.Fatalf("frontier JSON round trip: %v", err)
+	}
+}

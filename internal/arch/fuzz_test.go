@@ -17,6 +17,11 @@ func FuzzReadArchXML(f *testing.F) {
 		{Rows: 2, Cols: 2, Interconnect: arch.Orthogonal, Homogeneous: true, Contexts: 1},
 		{Rows: 2, Cols: 2, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 2},
 		{Rows: 3, Cols: 3, Interconnect: arch.Diagonal, Homogeneous: false, Contexts: 1},
+		// Scaled fabrics from the workload generator's ladder: shared
+		// memory ports, torus wrap, non-square grids. (The committed
+		// corpus under testdata/fuzz adds an 8x8 and a 16x16.)
+		{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 1, MemPortEvery: 4},
+		{Rows: 3, Cols: 5, Interconnect: arch.Orthogonal, Homogeneous: false, Contexts: 2, Torus: true, MemPortEvery: 2},
 	}
 	for _, spec := range specs {
 		a, err := arch.Grid(spec)

@@ -46,7 +46,24 @@ type GridSpec struct {
 	// edges (an extension beyond the paper's architectures, for
 	// architecture-exploration studies).
 	Torus bool
+	// MemPortEvery places one shared memory port every k rows instead
+	// of the paper's one per row (Fig. 6): rows r, r+1, ..., r+k-1
+	// share the port of row r. Values <= 1 keep the paper's layout.
+	// Larger strides model memory-poor fabrics for
+	// mappability-frontier studies.
+	MemPortEvery int
 }
+
+// memStride normalises MemPortEvery to a stride >= 1.
+func (s GridSpec) memStride() int {
+	if s.MemPortEvery < 1 {
+		return 1
+	}
+	return s.MemPortEvery
+}
+
+// memHome returns the row whose memory port serves row r.
+func (s GridSpec) memHome(r int) int { return r - r%s.memStride() }
 
 // Name derives a canonical architecture name, e.g. "homo-diag-c2-4x4".
 func (s GridSpec) Name() string {
@@ -58,7 +75,11 @@ func (s GridSpec) Name() string {
 	if s.Torus {
 		torus = "-torus"
 	}
-	return fmt.Sprintf("%s-%s%s-c%d-%dx%d", fb, s.Interconnect, torus, s.Contexts, s.Rows, s.Cols)
+	mem := ""
+	if s.memStride() > 1 {
+		mem = fmt.Sprintf("-mem%d", s.memStride())
+	}
+	return fmt.Sprintf("%s-%s%s-c%d-%dx%d%s", fb, s.Interconnect, torus, s.Contexts, s.Rows, s.Cols, mem)
 }
 
 // PaperArchitectures returns the eight architecture configurations of the
@@ -221,7 +242,7 @@ func Grid(spec GridSpec) (*Arch, error) {
 			for _, io := range peIOs[r][c] {
 				in = append(in, io+".fu")
 			}
-			in = append(in, fmt.Sprintf("mem_%d.fu", r))
+			in = append(in, fmt.Sprintf("mem_%d.fu", spec.memHome(r)))
 			inputsOf[idx(r, c)] = in
 		}
 	}
@@ -232,14 +253,25 @@ func Grid(spec GridSpec) (*Arch, error) {
 		b.Mux(name+".mux", len(ioPEs[name]))
 		b.FU(name+".fu", []dfg.Kind{dfg.Input, dfg.Output}, 1, 0, 1)
 	}
+	// One memory port per stride of rows; its operand muxes select
+	// among every block output of its served rows.
+	stride := spec.memStride()
+	servedRows := func(pr int) int {
+		n := spec.Rows - pr
+		if n > stride {
+			n = stride
+		}
+		return n
+	}
 	memMuxA := make([]PrimID, spec.Rows)
 	memMuxB := make([]PrimID, spec.Rows)
 	memFU := make([]PrimID, spec.Rows)
-	for r := 0; r < spec.Rows; r++ {
-		base := fmt.Sprintf("mem_%d", r)
-		memMuxA[r] = b.Mux(base+".mux_addr", spec.Cols)
-		memMuxB[r] = b.Mux(base+".mux_data", spec.Cols)
-		memFU[r] = b.FU(base+".fu", []dfg.Kind{dfg.Load, dfg.Store}, 2, 0, 1)
+	for pr := 0; pr < spec.Rows; pr += stride {
+		base := fmt.Sprintf("mem_%d", pr)
+		nIn := spec.Cols * servedRows(pr)
+		memMuxA[pr] = b.Mux(base+".mux_addr", nIn)
+		memMuxB[pr] = b.Mux(base+".mux_data", nIn)
+		memFU[pr] = b.FU(base+".fu", []dfg.Kind{dfg.Load, dfg.Store}, 2, 0, 1)
 	}
 	for r := 0; r < spec.Rows; r++ {
 		pes[r] = make([]pe, spec.Cols)
@@ -295,14 +327,17 @@ func Grid(spec GridSpec) (*Arch, error) {
 		}
 		b.Connect(mux, prim(name+".fu"), 0)
 	}
-	// Memory port operand muxes select among the row's block outputs.
-	for r := 0; r < spec.Rows; r++ {
-		for c := 0; c < spec.Cols; c++ {
-			b.Connect(pes[r][c].muxOut, memMuxA[r], c)
-			b.Connect(pes[r][c].muxOut, memMuxB[r], c)
+	// Memory port operand muxes select among the served rows' block
+	// outputs.
+	for pr := 0; pr < spec.Rows; pr += stride {
+		for dr := 0; dr < servedRows(pr); dr++ {
+			for c := 0; c < spec.Cols; c++ {
+				b.Connect(pes[pr+dr][c].muxOut, memMuxA[pr], dr*spec.Cols+c)
+				b.Connect(pes[pr+dr][c].muxOut, memMuxB[pr], dr*spec.Cols+c)
+			}
 		}
-		b.Connect(memMuxA[r], memFU[r], 0)
-		b.Connect(memMuxB[r], memFU[r], 1)
+		b.Connect(memMuxA[pr], memFU[pr], 0)
+		b.Connect(memMuxB[pr], memFU[pr], 1)
 	}
 	return b.Build()
 }

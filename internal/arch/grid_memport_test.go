@@ -1,0 +1,107 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+
+	"cgramap/internal/dfg"
+)
+
+// TestGridMemPortStride checks the memory-poor layouts: one port every k
+// rows, every block wired to its home port, everything validating.
+func TestGridMemPortStride(t *testing.T) {
+	for _, tc := range []struct {
+		rows, cols, every int
+		wantPorts         int
+	}{
+		{4, 4, 0, 4}, // default: paper layout, one per row
+		{4, 4, 1, 4}, // explicit stride 1 is the same layout
+		{4, 4, 2, 2}, // ports at rows 0 and 2
+		{8, 8, 4, 2}, // ports at rows 0 and 4
+		{8, 8, 3, 3}, // uneven tail: ports at rows 0, 3, 6
+		{4, 4, 8, 1}, // stride beyond the array: single shared port
+		{16, 8, 16, 1},
+	} {
+		spec := GridSpec{Rows: tc.rows, Cols: tc.cols, Homogeneous: true, Contexts: 1, MemPortEvery: tc.every}
+		a, err := Grid(spec)
+		if err != nil {
+			t.Fatalf("Grid(%+v): %v", spec, err)
+		}
+		ports := 0
+		for _, p := range a.Prims {
+			if p.Kind == FU && p.SupportsOp(dfg.Load) {
+				ports++
+			}
+		}
+		if ports != tc.wantPorts {
+			t.Errorf("%s: %d memory ports, want %d", a.Name, ports, tc.wantPorts)
+		}
+		// Every row's blocks must see their home port's result.
+		for r := 0; r < tc.rows; r++ {
+			home := spec.memHome(r)
+			mem := a.PrimIndex("mem_" + itoa(home) + ".fu")
+			if mem < 0 {
+				t.Fatalf("%s: home port mem_%d missing for row %d", a.Name, home, r)
+			}
+			muxA := a.PrimIndex("pe_" + itoa(r) + "_0.mux_a")
+			found := false
+			for _, c := range a.Conns {
+				if c.Src == mem && c.Dst == muxA {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: row %d not fed by its home memory port %d", a.Name, r, home)
+			}
+		}
+	}
+}
+
+// TestGridMemPortDefaultUnchanged pins the default layout: a spec without
+// MemPortEvery must serialise byte-identically to one with stride 1, and
+// its name must not grow a suffix (cached fingerprints depend on it).
+func TestGridMemPortDefaultUnchanged(t *testing.T) {
+	base := GridSpec{Rows: 4, Cols: 4, Interconnect: Diagonal, Homogeneous: true, Contexts: 2}
+	one := base
+	one.MemPortEvery = 1
+	if base.Name() != one.Name() {
+		t.Fatalf("names differ: %q vs %q", base.Name(), one.Name())
+	}
+	if strings.Contains(base.Name(), "mem") {
+		t.Fatalf("default name %q carries a mem suffix", base.Name())
+	}
+	xml := func(s GridSpec) string {
+		a, err := Grid(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := a.WriteXML(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if xml(base) != xml(one) {
+		t.Fatal("stride 1 changed the generated architecture")
+	}
+	poor := base
+	poor.MemPortEvery = 4
+	if !strings.HasSuffix(poor.Name(), "-mem4") {
+		t.Fatalf("memory-poor name %q lacks -mem4 suffix", poor.Name())
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -263,6 +263,9 @@ func (g *Graph) In(name string) *Value { return g.mustOp(name, Input) }
 // Out adds an output operation consuming v.
 func (g *Graph) Out(name string, v *Value) { g.mustOp(name, Output, v) }
 
+// Constant adds a constant operation and returns its value.
+func (g *Graph) Constant(name string) *Value { return g.mustOp(name, Const) }
+
 // Add adds an addition and returns its result value.
 func (g *Graph) Add(name string, a, b *Value) *Value { return g.mustOp(name, Add, a, b) }
 

@@ -6,6 +6,7 @@ import (
 
 	"cgramap/internal/bench"
 	"cgramap/internal/dfg"
+	"cgramap/internal/workload"
 )
 
 // FuzzParseDFG throws arbitrary text at the DFG parser. The parser must
@@ -35,6 +36,27 @@ func FuzzParseDFG(f *testing.F) {
 	f.Add("zorp k\ninput a\n")
 	f.Add("dfg k\ninput a\ninput a\n")
 	f.Add("dfg k\ninput a\nstore s a a a\n")
+	// Generated workloads stress shapes the hand-written benchmarks
+	// don't: deep chains, saturated fanout, memory traffic. (The
+	// committed corpus under testdata/fuzz adds more.)
+	for _, spec := range []workload.DFGSpec{
+		{Seed: 1},
+		{Seed: 2, Ops: 32, Depth: 16, MaxFanout: 1, MulDensity: 1, Inputs: 2, Outputs: 8},
+		{Seed: 3, Ops: 12, Depth: 3, Inputs: 6, Outputs: 2, Loads: 4, Stores: 3},
+	} {
+		g, err := workload.GenerateDFG(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(g.FormatString())
+	}
+	for _, fam := range workload.Families() {
+		g, err := workload.Kernel(fam, 6, 1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(g.FormatString())
+	}
 
 	f.Fuzz(func(t *testing.T, text string) {
 		g, err := dfg.ParseString(text)

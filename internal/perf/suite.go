@@ -14,6 +14,7 @@ import (
 	"cgramap/internal/mapper"
 	"cgramap/internal/mrrg"
 	"cgramap/internal/solve/bb"
+	"cgramap/internal/workload"
 )
 
 // SuiteOptions configures a suite run.
@@ -117,6 +118,47 @@ func suite() []seriesSpec {
 		})
 	}
 	specs = append(specs,
+		// Generated-workload series (ungated for now: fresh code paths
+		// establishing a trajectory before any CI gate).
+		// gen/depth8_fanout3 measures the seeded DFG generator itself.
+		seriesSpec{
+			name: "gen/depth8_fanout3",
+			setup: func(SuiteOptions) (op, error) {
+				spec := workload.DFGSpec{Seed: 1, Ops: 32, Depth: 8, MaxFanout: 3, MulDensity: 0.25, Inputs: 8, Outputs: 4}
+				return func() (map[string]int64, error) {
+					_, err := workload.GenerateDFG(spec)
+					return nil, err
+				}, nil
+			},
+		},
+		// frontier/8x8 measures the frontier path end to end on a probe
+		// the counting presolve decides instantly: fabric build + MRRG
+		// generation + formulation-free infeasibility proof, with no
+		// restart-noisy CDCL search in the loop.
+		seriesSpec{
+			name: "frontier/8x8",
+			setup: func(SuiteOptions) (op, error) {
+				spec := workload.FrontierSpec{
+					Family: workload.Dot,
+					MinN:   17, // 35 I/O ops > the 8x8's 32 I/O blocks
+					MaxN:   20,
+					Fabrics: []workload.FabricSpec{
+						{Rows: 8, Cols: 8, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 1},
+					},
+				}
+				return func() (map[string]int64, error) {
+					front, err := workload.RunFrontier(context.Background(), spec, workload.FrontierOptions{})
+					if err != nil {
+						return nil, err
+					}
+					b := front.Boundaries[0]
+					if b.MinInfeasibleN != spec.MinN {
+						return nil, fmt.Errorf("expected presolve-infeasible at n=%d, got %+v", spec.MinN, b)
+					}
+					return nil, nil
+				}, nil
+			},
+		},
 		solveSpec("solve-cdcl/accum", "accum",
 			arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 1},
 			mapper.Options{}),

@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/dfg"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+)
+
+// FrontierSpec declares a mappability-frontier sweep: for every
+// (fabric, II) pair, bisect the kernel-family ladder between MinN and
+// MaxN to find where mapping flips from feasible to
+// infeasible-or-timeout.
+type FrontierSpec struct {
+	// Family selects the kernel ladder; Seed parameterises the Gen
+	// family (and is recorded so reports are reproducible).
+	Family Family `json:"family"`
+	Seed   int64  `json:"seed"`
+	// MinN and MaxN bracket the ladder rungs probed (inclusive).
+	MinN int `json:"min_n"`
+	MaxN int `json:"max_n"`
+	// Fabrics are the architectures swept.
+	Fabrics []FabricSpec `json:"fabrics"`
+	// IIs are the context counts tried per fabric (default: each
+	// fabric's own context count).
+	IIs []int `json:"iis"`
+}
+
+func (s FrontierSpec) validate() error {
+	switch {
+	case s.MinN < 1:
+		return fmt.Errorf("workload: frontier MinN %d < 1", s.MinN)
+	case s.MaxN < s.MinN:
+		return fmt.Errorf("workload: frontier MaxN %d < MinN %d", s.MaxN, s.MinN)
+	case len(s.Fabrics) == 0:
+		return fmt.Errorf("workload: frontier needs at least one fabric")
+	}
+	for _, ii := range s.IIs {
+		if ii < 1 {
+			return fmt.Errorf("workload: frontier II %d < 1", ii)
+		}
+	}
+	return nil
+}
+
+// FrontierOptions configures how each probe is solved.
+type FrontierOptions struct {
+	// Timeout bounds each probe's wall clock (default 10s). A probe
+	// that times out counts as unmappable: the frontier charts what the
+	// stack decides within budget, mirroring the paper's "T" cells.
+	Timeout time.Duration
+	// Mapper carries per-probe mapper options. Set Mapper.MapWith
+	// (portfolio.MapFunc, or a service client's MapFunc for a remote
+	// daemon) to route probes through an orchestrator.
+	Mapper mapper.Options
+	// Progress, when non-nil, receives one line per probe.
+	Progress io.Writer
+}
+
+// Probe is one solved frontier cell.
+type Probe struct {
+	N      int        `json:"n"`
+	Kernel string     `json:"kernel"`
+	Status ilp.Status `json:"status"`
+	Reason string     `json:"reason,omitempty"`
+	// Elapsed is kept out of the serialised report so fixed-seed runs
+	// are byte-identical across machines.
+	Elapsed time.Duration `json:"-"`
+}
+
+// Feasible reports whether the probe found a mapping.
+func (p Probe) Feasible() bool { return p.Status == ilp.Optimal || p.Status == ilp.Feasible }
+
+// Boundary is the bisection result for one (fabric, II) pair.
+type Boundary struct {
+	Fabric string `json:"fabric"`
+	II     int    `json:"ii"`
+	// MaxFeasibleN is the largest rung found mappable (0: even MinN is
+	// not); MinInfeasibleN is the smallest rung found unmappable
+	// within budget (0: even MaxN maps). When both are set they are
+	// adjacent probes bracketing the frontier.
+	MaxFeasibleN   int `json:"max_feasible_n"`
+	MinInfeasibleN int `json:"min_infeasible_n"`
+	// Probes records every cell solved, in probe order.
+	Probes []Probe `json:"probes"`
+}
+
+// Bracketed reports whether this boundary observed both a feasible and
+// an unmappable rung — a genuine frontier crossing.
+func (b Boundary) Bracketed() bool { return b.MaxFeasibleN > 0 && b.MinInfeasibleN > 0 }
+
+// Frontier is a full sweep result.
+type Frontier struct {
+	Family     Family     `json:"family"`
+	Seed       int64      `json:"seed"`
+	MinN       int        `json:"min_n"`
+	MaxN       int        `json:"max_n"`
+	Boundaries []Boundary `json:"boundaries"`
+}
+
+// RunFrontier charts the mappability frontier described by spec. The
+// bisection assumes ladder monotonicity (larger rungs are at most as
+// mappable as smaller ones); per-probe panics and timeouts are
+// contained into Unknown probes, exactly like the experiment sweeps, so
+// one wedged instance costs one cell rather than the run. Only a
+// cancelled sweep context aborts.
+func RunFrontier(ctx context.Context, spec FrontierSpec, opts FrontierOptions) (*Frontier, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	front := &Frontier{Family: spec.Family, Seed: spec.Seed, MinN: spec.MinN, MaxN: spec.MaxN}
+	kernels := make(map[int]*dfg.Graph)
+	kernel := func(n int) (*dfg.Graph, error) {
+		if g, ok := kernels[n]; ok {
+			return g, nil
+		}
+		g, err := Kernel(spec.Family, n, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		kernels[n] = g
+		return g, nil
+	}
+	for _, fs := range spec.Fabrics {
+		iis := spec.IIs
+		if len(iis) == 0 {
+			// Default: each fabric solved at its own context count.
+			iis = []int{fs.GridSpec().Contexts}
+		}
+		for _, ii := range iis {
+			gs := fs.GridSpec()
+			gs.Contexts = ii
+			device, err := buildDevice(gs)
+			if err != nil {
+				return nil, fmt.Errorf("workload: building %s: %w", gs.Name(), err)
+			}
+			b, err := bisect(ctx, device, gs.Name(), ii, spec, opts, kernel)
+			if err != nil {
+				return nil, err
+			}
+			front.Boundaries = append(front.Boundaries, *b)
+		}
+	}
+	return front, nil
+}
+
+// buildDevice generates the MRRG for one fabric/II cell of the sweep.
+func buildDevice(gs arch.GridSpec) (*mrrg.Graph, error) {
+	a, err := arch.Grid(gs)
+	if err != nil {
+		return nil, err
+	}
+	return mrrg.Generate(a)
+}
+
+// bisect runs the monotone search for one (fabric, II) pair.
+func bisect(ctx context.Context, device *mrrg.Graph, fabricName string, ii int,
+	spec FrontierSpec, opts FrontierOptions, kernel func(int) (*dfg.Graph, error)) (*Boundary, error) {
+	b := &Boundary{Fabric: fabricName, II: ii}
+	probe := func(n int) (bool, error) {
+		g, err := kernel(n)
+		if err != nil {
+			return false, err
+		}
+		p, err := runProbe(ctx, g, device, n, opts)
+		if err != nil {
+			return false, err
+		}
+		b.Probes = append(b.Probes, p)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "%-22s ii=%d n=%-5d %s  %8.1fms  %s\n",
+				fabricName, ii, n, p.Status.Mark(),
+				float64(p.Elapsed.Microseconds())/1000, p.Reason)
+		}
+		return p.Feasible(), nil
+	}
+
+	lo, hi := spec.MinN, spec.MaxN
+	ok, err := probe(lo)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		b.MinInfeasibleN = lo
+		return b, nil
+	}
+	b.MaxFeasibleN = lo
+	if hi == lo {
+		return b, nil
+	}
+	ok, err = probe(hi)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		b.MaxFeasibleN = hi
+		return b, nil
+	}
+	b.MinInfeasibleN = hi
+	for hi-lo > 1 {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		mid := lo + (hi-lo)/2
+		ok, err := probe(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			lo = mid
+			b.MaxFeasibleN = mid
+		} else {
+			hi = mid
+			b.MinInfeasibleN = mid
+		}
+	}
+	return b, nil
+}
+
+// runProbe maps one kernel onto one device under the probe deadline,
+// containing panics and mapper errors into Unknown cells.
+func runProbe(ctx context.Context, g *dfg.Graph, device *mrrg.Graph, n int, opts FrontierOptions) (p Probe, err error) {
+	probeCtx, cancel := context.WithTimeout(ctx, opts.Timeout)
+	defer cancel()
+	start := time.Now()
+	p = Probe{N: n, Kernel: g.Name}
+	defer func() {
+		p.Elapsed = time.Since(start)
+		if r := recover(); r != nil {
+			p.Status = ilp.Unknown
+			p.Reason = fmt.Sprintf("mapper panicked: %v", r)
+			err = nil
+		}
+	}()
+	res, mapErr := mapper.Dispatch(probeCtx, g, device, opts.Mapper)
+	if mapErr != nil {
+		if ctx.Err() != nil {
+			return Probe{}, fmt.Errorf("workload: probing %s: %w", g.Name, mapErr)
+		}
+		p.Status = ilp.Unknown
+		p.Reason = fmt.Sprintf("mapper failed: %v", mapErr)
+		return p, nil
+	}
+	p.Status = res.Status
+	p.Reason = res.Reason
+	return p, nil
+}

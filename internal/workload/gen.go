@@ -1,0 +1,247 @@
+// Package workload generates parameterised workloads for the mapper
+// stack — seeded random data-flow graphs, kernel-family ladders in the
+// spirit of the CGRA toolchain-evaluation studies, and fabrics scaled
+// beyond the paper's 4x4 grids — and charts the mappability frontier of
+// an architecture by bisecting kernel size against the mapper.
+//
+// Everything here is deterministic: the same spec and seed produce
+// byte-identical DFG text, architecture XML and frontier reports, so
+// generated workloads can serve as fuzz corpora, regression benchmarks
+// and reproducible experiment inputs.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cgramap/internal/dfg"
+)
+
+// DFGSpec shape-controls the random DFG generator. The zero value of
+// every field selects a default (8 ops, depth 4, fanout 3, multiply
+// density 0.25, 4 inputs, 2 outputs, no memory traffic).
+type DFGSpec struct {
+	// Seed fixes the random stream; equal specs generate byte-identical
+	// graphs.
+	Seed int64
+	// Ops is the number of internal compute operations (>= 1).
+	Ops int
+	// Depth is the dependence-chain depth the compute operations are
+	// spread over (1 <= Depth <= Ops). The generated graph's critical
+	// path is at least Depth+1 operations (the chain plus an input).
+	Depth int
+	// MaxFanout bounds how many consumers one value feeds (>= 1). The
+	// bound is best-effort: when a level would otherwise have no legal
+	// operand the generator reuses a value rather than fail, so every
+	// spec yields a valid graph.
+	MaxFanout int
+	// MulDensity is the fraction of compute operations that multiply,
+	// in [0, 1]; the generator hits round(MulDensity*Ops) exactly.
+	MulDensity float64
+	// Inputs and Outputs are the external I/O operation counts (>= 1).
+	Inputs, Outputs int
+	// Loads converts this many compute operations into memory loads;
+	// Stores appends this many store operations after the compute body.
+	// Both default to 0: memory-free kernels map onto any grid.
+	Loads, Stores int
+}
+
+func (s DFGSpec) withDefaults() DFGSpec {
+	if s.Ops == 0 {
+		s.Ops = 8
+	}
+	if s.Depth == 0 {
+		s.Depth = 4
+		if s.Depth > s.Ops {
+			s.Depth = s.Ops
+		}
+	}
+	if s.MaxFanout == 0 {
+		s.MaxFanout = 3
+	}
+	if s.MulDensity == 0 {
+		s.MulDensity = 0.25
+	}
+	if s.Inputs == 0 {
+		s.Inputs = 4
+	}
+	if s.Outputs == 0 {
+		s.Outputs = 2
+	}
+	return s
+}
+
+func (s DFGSpec) validate() error {
+	switch {
+	case s.Ops < 1:
+		return fmt.Errorf("workload: Ops %d < 1", s.Ops)
+	case s.Depth < 1 || s.Depth > s.Ops:
+		return fmt.Errorf("workload: Depth %d outside [1, Ops=%d]", s.Depth, s.Ops)
+	case s.MaxFanout < 1:
+		return fmt.Errorf("workload: MaxFanout %d < 1", s.MaxFanout)
+	case s.MulDensity < 0 || s.MulDensity > 1:
+		return fmt.Errorf("workload: MulDensity %g outside [0, 1]", s.MulDensity)
+	case s.Inputs < 1:
+		return fmt.Errorf("workload: Inputs %d < 1", s.Inputs)
+	case s.Outputs < 1:
+		return fmt.Errorf("workload: Outputs %d < 1", s.Outputs)
+	case s.Loads < 0 || s.Loads > s.Ops:
+		return fmt.Errorf("workload: Loads %d outside [0, Ops=%d]", s.Loads, s.Ops)
+	case s.Stores < 0:
+		return fmt.Errorf("workload: Stores %d < 0", s.Stores)
+	}
+	return nil
+}
+
+// Name derives the canonical kernel name of the spec, e.g.
+// "gen-s42-o8-d4-f3-m25-i4-o2".
+func (s DFGSpec) Name() string {
+	s = s.withDefaults()
+	name := fmt.Sprintf("gen-s%d-o%d-d%d-f%d-m%d-i%d-o%d",
+		s.Seed, s.Ops, s.Depth, s.MaxFanout, int(s.MulDensity*100+0.5), s.Inputs, s.Outputs)
+	if s.Loads > 0 || s.Stores > 0 {
+		name += fmt.Sprintf("-ld%d-st%d", s.Loads, s.Stores)
+	}
+	return name
+}
+
+// binaryKinds are the non-multiply compute operations the generator
+// draws from.
+var binaryKinds = []dfg.Kind{dfg.Add, dfg.Sub, dfg.And, dfg.Or, dfg.Xor, dfg.Shl, dfg.Shr}
+
+// GenerateDFG builds a random DFG with the spec's shape. The result is
+// always a valid, acyclic, parseable graph: GenerateDFG(s).FormatString()
+// round-trips through dfg.Parse identically for every legal spec.
+func GenerateDFG(spec DFGSpec) (*dfg.Graph, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g := dfg.New(spec.Name())
+
+	// Level 0: inputs.
+	levels := make([][]*dfg.Value, spec.Depth+1)
+	uses := make(map[*dfg.Value]int)
+	for i := 0; i < spec.Inputs; i++ {
+		levels[0] = append(levels[0], g.In(fmt.Sprintf("in%d", i)))
+	}
+
+	// Decide which compute ops load and which multiply. Exact counts,
+	// chosen from one deterministic permutation of the op indices.
+	nMul := int(spec.MulDensity*float64(spec.Ops-spec.Loads) + 0.5)
+	isLoad := make([]bool, spec.Ops)
+	isMul := make([]bool, spec.Ops)
+	perm := rng.Perm(spec.Ops)
+	for _, i := range perm[:spec.Loads] {
+		isLoad[i] = true
+	}
+	taken := 0
+	for _, i := range perm[spec.Loads:] {
+		if taken == nMul {
+			break
+		}
+		isMul[i] = true
+		taken++
+	}
+
+	// pick chooses an operand from the candidate levels, preferring
+	// values still under the fanout bound; validity beats strictness,
+	// so a saturated pool falls back to the least-used candidate.
+	pick := func(cands []*dfg.Value) *dfg.Value {
+		var under []*dfg.Value
+		for _, v := range cands {
+			if uses[v] < spec.MaxFanout {
+				under = append(under, v)
+			}
+		}
+		if len(under) > 0 {
+			v := under[rng.Intn(len(under))]
+			uses[v]++
+			return v
+		}
+		best := cands[0]
+		for _, v := range cands[1:] {
+			if uses[v] < uses[best] {
+				best = v
+			}
+		}
+		uses[best]++
+		return best
+	}
+	// below collects every value defined strictly above the given
+	// level (closer to the inputs).
+	below := func(lvl int) []*dfg.Value {
+		var all []*dfg.Value
+		for l := 0; l < lvl; l++ {
+			all = append(all, levels[l]...)
+		}
+		return all
+	}
+
+	// Compute body: op i lives on level 1 + i*Depth/Ops, so every level
+	// is populated and the level assignment is deterministic. The first
+	// operand comes from the previous level, which forces a dependence
+	// chain of the full requested depth.
+	for i := 0; i < spec.Ops; i++ {
+		lvl := 1 + i*spec.Depth/spec.Ops
+		name := fmt.Sprintf("n%d", i)
+		var (
+			op  *dfg.Op
+			err error
+		)
+		first := pick(levels[lvl-1])
+		if isLoad[i] {
+			op, err = g.AddOp(name, dfg.Load, first)
+		} else {
+			kind := binaryKinds[rng.Intn(len(binaryKinds))]
+			if isMul[i] {
+				kind = dfg.Mul
+			}
+			op, err = g.AddOp(name, kind, first, pick(below(lvl)))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: generating %s: %w", spec.Name(), err)
+		}
+		levels[lvl] = append(levels[lvl], op.Out)
+	}
+
+	// Stores consume (address, data) from anywhere in the graph.
+	all := below(spec.Depth + 1)
+	for i := 0; i < spec.Stores; i++ {
+		addr := pick(all)
+		data := pick(all)
+		if _, err := g.AddOp(fmt.Sprintf("st%d", i), dfg.Store, addr, data); err != nil {
+			return nil, fmt.Errorf("workload: generating %s: %w", spec.Name(), err)
+		}
+	}
+
+	// Outputs drain the deepest unconsumed values first, so the
+	// critical path ends in an output whenever one is available; when
+	// leaves run out, the least-used deep values are re-exported.
+	var leaves, rest []*dfg.Value
+	for lvl := spec.Depth; lvl >= 1; lvl-- {
+		for _, v := range levels[lvl] {
+			if uses[v] == 0 {
+				leaves = append(leaves, v)
+			} else {
+				rest = append(rest, v)
+			}
+		}
+	}
+	sort.SliceStable(rest, func(i, j int) bool { return uses[rest[i]] < uses[rest[j]] })
+	pool := append(leaves, rest...)
+	if len(pool) == 0 {
+		// Degenerate all-store graph; export an input instead.
+		pool = levels[0]
+	}
+	for i := 0; i < spec.Outputs; i++ {
+		g.Out(fmt.Sprintf("out%d", i), pool[i%len(pool)])
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid graph for %s: %w", spec.Name(), err)
+	}
+	return g, nil
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"testing"
+
+	"cgramap/internal/dfg"
+)
+
+func TestGenerateDFGDeterministic(t *testing.T) {
+	spec := DFGSpec{Seed: 42, Ops: 16, Depth: 5, MaxFanout: 3, MulDensity: 0.4, Inputs: 6, Outputs: 3}
+	a, err := GenerateDFG(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDFG(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FormatString() != b.FormatString() {
+		t.Fatal("same spec generated different graphs")
+	}
+	other, err := GenerateDFG(DFGSpec{Seed: 43, Ops: 16, Depth: 5, MaxFanout: 3, MulDensity: 0.4, Inputs: 6, Outputs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FormatString() == other.FormatString() {
+		t.Fatal("different seeds generated identical graphs (suspicious)")
+	}
+}
+
+func TestGenerateDFGShape(t *testing.T) {
+	for _, spec := range []DFGSpec{
+		{Seed: 1},
+		{Seed: 2, Ops: 1, Depth: 1, Inputs: 1, Outputs: 1},
+		{Seed: 3, Ops: 24, Depth: 8, MaxFanout: 2, MulDensity: 0.5, Inputs: 8, Outputs: 4},
+		{Seed: 4, Ops: 12, Depth: 12, MaxFanout: 1, MulDensity: 1, Inputs: 2, Outputs: 1},
+		{Seed: 5, Ops: 10, Depth: 3, MulDensity: 0, Inputs: 3, Outputs: 6},
+		{Seed: 6, Ops: 9, Depth: 3, Inputs: 4, Outputs: 2, Loads: 2, Stores: 1},
+	} {
+		g, err := GenerateDFG(spec)
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%+v: invalid graph: %v", spec, err)
+		}
+		if !g.Acyclic() {
+			t.Fatalf("%+v: generated a cyclic graph", spec)
+		}
+		full := spec.withDefaults()
+		st := g.Stats()
+		if want := full.Inputs + full.Outputs; st.IOs != want {
+			t.Errorf("%+v: %d I/Os, want %d", spec, st.IOs, want)
+		}
+		if want := full.Ops + full.Stores; st.Ops != want {
+			t.Errorf("%+v: %d internal ops, want %d", spec, st.Ops, want)
+		}
+		wantMul := int(full.MulDensity*float64(full.Ops-full.Loads) + 0.5)
+		if st.Multiplies != wantMul {
+			t.Errorf("%+v: %d multiplies, want %d", spec, st.Multiplies, wantMul)
+		}
+		if got := g.OpsOfKind(dfg.Load); got != full.Loads {
+			t.Errorf("%+v: %d loads, want %d", spec, got, full.Loads)
+		}
+		if got := g.OpsOfKind(dfg.Store); got != full.Stores {
+			t.Errorf("%+v: %d stores, want %d", spec, got, full.Stores)
+		}
+		cpl, err := g.CriticalPathLength()
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		if cpl < full.Depth+1 {
+			t.Errorf("%+v: critical path %d, want >= %d", spec, cpl, full.Depth+1)
+		}
+	}
+}
+
+func TestGenerateDFGRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []DFGSpec{
+		{Ops: -1},
+		{Ops: 4, Depth: 5},
+		{Ops: 4, Depth: 2, MaxFanout: -1},
+		{Ops: 4, Depth: 2, MulDensity: 1.5},
+		{Ops: 4, Depth: 2, Inputs: -1},
+		{Ops: 4, Depth: 2, Outputs: -2},
+		{Ops: 4, Depth: 2, Loads: 9},
+		{Ops: 4, Depth: 2, Stores: -1},
+	} {
+		if _, err := GenerateDFG(spec); err == nil {
+			t.Errorf("%+v: expected an error", spec)
+		}
+	}
+}

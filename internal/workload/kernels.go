@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"fmt"
+
+	"cgramap/internal/dfg"
+)
+
+// Family names a parameterised kernel family. Each family is a ladder:
+// Kernel(family, n, seed) emits the size-n rung, and increasing n
+// monotonically increases operation and I/O pressure — the property the
+// frontier engine's bisection relies on.
+type Family string
+
+const (
+	// Dot is an unrolled dot product: sum of a_i*b_i over n lanes.
+	// I/Os 2n+1, ops 2n-1, multiplies n.
+	Dot Family = "dot"
+	// FIR is an n-tap finite impulse response filter whose taps share
+	// a bank of four coefficient inputs (a growing-fanout ladder):
+	// sum of c_{i mod 4}*x_i. I/Os n+min(n,4)+1, ops 2n-1, multiplies n.
+	FIR Family = "fir"
+	// Stencil is a 3-point weighted 1-D stencil over n output points
+	// with three shared coefficient inputs (a fanout stress).
+	// I/Os 2n+5, ops 5n, multiplies 3n.
+	Stencil Family = "stencil"
+	// Reduce is a balanced binary adder-reduction tree over n inputs.
+	// I/Os n+1, ops n-1, multiplies 0 — a pure I/O-pressure ladder.
+	Reduce Family = "reduce"
+	// Gen is the seeded random generator as a family: rung n is a
+	// random DFG with n compute operations (GenerateDFG with the
+	// family's default shape).
+	Gen Family = "gen"
+)
+
+// Families lists every kernel family in a stable order.
+func Families() []Family { return []Family{Dot, FIR, Stencil, Reduce, Gen} }
+
+// Kernel builds rung n of the family's ladder. The seed only affects
+// the Gen family; structured families are fully determined by n.
+func Kernel(family Family, n int, seed int64) (*dfg.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: kernel size %d < 1", n)
+	}
+	switch family {
+	case Dot:
+		return dotKernel(n), nil
+	case FIR:
+		return firKernel(n), nil
+	case Stencil:
+		return stencilKernel(n), nil
+	case Reduce:
+		return reduceKernel(n), nil
+	case Gen:
+		return GenerateDFG(DFGSpec{
+			Seed:    seed,
+			Ops:     n,
+			Depth:   maxInt(1, minInt(n, (n+2)/3)),
+			Inputs:  maxInt(1, (n+3)/4),
+			Outputs: maxInt(1, (n+7)/8),
+		})
+	default:
+		return nil, fmt.Errorf("workload: unknown kernel family %q", family)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// dotKernel: y = sum_{i<n} a_i * b_i, accumulated as a chain (the way
+// an unrolled loop body accumulates).
+func dotKernel(n int) *dfg.Graph {
+	g := dfg.New(fmt.Sprintf("dot_%d", n))
+	var acc *dfg.Value
+	for i := 0; i < n; i++ {
+		a := g.In(fmt.Sprintf("a%d", i))
+		b := g.In(fmt.Sprintf("b%d", i))
+		m := g.Mul(fmt.Sprintf("m%d", i), a, b)
+		if acc == nil {
+			acc = m
+		} else {
+			acc = g.Add(fmt.Sprintf("s%d", i), acc, m)
+		}
+	}
+	g.Out("y", acc)
+	return g
+}
+
+// firKernel: y = sum_{i<n} c_{i mod 4} * x_i. The coefficient bank is
+// shared across taps, so coefficient fanout grows with n — a routing
+// pressure the dot ladder does not have.
+func firKernel(n int) *dfg.Graph {
+	g := dfg.New(fmt.Sprintf("fir_%d", n))
+	nc := minInt(n, 4)
+	cs := make([]*dfg.Value, nc)
+	for i := range cs {
+		cs[i] = g.In(fmt.Sprintf("c%d", i))
+	}
+	var acc *dfg.Value
+	for i := 0; i < n; i++ {
+		x := g.In(fmt.Sprintf("x%d", i))
+		m := g.Mul(fmt.Sprintf("m%d", i), cs[i%nc], x)
+		if acc == nil {
+			acc = m
+		} else {
+			acc = g.Add(fmt.Sprintf("s%d", i), acc, m)
+		}
+	}
+	g.Out("y", acc)
+	return g
+}
+
+// stencilKernel: y_i = c0*x_i + c1*x_{i+1} + c2*x_{i+2} for i < n. The
+// three coefficient inputs fan out to every point, stressing routing
+// the way the paper's "extreme" benchmark does.
+func stencilKernel(n int) *dfg.Graph {
+	g := dfg.New(fmt.Sprintf("stencil_%d", n))
+	xs := make([]*dfg.Value, n+2)
+	for i := range xs {
+		xs[i] = g.In(fmt.Sprintf("x%d", i))
+	}
+	c0 := g.In("c0")
+	c1 := g.In("c1")
+	c2 := g.In("c2")
+	for i := 0; i < n; i++ {
+		m0 := g.Mul(fmt.Sprintf("m%d_0", i), c0, xs[i])
+		m1 := g.Mul(fmt.Sprintf("m%d_1", i), c1, xs[i+1])
+		m2 := g.Mul(fmt.Sprintf("m%d_2", i), c2, xs[i+2])
+		t := g.Add(fmt.Sprintf("t%d", i), m0, m1)
+		g.Out(fmt.Sprintf("y%d", i), g.Add(fmt.Sprintf("u%d", i), t, m2))
+	}
+	return g
+}
+
+// reduceKernel: a balanced binary adder tree over n inputs.
+func reduceKernel(n int) *dfg.Graph {
+	g := dfg.New(fmt.Sprintf("reduce_%d", n))
+	level := make([]*dfg.Value, n)
+	for i := 0; i < n; i++ {
+		level[i] = g.In(fmt.Sprintf("x%d", i))
+	}
+	adds := 0
+	for len(level) > 1 {
+		var next []*dfg.Value
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, g.Add(fmt.Sprintf("s%d", adds), level[i], level[i+1]))
+			adds++
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	g.Out("y", level[0])
+	return g
+}

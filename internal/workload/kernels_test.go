@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"testing"
+
+	"cgramap/internal/dfg"
+)
+
+func TestKernelFamilies(t *testing.T) {
+	// Expected Table 1-style stats per family as functions of n.
+	stats := map[Family]func(n int) dfg.Stats{
+		Dot: func(n int) dfg.Stats {
+			return dfg.Stats{IOs: 2*n + 1, Ops: 2*n - 1, Multiplies: n}
+		},
+		FIR: func(n int) dfg.Stats {
+			nc := minInt(n, 4)
+			return dfg.Stats{IOs: n + nc + 1, Ops: 2*n - 1, Multiplies: n}
+		},
+		Stencil: func(n int) dfg.Stats {
+			return dfg.Stats{IOs: 2*n + 5, Ops: 5 * n, Multiplies: 3 * n}
+		},
+		Reduce: func(n int) dfg.Stats {
+			return dfg.Stats{IOs: n + 1, Ops: n - 1, Multiplies: 0}
+		},
+	}
+	for _, family := range Families() {
+		for _, n := range []int{1, 2, 3, 4, 7, 16} {
+			g, err := Kernel(family, n, 7)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", family, n, err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s n=%d: invalid: %v", family, n, err)
+			}
+			if !g.Acyclic() {
+				t.Fatalf("%s n=%d: cyclic", family, n)
+			}
+			if want, ok := stats[family]; ok {
+				if got := g.Stats(); got != want(n) {
+					t.Errorf("%s n=%d: stats %+v, want %+v", family, n, got, want(n))
+				}
+			}
+			// Every kernel must survive the textual round trip.
+			back, err := dfg.ParseString(g.FormatString())
+			if err != nil {
+				t.Fatalf("%s n=%d: reparse: %v", family, n, err)
+			}
+			if back.FormatString() != g.FormatString() {
+				t.Errorf("%s n=%d: format/parse round trip changed the graph", family, n)
+			}
+		}
+	}
+}
+
+func TestKernelLadderMonotone(t *testing.T) {
+	// The frontier bisection relies on rung n+1 demanding at least as
+	// many I/Os and internal ops as rung n.
+	for _, family := range Families() {
+		prev := dfg.Stats{}
+		for n := 1; n <= 20; n++ {
+			g, err := Kernel(family, n, 3)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", family, n, err)
+			}
+			st := g.Stats()
+			if st.IOs < prev.IOs || st.Ops < prev.Ops {
+				t.Fatalf("%s: rung %d (%+v) shrank below rung %d (%+v)", family, n, st, n-1, prev)
+			}
+			prev = st
+		}
+	}
+}
+
+func TestKernelSeedOnlyAffectsGen(t *testing.T) {
+	for _, family := range []Family{Dot, FIR, Stencil, Reduce} {
+		a, _ := Kernel(family, 5, 1)
+		b, _ := Kernel(family, 5, 99)
+		if a.FormatString() != b.FormatString() {
+			t.Errorf("%s: structured family varied with seed", family)
+		}
+	}
+	a, err := Kernel(Gen, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Kernel(Gen, 12, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FormatString() == b.FormatString() {
+		t.Error("gen: seed had no effect")
+	}
+}
+
+func TestKernelErrors(t *testing.T) {
+	if _, err := Kernel(Dot, 0, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Kernel(Family("bogus"), 3, 0); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
