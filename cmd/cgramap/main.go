@@ -41,6 +41,8 @@ type runOpts struct {
 	objective, engine            string
 	fallback, useSA              bool
 	workers                      int
+	autoII                       int
+	incremental                  bool
 	seed                         int64
 	timeout                      time.Duration
 	lpOut                        string
@@ -63,6 +65,8 @@ func main() {
 	flag.BoolVar(&o.fallback, "fallback", true, "portfolio only: degrade to the annealing heuristic when no exact engine decides")
 	flag.BoolVar(&o.useSA, "anneal", false, "use the simulated-annealing mapper instead of ILP")
 	flag.IntVar(&o.workers, "workers", 0, "parallel solver workers: the clause-sharing gang width and the process worker budget (0 = all CPUs or $CGRAMAP_WORKERS; 1 = sequential, bit-reproducible with -seed)")
+	flag.IntVar(&o.autoII, "auto-ii", 0, "search for the provably smallest initiation interval up to this bound (overrides -contexts; exact engines only)")
+	flag.BoolVar(&o.incremental, "incremental", false, "solve the auto-II ladder through one incremental CDCL session (learnt clauses carry across IIs; same answer, usually faster)")
 	flag.Int64Var(&o.seed, "seed", 0, "base solver seed (0 = the engine default)")
 	flag.DurationVar(&o.timeout, "timeout", 5*time.Minute, "solve timeout")
 	flag.StringVar(&o.lpOut, "lp", "", "write the ILP model in LP format to this file and exit")
@@ -118,7 +122,7 @@ func run(o runOpts) (int, error) {
 		workers = budget.Global().Size()
 	}
 
-	opts := mapper.Options{Workers: workers, Seed: o.seed}
+	opts := mapper.Options{Workers: workers, Seed: o.seed, Incremental: o.incremental}
 	switch o.objective {
 	case "feasibility":
 	case "routing":
@@ -176,6 +180,13 @@ func run(o runOpts) (int, error) {
 		return exitOK, nil
 	}
 
+	if o.autoII > 0 {
+		if o.useSA {
+			return exitError, fmt.Errorf("-auto-ii requires an exact engine (a heuristic cannot prove an II minimal)")
+		}
+		return runAutoII(ctx, g, a, o, workers, opts)
+	}
+
 	start := time.Now()
 	var res *mapper.Result
 	if o.engine == "portfolio" {
@@ -213,23 +224,54 @@ func run(o runOpts) (int, error) {
 			return exitError, err
 		}
 	}
+	return reportResult(res, g, o, o.timeout, time.Since(start))
+}
+
+// runAutoII sweeps the II ladder for the provably smallest initiation
+// interval, sequentially or speculatively (and, with -incremental,
+// through one incremental CDCL session per lane).
+func runAutoII(ctx context.Context, g *dfg.Graph, a *arch.Arch, o runOpts, workers int, opts mapper.Options) (int, error) {
+	if o.engine == "portfolio" {
+		// Exact engines only inside the ladder: a heuristic miss at some
+		// II proves nothing about that II.
+		opts.MapWith = portfolio.MapFunc(portfolio.Options{
+			DisableFallback: true, Workers: workers, Seed: o.seed,
+			Incremental: o.incremental})
+	}
+	start := time.Now()
+	auto, err := mapper.MapAuto(ctx, g, a, o.autoII, opts)
+	if err != nil {
+		return exitError, err
+	}
+	if len(auto.Tried) > 0 {
+		fmt.Printf("auto-ii: tried %d II(s): %v\n", len(auto.Tried), auto.Tried)
+	}
+	if auto.Feasible() {
+		fmt.Printf("auto-ii: smallest II = %d (proven, %v)\n", auto.II, time.Since(start).Round(time.Millisecond))
+	}
+	return reportResult(auto.Result, g, o, o.timeout, time.Since(start))
+}
+
+// reportResult prints a mapping attempt's outcome and translates it to
+// the script-friendly exit code.
+func reportResult(res *mapper.Result, g *dfg.Graph, o runOpts, timeout, elapsed time.Duration) (int, error) {
 	switch res.Status {
 	case ilp.Infeasible:
-		fmt.Printf("status: infeasible (proven in %v)", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("status: infeasible (proven in %v)", elapsed.Round(time.Millisecond))
 		if res.Reason != "" {
 			fmt.Printf(" — %s", res.Reason)
 		}
 		fmt.Println()
 		return exitInfeasible, nil
 	case ilp.Unknown:
-		fmt.Printf("status: timeout after %v (T)\n", o.timeout)
+		fmt.Printf("status: timeout after %v (T)\n", timeout)
 		if res.Reason != "" {
 			fmt.Printf("  %s\n", res.Reason)
 		}
 		return exitUnknown, nil
 	default:
 		fmt.Printf("status: %s in %v (%d vars, %d constraints, routing cost %d)\n",
-			res.Status, time.Since(start).Round(time.Millisecond),
+			res.Status, elapsed.Round(time.Millisecond),
 			res.Vars, res.Constraints, res.Mapping.RoutingCost())
 		if !o.quiet {
 			if err := res.Mapping.Write(os.Stdout); err != nil {

@@ -130,6 +130,7 @@ func runFrontier(args []string, stdout io.Writer) error {
 	daemon := fs.String("daemon", "", "solve via a cgramapd server at this URL instead of in-process")
 	workers := fs.Int("workers", 1, "solver workers per probe (1 = sequential, reproducible)")
 	seedSolver := fs.Int64("solver-seed", 0, "solver seed (0 = engine defaults)")
+	incremental := fs.Bool("incremental", false, "share an incremental CDCL session across each boundary's probes (cdcl engine; forwarded to a daemon)")
 	fallback := fs.Bool("fallback", false, "portfolio only: allow heuristic witnesses")
 	verbose := fs.Bool("v", false, "print per-probe progress to stderr")
 	jsonOut := fs.String("json", "", "write the frontier as JSON to this file (\"-\" = stdout)")
@@ -160,7 +161,7 @@ func runFrontier(args []string, stdout io.Writer) error {
 			spec.IIs = append(spec.IIs, ii)
 		}
 	}
-	mOpts, err := probeOptions(*engine, *daemon, *workers, *seedSolver, *fallback)
+	mOpts, err := probeOptions(*engine, *daemon, *workers, *seedSolver, *fallback, *incremental)
 	if err != nil {
 		return err
 	}
@@ -207,7 +208,7 @@ func runFrontier(args []string, stdout io.Writer) error {
 // URL reroutes every probe through the cgramapd job service (failing
 // fast if the server is unreachable), otherwise the engine solves
 // in-process.
-func probeOptions(engine, daemon string, workers int, seed int64, fallback bool) (mapper.Options, error) {
+func probeOptions(engine, daemon string, workers int, seed int64, fallback, incremental bool) (mapper.Options, error) {
 	if workers < 0 {
 		return mapper.Options{}, fmt.Errorf("-workers must be non-negative")
 	}
@@ -217,7 +218,7 @@ func probeOptions(engine, daemon string, workers int, seed int64, fallback bool)
 	if workers == 0 {
 		workers = budget.Global().Size()
 	}
-	opts := mapper.Options{Workers: workers, Seed: seed}
+	opts := mapper.Options{Workers: workers, Seed: seed, Incremental: incremental}
 	switch engine {
 	case "cdcl", "bb", "portfolio":
 	default:
@@ -238,7 +239,8 @@ func probeOptions(engine, daemon string, workers int, seed int64, fallback bool)
 		opts.Solver = bb.New()
 	case "portfolio":
 		opts.MapWith = portfolio.MapFunc(portfolio.Options{
-			DisableFallback: !fallback, Workers: workers, Seed: seed})
+			DisableFallback: !fallback, Workers: workers, Seed: seed,
+			Incremental: incremental})
 	}
 	return opts, nil
 }

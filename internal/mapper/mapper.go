@@ -47,6 +47,18 @@ type Options struct {
 	// Seed fixes the solver's search trajectory (and derives the
 	// diversified trajectories of a parallel gang).
 	Seed int64
+	// Incremental makes MapAuto solve the II ladder through an
+	// assumption-based incremental CDCL session instead of independent
+	// from-scratch solves: the solver stays alive across II bumps,
+	// constraints shared between successive formulations keep their
+	// learnt clauses, and placement variables warm-start from the
+	// previous II's trajectory. With Workers > 1 each speculative lane
+	// owns its own session (contexts are never shared across
+	// goroutines). Sweep drivers (the frontier engine, the service's
+	// auto-II jobs) honour the flag too. Ignored when Solver or MapWith
+	// is set. The minimal II and every per-II status are unchanged —
+	// incremental solving only changes how fast the answer arrives.
+	Incremental bool
 	// Budget pays for parallelism beyond the caller's own goroutine;
 	// nil selects the process-wide budget.Global pool.
 	Budget *budget.Pool

@@ -172,6 +172,14 @@ func suite() []seriesSpec {
 		// Workers=1 file against a Workers=4 file measures the
 		// speculative sweep + gang speedup end to end.
 		mapAutoSpec(),
+		// The incremental/scratch twin pair runs the same auto-II ladder
+		// sequentially (Workers=1, fixed seed) with and without session
+		// reuse, so one result file carries the incremental speedup and
+		// CI can gate on its allocation profile: the sequential seeded
+		// ladder is deterministic, and the gate diffs allocs, not the
+		// restart-noisy wall clock.
+		mapAutoLadderSpec("mapauto/incremental", true),
+		mapAutoLadderSpec("mapauto/scratch", false),
 		// BB cannot crack full mapping models within any sane budget
 		// (the engine ablation shows mostly "T" cells), so its series
 		// exercises the LP/branch-and-bound machinery on a synthetic
@@ -298,6 +306,50 @@ func mapAutoSpec() seriesSpec {
 				w = 1
 			}
 			mopts := mapper.Options{Workers: w, Seed: 1, Budget: budget.New(w)}
+			return func() (map[string]int64, error) {
+				ctx, cancel := context.WithTimeout(context.Background(), solveBudget)
+				defer cancel()
+				res, err := mapper.MapAuto(ctx, g, a, 4, mopts)
+				if err != nil {
+					return nil, err
+				}
+				if !res.Feasible() || res.II != 2 {
+					return nil, fmt.Errorf("expected mult_10 feasible at II=2, got II=%d %v", res.II, res.Status)
+				}
+				return res.SolverStats, nil
+			}, nil
+		},
+	}
+}
+
+// mapAutoLadderSpec builds one half of the incremental/scratch twin
+// pair: the mult_10 auto-II sweep on the heterogeneous grid (the
+// MII-gated flagship the plain mapauto series also runs), solved
+// sequentially (Workers=1, Seed=1) so both halves walk the exact same
+// sweep and differ only in the engine: a fresh scratch solver per II
+// versus one incremental session whose probing, learnt clauses and
+// warm-started phases persist across the sweep. Gated on the short
+// tier: sequential seeded solves are allocation-deterministic.
+func mapAutoLadderSpec(name string, incremental bool) seriesSpec {
+	gs := arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: false, Contexts: 1}
+	return seriesSpec{
+		name:      name,
+		gated:     true,
+		shortTier: true,
+		setup: func(opts SuiteOptions) (op, error) {
+			a, err := arch.Grid(gs)
+			if err != nil {
+				return nil, err
+			}
+			g, err := bench.Get("mult_10")
+			if err != nil {
+				return nil, err
+			}
+			solveBudget := opts.SolveBudget
+			if solveBudget <= 0 {
+				solveBudget = 30 * time.Second
+			}
+			mopts := mapper.Options{Workers: 1, Seed: 1, Incremental: incremental, Budget: budget.New(1)}
 			return func() (map[string]int64, error) {
 				ctx, cancel := context.WithTimeout(context.Background(), solveBudget)
 				defer cancel()

@@ -358,6 +358,9 @@ func (c *Client) MapFunc(engine string) mapper.MapFunc {
 			Engine:     engine,
 			Objective:  objective,
 			DeadlineMS: deadlineMS,
+			// Forward the local incremental preference: a remote auto-II
+			// or portfolio job honours it server-side.
+			Incremental: opts.Incremental,
 		})
 		if err != nil {
 			return nil, err

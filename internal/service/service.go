@@ -88,6 +88,11 @@ type JobRequest struct {
 	AutoII int `json:"auto_ii,omitempty"`
 	// Engine selects cdcl (default), bb, portfolio, or anneal.
 	Engine string `json:"engine,omitempty"`
+	// Incremental solves an auto-II job through an assumption-based
+	// incremental CDCL session (the solver carries learnt clauses up the
+	// II ladder), and adds the incremental strategy to a portfolio race.
+	// Purely a speed knob: the answer is unchanged.
+	Incremental bool `json:"incremental,omitempty"`
 	// Objective is "feasibility" (default) or "routing".
 	Objective string `json:"objective,omitempty"`
 	// DeadlineMS bounds the solve wall clock (0 = server default).
@@ -111,6 +116,11 @@ type JobSpec struct {
 	// Seed fixes the base search trajectory (also fingerprint-exempt:
 	// every trajectory proves the same answer).
 	Seed int64
+	// Incremental threads an incremental CDCL session through auto-II
+	// ladders and adds the cdcl-inc strategy to portfolio races. Like
+	// Workers and Seed it is fingerprint-exempt — it changes the solve
+	// trajectory, never the answer.
+	Incremental bool
 	// Fingerprint is the canonical content-address of this job (see
 	// Fingerprint); equal fingerprints have equal answers.
 	Fingerprint string
@@ -239,6 +249,10 @@ type Options struct {
 	// Seed fixes the base solver trajectory of every job (0 keeps the
 	// engines' defaults).
 	Seed int64
+	// Incremental turns on incremental CDCL sessions for every job
+	// (clients can also request it per job; either side opting in
+	// enables it). See JobSpec.Incremental.
+	Incremental bool
 	// JobTimeout caps every job's solve wall clock server-side, measured
 	// from the moment a worker starts it (0 = no cap). It bounds the
 	// long tail regardless of the deadline the client asked for.
@@ -515,6 +529,7 @@ func (s *Server) ParseRequest(req *JobRequest) (*JobSpec, error) {
 		Deadline:    deadline,
 		Workers:     s.opts.SolveWorkers,
 		Seed:        s.opts.Seed,
+		Incremental: req.Incremental || s.opts.Incremental,
 		Fingerprint: Fingerprint(g, a, engine, objective, req.AutoII),
 	}, nil
 }
@@ -985,7 +1000,8 @@ func RunSpec(ctx context.Context, spec *JobSpec) (*JobResult, error) {
 		return out, nil
 	}
 
-	mo := mapper.Options{Objective: spec.Objective, Workers: spec.Workers, Seed: spec.Seed}
+	mo := mapper.Options{Objective: spec.Objective, Workers: spec.Workers, Seed: spec.Seed,
+		Incremental: spec.Incremental}
 	switch spec.Engine {
 	case EngineCDCL:
 	case EngineBB:
@@ -1001,7 +1017,8 @@ func RunSpec(ctx context.Context, spec *JobSpec) (*JobResult, error) {
 			// miss at some II proves nothing, which would poison the
 			// "smallest feasible II" claim.
 			mo.MapWith = portfolio.MapFunc(portfolio.Options{
-				DisableFallback: true, Workers: spec.Workers, Seed: spec.Seed})
+				DisableFallback: true, Workers: spec.Workers, Seed: spec.Seed,
+				Incremental: spec.Incremental})
 		}
 		auto, err := mapper.MapAuto(ctx, spec.DFG, spec.Arch, spec.AutoII, mo)
 		if err != nil {
@@ -1019,7 +1036,8 @@ func RunSpec(ctx context.Context, spec *JobSpec) (*JobResult, error) {
 	}
 	if spec.Engine == EnginePortfolio {
 		pres, err := portfolio.Map(ctx, spec.DFG, mg, portfolio.Options{
-			Mapper: mo, Workers: spec.Workers, Seed: spec.Seed})
+			Mapper: mo, Workers: spec.Workers, Seed: spec.Seed,
+			Incremental: spec.Incremental})
 		if err != nil {
 			return nil, err
 		}

@@ -557,6 +557,44 @@ func TestFingerprintSemantics(t *testing.T) {
 	if fp(func(r *JobRequest) { r.Contexts = 3 }) == ref {
 		t.Error("context count not part of the job fingerprint")
 	}
+	if fp(func(r *JobRequest) { r.Incremental = true }) != ref {
+		t.Error("incremental flag leaked into the job fingerprint (it never changes the answer)")
+	}
+}
+
+// TestIncrementalThreading: the request's incremental flag (or the
+// server-wide default) must reach the solve dispatch through the spec.
+func TestIncrementalThreading(t *testing.T) {
+	for _, tc := range []struct {
+		server, request, want bool
+	}{
+		{false, false, false},
+		{false, true, true},
+		{true, false, true},
+	} {
+		var got bool
+		s := New(Options{Workers: 1, Incremental: tc.server,
+			Solve: func(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+				got = spec.Incremental
+				return fakeResult("inc"), nil
+			}})
+		req := gridReq(1)
+		req.Incremental = tc.request
+		st, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if _, err := s.Wait(ctx, st.ID); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+		if got != tc.want {
+			t.Errorf("server=%v request=%v: spec.Incremental = %v, want %v",
+				tc.server, tc.request, got, tc.want)
+		}
+		s.Shutdown(context.Background())
+	}
 }
 
 // TestUnknownNotCached: an Unknown (budget-limited) answer must not be

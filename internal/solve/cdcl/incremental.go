@@ -1,0 +1,556 @@
+package cdcl
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"cgramap/internal/ilp"
+)
+
+// Session is an assumption-based incremental CDCL context. It implements
+// ilp.Solver, but unlike Engine it keeps one live solver across Solve
+// calls: successive models of the same instance family (the MapAuto II
+// ladder, a frontier sweep's probes, a portfolio retry of one instance)
+// share almost their entire variable set and constraint prefix, and the
+// session carries everything learnt about the shared part forward
+// instead of starting from zero.
+//
+// Mechanics (see DESIGN.md, "Incremental solving"):
+//
+//   - Variables are unified across models by ilp.VarKey: the variable
+//     named "F[op,fu@ctx]" at II=3 is the same solver variable it was at
+//     II=2, so its VSIDS activity and saved phase — including the phase
+//     snapshot of the previous model's best assignment, written by the
+//     backtrack that ends each solve — warm-start the next search.
+//   - Constraints are content-addressed: each distinct normalized
+//     constraint is installed once, guarded by its own fresh selector
+//     literal s (clauses become ¬s ∨ C; cardinality constraints only
+//     bite while s is true), and a model is solved under the assumption
+//     of exactly its constraints' selectors. Selectors appear only
+//     negatively in the database and only positively as assumptions, so
+//     conflict resolution can never eliminate them: every learnt clause
+//     automatically carries the negated selectors of exactly the
+//     constraints it depends on. On the II ladder the context-local
+//     constraints of shared contexts are byte-identical across IIs, so
+//     their selectors — and every learnt clause tagged only with
+//     surviving selectors — carry forward; this is the "shared
+//     constraint prefix" the clause-carrying soundness rule refers to.
+//   - At the start of each solve, constraints the new model does not
+//     reference are retired: their selectors are fixed false at level 0,
+//     which satisfies (and garbage-collects) their guarded constraints
+//     and every learnt clause that depended on them. Clauses tagged only
+//     with still-live selectors are kept.
+//
+// A Session is not safe for concurrent use; give each goroutine its own
+// (the speculative sweep keeps a pool, one per lane). Failed-literal
+// probing runs above the assumption prefix and records failures through
+// regular conflict analysis, so a probed exclusion is a learnt clause
+// tagged with the selectors of exactly the constraints that refuted it —
+// sound to carry, unlike the scratch engine's unguarded root facts.
+type Session struct {
+	// seed, when non-zero, jitters activities and phases of variables
+	// the first time they are created, exactly like Engine.Seed; later
+	// models inherit the learnt state instead of being re-jittered.
+	seed int64
+
+	s        *solver
+	rng      *rand.Rand
+	vars     map[ilp.VarKey]int
+	lastSeen []int64 // per solver var: group that last mapped it
+	group    int64   // models solved so far
+
+	// Content-addressed constraint store. cons holds the live
+	// constraints in install order (retirement iterates it, so the
+	// order — and with it the whole search — stays deterministic);
+	// consIdx maps a constraint's canonical content key to its position.
+	cons    []consEntry
+	consIdx map[string]int
+
+	// boundSel guards the objective bound cards of the current solve's
+	// optimisation loop; retired at the next solve so bounds never leak
+	// across models.
+	boundSel lit
+
+	keyBuf []byte // scratch for canonical content keys
+
+	// busy guards against reuse after an aborted solve: if a Solve call
+	// never returned (a panic recovered upstream, as the portfolio and
+	// frontier probes do), the solver's invariants are unknown and the
+	// session rebuilds itself from scratch on the next call.
+	busy bool
+
+	carried int64 // learnt clauses alive after the last retirement GC
+}
+
+type consEntry struct {
+	key  string
+	sel  lit
+	seen int64 // group that last referenced this constraint
+}
+
+var _ ilp.Solver = (*Session)(nil)
+
+// NewSession returns an empty incremental session. A non-zero seed
+// randomizes the initial trajectory like Engine.Seed.
+func NewSession(seed int64) *Session {
+	return &Session{seed: seed, boundSel: litUndef}
+}
+
+// reset discards all carried state; the next Solve starts from scratch.
+func (ses *Session) reset() {
+	ses.s = nil
+	ses.vars = nil
+	ses.lastSeen = nil
+	ses.cons = nil
+	ses.consIdx = nil
+	ses.boundSel = litUndef
+}
+
+// consKey builds the canonical content key of a normalized constraint
+// over solver literals: the sorted literals plus the bound, byte-encoded.
+func (ses *Session) consKey(lits []lit, k int) string {
+	buf := ses.keyBuf[:0]
+	var tmp [4]byte
+	for _, l := range lits {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(l))
+		buf = append(buf, tmp[:]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:], uint32(k))
+	buf = append(buf, tmp[:]...)
+	ses.keyBuf = buf
+	return string(buf)
+}
+
+// normItem is one normalized, remapped constraint awaiting install.
+type normItem struct {
+	key  string
+	lits []lit
+	k    int
+}
+
+// Solve decides the model, reusing everything carried from previous
+// calls. It implements ilp.Solver; statuses agree with Engine.Solve on
+// every decided instance (Feasible/Infeasible are semantic properties of
+// the model, not of the search trajectory).
+func (ses *Session) Solve(ctx context.Context, m *ilp.Model) (*ilp.Solution, error) {
+	if ses.busy {
+		// A previous call aborted mid-solve; the invariants are gone.
+		ses.reset()
+	}
+	ses.busy = true
+	sol, err := ses.solve(ctx, m)
+	// Deliberately not a defer: a panic must leave busy set, so the next
+	// call (after a caller's recover, as in the portfolio's attempt
+	// containment) rebuilds instead of trusting a half-updated solver.
+	ses.busy = false
+	return sol, err
+}
+
+func (ses *Session) solve(ctx context.Context, m *ilp.Model) (*ilp.Solution, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx.Err() != nil {
+		return &ilp.Solution{Status: ilp.Unknown, Stats: map[string]int64{"cancelled": 1}}, nil
+	}
+	if ses.s == nil {
+		ses.s = newSolver(0)
+		ses.vars = make(map[ilp.VarKey]int, m.NumVars())
+		ses.consIdx = make(map[string]int, len(m.Constraints))
+	}
+	if ses.rng == nil && ses.seed != 0 {
+		ses.rng = rand.New(rand.NewSource(ses.seed))
+	}
+	s := ses.s
+	ses.group++
+	g := ses.group
+
+	// Unify the model's variables with the session namespace. Fresh
+	// variables get solver indices now; the solver itself grows once,
+	// after the selector count is known.
+	modelVar := make([]int, m.NumVars())
+	next := s.nVars
+	var reusedVars int64
+	fresh := make([]int, 0, 16) // model vars that allocated a new solver var
+	for v := 0; v < m.NumVars(); v++ {
+		key := m.VarKey(ilp.Var(v))
+		sv, ok := ses.vars[key]
+		if !ok {
+			sv = next
+			next++
+			ses.vars[key] = sv
+			fresh = append(fresh, v)
+		} else {
+			reusedVars++
+		}
+		for len(ses.lastSeen) <= sv {
+			ses.lastSeen = append(ses.lastSeen, 0)
+		}
+		if ses.lastSeen[sv] == g {
+			return nil, fmt.Errorf("cdcl: model %q has duplicate variable name %q; incremental solving requires unique names", m.Name, m.VarName(ilp.Var(v)))
+		}
+		ses.lastSeen[sv] = g
+		modelVar[v] = sv
+	}
+
+	// Normalize, remap and content-address every constraint. Reused
+	// constraints are marked as referenced by this group; new content is
+	// queued for install. Within-model duplicates collapse onto one
+	// selector.
+	remap := func(lits []lit) {
+		for i, l := range lits {
+			lits[i] = mkLit(modelVar[l.vi()], l.sign())
+		}
+		// Canonical order for content addressing (remapping does not
+		// preserve the model-index sort).
+		sortLits(lits)
+	}
+	var assumpsReused, assumpsNew []lit
+	var pending []normItem
+	pendingIdx := make(map[string]struct{})
+	var reusedCons int64
+	collect := func(c *ilp.Constraint, flip bool) error {
+		n, err := normalizeLE(c.Terms, c.RHS, flip)
+		if err != nil {
+			return fmt.Errorf("%s constraint %q: %w", m.Name, c.Name, err)
+		}
+		remap(n.lits)
+		key := ses.consKey(n.lits, n.k)
+		if idx, ok := ses.consIdx[key]; ok {
+			if ses.cons[idx].seen != g {
+				ses.cons[idx].seen = g
+				assumpsReused = append(assumpsReused, ses.cons[idx].sel)
+				reusedCons++
+			}
+			return nil
+		}
+		if _, ok := pendingIdx[key]; ok {
+			return nil
+		}
+		pendingIdx[key] = struct{}{}
+		pending = append(pending, normItem{key: key, lits: n.lits, k: n.k})
+		return nil
+	}
+	for i := range m.Constraints {
+		c := &m.Constraints[i]
+		if c.Rel == ilp.LE || c.Rel == ilp.EQ {
+			if err := collect(c, false); err != nil {
+				return nil, err
+			}
+		}
+		if c.Rel == ilp.GE || c.Rel == ilp.EQ {
+			if err := collect(c, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Retire everything the new model does not reference: the objective
+	// bound of the previous solve and every unreferenced constraint.
+	s.cancelUntil(0)
+	retired := false
+	if ses.boundSel != litUndef {
+		if !s.addFact(ses.boundSel.neg()) {
+			return nil, fmt.Errorf("cdcl: incremental session state corrupt at group %d", g)
+		}
+		ses.boundSel = litUndef
+		retired = true
+	}
+	if len(assumpsReused) != len(ses.cons) {
+		kept := ses.cons[:0]
+		for _, e := range ses.cons {
+			if e.seen == g {
+				kept = append(kept, e)
+				continue
+			}
+			delete(ses.consIdx, e.key)
+			if !s.addFact(e.sel.neg()) {
+				return nil, fmt.Errorf("cdcl: incremental session state corrupt at group %d", g)
+			}
+			retired = true
+		}
+		ses.cons = kept
+		for i := range ses.cons {
+			ses.consIdx[ses.cons[i].key] = i
+		}
+	}
+	if retired {
+		if confl := s.propagate(); !confl.none() {
+			s.ok = false
+		}
+		if !s.simplifyAtRoot() {
+			// A level-0 conflict in the guarded union theory cannot
+			// happen (all selectors false satisfies every group).
+			ses.reset()
+			return nil, fmt.Errorf("cdcl: incremental session derived a global conflict at group %d (bug)", g)
+		}
+	}
+	ses.carried = int64(len(s.learnts))
+
+	// Grow the solver: formulation variables first, then one selector
+	// per pending constraint.
+	selBase := next
+	s.ensureVars(next + len(pending))
+
+	// Fresh variables take the model's branching hints (and the seed
+	// jitter, once); reused variables keep their learnt activity and
+	// saved phase — that is the warm start.
+	for _, v := range fresh {
+		sv := modelVar[v]
+		if pri := m.BranchPriority(ilp.Var(v)); pri != 0 {
+			s.activity[sv] = float64(pri)
+		}
+		s.phase[sv] = m.PhaseHint(ilp.Var(v))
+		if ses.rng != nil {
+			s.activity[sv] += ses.rng.Float64() * 0.4
+			if m.PhaseHint(ilp.Var(v)) {
+				s.phase[sv] = ses.rng.Float64() >= 0.1
+			} else {
+				s.phase[sv] = ses.rng.Intn(2) == 1
+			}
+		}
+		s.heap.update(sv)
+	}
+
+	// Install the new constraints behind their selectors.
+	for i := range pending {
+		sel := mkLit(selBase+i, false)
+		s.addAtMostGuarded(pending[i].lits, pending[i].k, sel)
+		if !s.ok {
+			return nil, fmt.Errorf("cdcl: incremental session database became unsatisfiable installing group %d (bug)", g)
+		}
+		ses.consIdx[pending[i].key] = len(ses.cons)
+		ses.cons = append(ses.cons, consEntry{key: pending[i].key, sel: sel, seen: g})
+		assumpsNew = append(assumpsNew, sel)
+	}
+
+	objLits, offset, err := objectiveLits(m)
+	if err != nil {
+		return nil, err
+	}
+	remap(objLits)
+
+	base := struct{ conflicts, decisions, propagations, restarts int64 }{
+		s.conflicts, s.decisions, s.propagations, s.restarts,
+	}
+	stats := func() map[string]int64 {
+		return map[string]int64{
+			"conflicts":       s.conflicts - base.conflicts,
+			"decisions":       s.decisions - base.decisions,
+			"propagations":    s.propagations - base.propagations,
+			"restarts":        s.restarts - base.restarts,
+			"clauses":         int64(len(s.clauses)),
+			"cards":           int64(len(s.cards)),
+			"learnts":         int64(len(s.learnts)),
+			"incremental":     1,
+			"group":           g,
+			"vars_reused":     reusedVars,
+			"vars_new":        int64(len(fresh)),
+			"cons_reused":     reusedCons,
+			"cons_new":        int64(len(pending)),
+			"learnts_carried": ses.carried,
+			"assumptions":     int64(len(s.assumps)),
+		}
+	}
+
+	extract := func() ilp.Assignment {
+		a := make(ilp.Assignment, m.NumVars())
+		for v := range a {
+			a[v] = s.modelValue(modelVar[v])
+		}
+		return a
+	}
+
+	s.assumps = append(s.assumps[:0], assumpsReused...)
+	s.assumps = append(s.assumps, assumpsNew...)
+
+	// Failed-literal probing of prioritised variables, above the
+	// assumption prefix. Matches the scratch engine's probe pass; a
+	// variable excluded in an earlier group skips re-probing because its
+	// carried exclusion clause already propagates it false.
+	var probeCands []int
+	for v := 0; v < m.NumVars(); v++ {
+		if m.BranchPriority(ilp.Var(v)) > 0 {
+			probeCands = append(probeCands, modelVar[v])
+		}
+	}
+	if len(probeCands) > 0 {
+		switch s.probeAssumps(ctx, probeCands) {
+		case lUndef:
+			st := stats()
+			st["cancelled"] = 1
+			return &ilp.Solution{Status: ilp.Unknown, Stats: st}, nil
+		case lFalse:
+			if !s.ok {
+				ses.reset()
+				return nil, fmt.Errorf("cdcl: incremental session derived a global conflict at group %d (bug)", g)
+			}
+			return &ilp.Solution{Status: ilp.Infeasible, Stats: stats()}, nil
+		}
+	}
+
+	var best ilp.Assignment
+	bestObj := 0
+	for {
+		res := s.search(ctx)
+		switch res {
+		case lUndef: // cancelled
+			st := stats()
+			st["cancelled"] = 1
+			if best != nil {
+				return &ilp.Solution{Status: ilp.Feasible, Assignment: best, Objective: bestObj, Stats: st}, nil
+			}
+			return &ilp.Solution{Status: ilp.Unknown, Stats: st}, nil
+		case lFalse:
+			if !s.ok {
+				// A level-0 conflict would mean the guarded union
+				// theory itself is unsatisfiable, which cannot happen
+				// (all selectors false satisfies every group). Fail
+				// loudly rather than report a wrong Infeasible.
+				ses.reset()
+				return nil, fmt.Errorf("cdcl: incremental session derived a global conflict at group %d (bug)", g)
+			}
+			if best != nil {
+				return &ilp.Solution{Status: ilp.Optimal, Assignment: best, Objective: bestObj, Stats: stats()}, nil
+			}
+			return &ilp.Solution{Status: ilp.Infeasible, Stats: stats()}, nil
+		}
+		// Satisfiable under the model's assumptions.
+		best = extract()
+		bestObj = best.Eval(m.Objective)
+		if len(m.Objective) == 0 {
+			return &ilp.Solution{Status: ilp.Optimal, Assignment: best, Objective: 0, Stats: stats()}, nil
+		}
+		litCount := bestObj - offset
+		if litCount == 0 {
+			return &ilp.Solution{Status: ilp.Optimal, Assignment: best, Objective: bestObj, Stats: stats()}, nil
+		}
+		// Strengthen the bound under a solve-local selector so it
+		// retires with this model instead of constraining later ones.
+		s.cancelUntil(0)
+		if ses.boundSel == litUndef {
+			s.ensureVars(s.nVars + 1)
+			ses.boundSel = mkLit(s.nVars-1, false)
+			s.assumps = append(s.assumps, ses.boundSel)
+		}
+		if !s.addAtMostGuarded(objLits, litCount-1, ses.boundSel) {
+			return &ilp.Solution{Status: ilp.Optimal, Assignment: best, Objective: bestObj, Stats: stats()}, nil
+		}
+	}
+}
+
+// learnConflict analyzes a conflict, backjumps, and installs the learnt
+// clause (as a fact when unit — unit learnts are assumption-free by
+// construction, hence globally sound). Returns false on a root
+// refutation, with ok cleared by the caller's convention intact.
+func (s *solver) learnConflict(confl conflictRef) bool {
+	s.conflicts++
+	learnt, bt := s.analyze(confl)
+	s.cancelUntil(s.clampBackjump(bt, len(learnt)))
+	if len(learnt) == 1 {
+		return s.addFact(learnt[0])
+	}
+	s.sinkSelectors(learnt)
+	c := &clause{lits: learnt, learnt: true}
+	s.learnts = append(s.learnts, c)
+	s.attach(c)
+	s.bumpClause(c)
+	s.enqueue(learnt[0], c, -1)
+	s.decayActivities()
+	return true
+}
+
+// raiseAssumptions brings the trail up to the assumption prefix, learning
+// from any conflicts on the way. Returns lTrue with every assumption
+// enqueued and propagated, lFalse when the assumptions are refuted
+// (assumpFailed set; or ok cleared on a true root conflict), lUndef on
+// cancellation.
+func (s *solver) raiseAssumptions(ctx context.Context) lbool {
+	for {
+		if confl := s.propagate(); !confl.none() {
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return lFalse
+			}
+			if !s.learnConflict(confl) {
+				return lFalse
+			}
+			if s.conflicts%1024 == 0 && ctx.Err() != nil {
+				return lUndef
+			}
+			continue
+		}
+		dl := s.decisionLevel()
+		if dl >= len(s.assumps) {
+			return lTrue
+		}
+		p := s.assumps[dl]
+		switch s.value(p) {
+		case lFalse:
+			s.assumpFailed = true
+			return lFalse
+		case lTrue:
+			s.trailLim = append(s.trailLim, len(s.trail))
+		default:
+			s.decisions++
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(p, nil, -1)
+		}
+	}
+}
+
+// probeAssumps is root-level failed-literal probing made sound for
+// incremental solving: each candidate is tried true one decision level
+// above the assumption prefix, and a failing probe goes through analyze,
+// producing a clause tagged with the negated selectors of exactly the
+// constraints the refutation used (an unguarded fact when it used none).
+// Repeats to a bounded fixpoint like the scratch engine's probe.
+func (s *solver) probeAssumps(ctx context.Context, candidates []int) lbool {
+	for round := 0; round < 3; round++ {
+		progress := false
+		for _, v := range candidates {
+			if r := s.raiseAssumptions(ctx); r != lTrue {
+				return r
+			}
+			if s.assigns[v] != lUndef {
+				continue
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(mkLit(v, false), nil, -1)
+			confl := s.propagate()
+			if confl.none() {
+				s.cancelUntil(len(s.assumps))
+				continue
+			}
+			progress = true
+			if !s.learnConflict(confl) {
+				return lFalse
+			}
+			if ctx.Err() != nil {
+				return lTrue // stop probing, let search handle the deadline
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Leave the trail wherever the last backjump put it; search replays
+	// the assumption prefix from there.
+	return lTrue
+}
+
+// sortLits sorts literals ascending (insertion sort: constraint arities
+// are small and often nearly sorted after remapping).
+func sortLits(lits []lit) {
+	for i := 1; i < len(lits); i++ {
+		l := lits[i]
+		j := i - 1
+		for j >= 0 && lits[j] > l {
+			lits[j+1] = lits[j]
+			j--
+		}
+		lits[j+1] = l
+	}
+}

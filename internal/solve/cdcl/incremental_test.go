@@ -1,0 +1,304 @@
+package cdcl
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cgramap/internal/ilp"
+)
+
+// phpModel builds pigeonhole(pigeons, holes): feasible iff holes >=
+// pigeons. Variable names are shared across instances with the same
+// shape, which is exactly the II-ladder situation the session targets.
+func phpModel(pigeons, holes int) *ilp.Model {
+	m := ilp.NewModel(fmt.Sprintf("php-%d-%d", pigeons, holes))
+	x := make([][]ilp.Var, pigeons)
+	for p := range x {
+		x[p] = make([]ilp.Var, holes)
+		for h := range x[p] {
+			x[p][h] = m.BinaryComposite("x", fmt.Sprint(p), fmt.Sprint(h), -1)
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		terms := make([]ilp.Term, holes)
+		for h := 0; h < holes; h++ {
+			terms[h] = ilp.Term{Var: x[p][h], Coef: 1}
+		}
+		m.Add("pigeon", terms, ilp.GE, 1)
+	}
+	for h := 0; h < holes; h++ {
+		terms := make([]ilp.Term, pigeons)
+		for p := 0; p < pigeons; p++ {
+			terms[p] = ilp.Term{Var: x[p][h], Coef: 1}
+		}
+		m.Add("hole", terms, ilp.LE, 1)
+	}
+	return m
+}
+
+// TestSessionLadderMatchesEngine walks a pigeonhole "ladder" (growing
+// holes, like a growing II) through one session and checks every status
+// against a scratch Engine solve. The flip from Infeasible to Feasible
+// must land at the same rung.
+func TestSessionLadderMatchesEngine(t *testing.T) {
+	ses := NewSession(0)
+	for holes := 1; holes <= 6; holes++ {
+		m := phpModel(4, holes)
+		inc, err := ses.Solve(context.Background(), m)
+		if err != nil {
+			t.Fatalf("holes=%d: session: %v", holes, err)
+		}
+		scr, err := New().Solve(context.Background(), phpModel(4, holes))
+		if err != nil {
+			t.Fatalf("holes=%d: engine: %v", holes, err)
+		}
+		if inc.Status != scr.Status {
+			t.Fatalf("holes=%d: session %v, engine %v", holes, inc.Status, scr.Status)
+		}
+		if inc.Status == ilp.Optimal {
+			if err := m.Check(inc.Assignment); err != nil {
+				t.Fatalf("holes=%d: session assignment invalid: %v", holes, err)
+			}
+		}
+		if inc.Stats["incremental"] != 1 || inc.Stats["group"] != int64(holes) {
+			t.Fatalf("holes=%d: missing incremental stats: %v", holes, inc.Stats)
+		}
+	}
+}
+
+// TestSessionChainAgainstBruteForce runs chains of random
+// unit-coefficient models through one session. Successive models share
+// variable names (the generator names them x0..xn), so this exercises
+// cross-group variable unification, guard retirement, learnt-clause
+// carrying, and guarded objective bounds, with every status and optimum
+// checked against exhaustive enumeration.
+func TestSessionChainAgainstBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		ses := NewSession(0)
+		for step := int64(0); step < 4; step++ {
+			m := randomUnitModel(seed + 1000*step)
+			wantStatus, wantObj := bruteForce(m)
+			sol, err := ses.Solve(context.Background(), m)
+			if err != nil {
+				t.Logf("seed %d step %d: %v", seed, step, err)
+				return false
+			}
+			if sol.Status != wantStatus {
+				t.Logf("seed %d step %d: status %v, want %v", seed, step, sol.Status, wantStatus)
+				return false
+			}
+			if wantStatus == ilp.Optimal {
+				if sol.Objective != wantObj {
+					t.Logf("seed %d step %d: objective %d, want %d", seed, step, sol.Objective, wantObj)
+					return false
+				}
+				if err := m.Check(sol.Assignment); err != nil {
+					t.Logf("seed %d step %d: assignment infeasible: %v", seed, step, err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSessionSeededChainAgainstBruteForce is the same chain property
+// with a jittered trajectory, covering the seeded warm-start path.
+func TestSessionSeededChainAgainstBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		ses := NewSession(seed | 1)
+		for step := int64(0); step < 3; step++ {
+			m := randomUnitModel(seed + 777*step)
+			wantStatus, wantObj := bruteForce(m)
+			sol, err := ses.Solve(context.Background(), m)
+			if err != nil || sol.Status != wantStatus {
+				t.Logf("seed %d step %d: got %v/%v want %v", seed, step, sol, err, wantStatus)
+				return false
+			}
+			if wantStatus == ilp.Optimal && sol.Objective != wantObj {
+				t.Logf("seed %d step %d: objective %d, want %d", seed, step, sol.Objective, wantObj)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSessionGuardedCardRetirement: a tight cardinality bound in one
+// group must not leak into the next group after retirement, and a card
+// whose counter is already at the bound when the guard arrives must
+// still propagate (the guard-activation path).
+func TestSessionGuardedCardRetirement(t *testing.T) {
+	ses := NewSession(0)
+
+	// Group 1: force three of x0..x4 true but allow at most two: UNSAT.
+	m1 := ilp.NewModel("tight")
+	v1 := make([]ilp.Var, 5)
+	terms := make([]ilp.Term, 5)
+	for i := range v1 {
+		v1[i] = m1.Binary(fmt.Sprintf("x%d", i))
+		terms[i] = ilp.Term{Var: v1[i], Coef: 1}
+	}
+	m1.Add("atmost2", terms, ilp.LE, 2)
+	m1.Add("atleast3", terms, ilp.GE, 3)
+	sol, err := ses.Solve(context.Background(), m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != ilp.Infeasible {
+		t.Fatalf("group 1: got %v, want Infeasible", sol.Status)
+	}
+
+	// Group 2: same variables, bound relaxed to 3: SAT. A stale group-1
+	// card would wrongly keep this infeasible.
+	m2 := ilp.NewModel("relaxed")
+	v2 := make([]ilp.Var, 5)
+	terms2 := make([]ilp.Term, 5)
+	for i := range v2 {
+		v2[i] = m2.Binary(fmt.Sprintf("x%d", i))
+		terms2[i] = ilp.Term{Var: v2[i], Coef: 1}
+	}
+	m2.Add("atmost3", terms2, ilp.LE, 3)
+	m2.Add("atleast3", terms2, ilp.GE, 3)
+	sol, err = ses.Solve(context.Background(), m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != ilp.Optimal {
+		t.Fatalf("group 2: got %v, want Optimal", sol.Status)
+	}
+	if err := m2.Check(sol.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Stats["vars_reused"] != 5 {
+		t.Fatalf("group 2: vars_reused = %d, want 5", sol.Stats["vars_reused"])
+	}
+}
+
+// TestSessionDuplicateNamesRejected: variable unification is keyed by
+// name, so a model naming two variables identically must be rejected
+// rather than silently aliased.
+func TestSessionDuplicateNamesRejected(t *testing.T) {
+	m := ilp.NewModel("dup")
+	a := m.Binary("same")
+	b := m.Binary("same")
+	m.AddGE("c", ilp.Sum(a, b), 1)
+	if _, err := NewSession(0).Solve(context.Background(), m); err == nil {
+		t.Fatal("want duplicate-name error, got nil")
+	}
+}
+
+// TestSessionCancellation: a cancelled solve returns Unknown with the
+// cancelled marker, and the session remains usable afterwards.
+func TestSessionCancellation(t *testing.T) {
+	ses := NewSession(0)
+	m := phpModel(9, 8) // hard UNSAT instance
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	sol, err := ses.Solve(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status == ilp.Unknown && sol.Stats["cancelled"] != 1 {
+		t.Fatalf("cancelled solve missing marker: %v", sol.Stats)
+	}
+	// The session must still answer correctly after the abort.
+	sol, err = ses.Solve(context.Background(), phpModel(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != ilp.Optimal {
+		t.Fatalf("post-cancel solve: got %v, want Optimal", sol.Status)
+	}
+}
+
+// TestSessionPoisonedRebuild: if a Solve never returned (panic recovered
+// by a caller), the next call must rebuild from scratch instead of
+// trusting broken invariants.
+func TestSessionPoisonedRebuild(t *testing.T) {
+	ses := NewSession(0)
+	if _, err := ses.Solve(context.Background(), phpModel(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	ses.busy = true // simulate an aborted call
+	sol, err := ses.Solve(context.Background(), phpModel(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != ilp.Infeasible {
+		t.Fatalf("got %v, want Infeasible", sol.Status)
+	}
+	// The rebuild discards the variable namespace: nothing is "reused".
+	if sol.Stats["vars_reused"] != 0 || sol.Stats["cons_reused"] != 0 {
+		t.Fatalf("poisoned session did not rebuild: %v", sol.Stats)
+	}
+}
+
+// TestSessionCarriesLearnts: when the next model's constraints are a
+// superset of the previous model's, every selector is re-referenced and
+// the whole learnt-clause database must carry forward (this is the
+// portfolio-retry / repeated-probe case, and the strongest form of the
+// shared-prefix rule).
+func TestSessionCarriesLearnts(t *testing.T) {
+	ses := NewSession(0)
+	sol, err := ses.Solve(context.Background(), phpModel(6, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != ilp.Infeasible {
+		t.Fatalf("php(6,5): got %v, want Infeasible", sol.Status)
+	}
+
+	// Same content plus one benign extra constraint: the 11 pigeonhole
+	// constraints dedup onto their existing selectors, so the UNSAT
+	// proof's learnt clauses survive retirement and the second solve is
+	// decided almost for free.
+	m2 := phpModel(6, 5)
+	extra := []ilp.Term{
+		{Var: 0, Coef: 1}, {Var: 1, Coef: 1}, {Var: 2, Coef: 1},
+	}
+	m2.Add("extra", extra, ilp.LE, 2)
+	sol, err = ses.Solve(context.Background(), m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != ilp.Infeasible {
+		t.Fatalf("php(6,5)+extra: got %v, want Infeasible", sol.Status)
+	}
+	if sol.Stats["cons_reused"] != 11 { // 6 pigeon + 5 hole constraints
+		t.Fatalf("cons_reused = %d, want 11 (stats %v)", sol.Stats["cons_reused"], sol.Stats)
+	}
+	if sol.Stats["cons_new"] != 1 {
+		t.Fatalf("cons_new = %d, want 1", sol.Stats["cons_new"])
+	}
+	if sol.Stats["vars_reused"] != 30 {
+		t.Fatalf("vars_reused = %d, want 30", sol.Stats["vars_reused"])
+	}
+	if sol.Stats["learnts_carried"] == 0 {
+		t.Fatal("no learnt clauses carried across groups")
+	}
+	// The carried proof should make the re-solve far cheaper than the
+	// original; conflicts is a deterministic proxy.
+	if sol.Stats["conflicts"] > 0 && ses.carried == 0 {
+		t.Fatal("carried database not used")
+	}
+
+	// Third model drops to a disjoint shape: shared-prefix bookkeeping
+	// must retire cleanly and still answer correctly.
+	sol, err = ses.Solve(context.Background(), phpModel(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != ilp.Optimal {
+		t.Fatalf("php(3,3): got %v, want Optimal", sol.Status)
+	}
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/ilp"
+	"cgramap/internal/mapper"
+	"cgramap/internal/mrrg"
+	"cgramap/internal/solve/cdcl"
+)
+
+// TestQuickIncrementalMatchesScratch is the cross-check property behind
+// the incremental sweep: for seeded generated workloads, solving each II
+// of a ladder through one shared incremental session must report exactly
+// the per-II status (Feasible/Infeasible/...) that independent scratch
+// solves report. The generator-derived instances are deliberately tiny
+// so solves normally decide in milliseconds; if a loaded machine still
+// leaves a scratch solve undecided there is no ground truth, so that
+// instance is skipped — and the test fails if *every* instance skipped,
+// keeping the property non-vacuous.
+func TestQuickIncrementalMatchesScratch(t *testing.T) {
+	const maxII = 3
+	gs := arch.GridSpec{Rows: 3, Cols: 3, Interconnect: arch.Orthogonal, Homogeneous: true}
+
+	// One MRRG per II, shared across all property iterations: devices do
+	// not depend on the generated kernel.
+	devices := make([]*mrrg.Graph, maxII+1)
+	for ii := 1; ii <= maxII; ii++ {
+		g := gs
+		g.Contexts = ii
+		a, err := arch.Grid(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if devices[ii], err = mrrg.Generate(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	compared := 0
+	property := func(rawSeed int64) bool {
+		seed := rawSeed
+		u := uint64(rawSeed)
+		spec := DFGSpec{
+			Seed:       seed,
+			Ops:        2 + int(u%5),           // 2..6 compute ops
+			MaxFanout:  2 + int((u>>8)%2),      // 2..3
+			MulDensity: float64((u>>16)%3) / 4, // 0, 0.25, 0.5
+			Inputs:     2,
+			Outputs:    1 + int((u>>24)%2), // 1..2
+		}
+		spec.Depth = 1 + int((u>>4)%uint64(spec.Ops))
+		g, err := GenerateDFG(spec)
+		if err != nil {
+			t.Logf("seed %d: generate: %v", seed, err)
+			return false
+		}
+
+		// The incremental side threads one session through the whole
+		// ladder, exactly like the frontier's per-boundary sharing.
+		sess := cdcl.NewSession(1)
+		for ii := 1; ii <= maxII; ii++ {
+			sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+			scr, scrErr := mapper.Map(sctx, g, devices[ii], mapper.Options{Seed: 1})
+			scancel()
+			if scrErr != nil {
+				t.Logf("seed %d ii=%d: scratch err %v", seed, ii, scrErr)
+				return false
+			}
+			if scr.Status == ilp.Unknown {
+				t.Logf("seed %d ii=%d: scratch undecided — skipping instance (no ground truth)", seed, ii)
+				return true
+			}
+			ictx, icancel := context.WithTimeout(context.Background(), 60*time.Second)
+			inc, incErr := mapper.Map(ictx, g, devices[ii], mapper.Options{Solver: sess, Seed: 1})
+			icancel()
+			if incErr != nil {
+				t.Logf("seed %d ii=%d: inc err %v", seed, ii, incErr)
+				return false
+			}
+			if inc.Status != scr.Status {
+				t.Logf("seed %d ii=%d: incremental %v != scratch %v", seed, ii, inc.Status, scr.Status)
+				return false
+			}
+			if inc.Feasible() {
+				if err := inc.Mapping.Verify(); err != nil {
+					t.Logf("seed %d ii=%d: incremental mapping invalid: %v", seed, ii, err)
+					return false
+				}
+			}
+			compared++
+		}
+		return true
+	}
+
+	cfg := &quick.Config{MaxCount: 8}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if compared == 0 {
+		t.Fatal("every generated instance skipped undecided — the property never compared a status")
+	}
+}
