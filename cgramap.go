@@ -330,6 +330,37 @@ func JobFingerprint(g *DFG, a *Arch, engine string, objective mapper.ObjectiveMo
 	return service.Fingerprint(g, a, engine, objective, autoII)
 }
 
+// Artifact caching: bounded content-addressed stores for built MRRGs
+// (keyed by architecture fingerprint and context count) and formulation
+// templates (keyed by DFG and architecture fingerprints), shared across
+// auto-II ladders, speculative lanes, and daemon jobs. See
+// internal/mapper and MapOptions.Artifacts.
+type (
+	// ArtifactCache is a concurrency-safe LRU store of mapping
+	// artifacts; concurrent misses for one key build it exactly once.
+	ArtifactCache = mapper.ArtifactCache
+	// ArtifactStats reports the cache's hit/miss/eviction counters and
+	// retained-size gauges.
+	ArtifactStats = mapper.ArtifactStats
+	// FormulationTemplate is the II-independent half of the ILP
+	// formulation for one (DFG, architecture) pair: build once, stamp a
+	// model per context count.
+	FormulationTemplate = mapper.Template
+)
+
+// NewArtifactCache returns an artifact cache holding up to capacity
+// entries per artifact class. Share one cache across everything that
+// maps the same kernels or fabrics: MapOptions.Artifacts threads it
+// through Map/MapAuto, ServiceOptions sizes a daemon-wide one.
+func NewArtifactCache(capacity int) *ArtifactCache { return mapper.NewArtifactCache(capacity) }
+
+// NewFormulationTemplate performs the II-independent formulation
+// analysis directly (MapOptions.Artifacts does this implicitly and
+// caches the result).
+func NewFormulationTemplate(g *DFG, a *Arch, opts MapOptions) (*FormulationTemplate, error) {
+	return mapper.NewTemplate(g, a, opts)
+}
+
 // DFGFingerprint is the structural hash of an application graph alone.
 func DFGFingerprint(g *DFG) string { return g.Fingerprint() }
 

@@ -43,6 +43,7 @@ type runOpts struct {
 	workers                      int
 	autoII                       int
 	incremental                  bool
+	artifactCache                int
 	seed                         int64
 	timeout                      time.Duration
 	lpOut                        string
@@ -67,6 +68,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "parallel solver workers: the clause-sharing gang width and the process worker budget (0 = all CPUs or $CGRAMAP_WORKERS; 1 = sequential, bit-reproducible with -seed)")
 	flag.IntVar(&o.autoII, "auto-ii", 0, "search for the provably smallest initiation interval up to this bound (overrides -contexts; exact engines only)")
 	flag.BoolVar(&o.incremental, "incremental", false, "solve the auto-II ladder through one incremental CDCL session (learnt clauses carry across IIs; same answer, usually faster)")
+	flag.IntVar(&o.artifactCache, "artifact-cache", 16, "artifact cache entries per class (cached MRRGs and formulation templates reused across the run; <= 0 disables)")
 	flag.Int64Var(&o.seed, "seed", 0, "base solver seed (0 = the engine default)")
 	flag.DurationVar(&o.timeout, "timeout", 5*time.Minute, "solve timeout")
 	flag.StringVar(&o.lpOut, "lp", "", "write the ILP model in LP format to this file and exit")
@@ -123,6 +125,9 @@ func run(o runOpts) (int, error) {
 	}
 
 	opts := mapper.Options{Workers: workers, Seed: o.seed, Incremental: o.incremental}
+	if o.artifactCache > 0 {
+		opts.Artifacts = mapper.NewArtifactCache(o.artifactCache)
+	}
 	switch o.objective {
 	case "feasibility":
 	case "routing":

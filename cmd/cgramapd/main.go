@@ -42,6 +42,7 @@ func main() {
 		incremental  = flag.Bool("incremental", false, "default every job to incremental CDCL sessions (auto-II ladders reuse learnt clauses; clients can also opt in per job)")
 		queue        = flag.Int("queue", 64, "max queued solves before 429 backpressure")
 		cacheSize    = flag.Int("cache", 512, "result cache entries (negative disables)")
+		artifactSize = flag.Int("artifact-cache", 64, "artifact cache entries per class (cached MRRGs and formulation templates shared across jobs; negative disables)")
 		deadline     = flag.Duration("default-deadline", time.Minute, "solve deadline for jobs that set none")
 		maxDeadline  = flag.Duration("max-deadline", 15*time.Minute, "upper clamp on client-requested deadlines")
 		jobTimeout   = flag.Duration("job-timeout", 0, "server-side cap on each job's solve wall clock (0 = no cap)")
@@ -64,18 +65,19 @@ func main() {
 		sw = budget.Global().Size()
 	}
 	opts := service.Options{
-		Workers:           *workers,
-		QueueDepth:        *queue,
-		CacheEntries:      *cacheSize,
-		DefaultDeadline:   *deadline,
-		MaxDeadline:       *maxDeadline,
-		JobTimeout:        *jobTimeout,
-		DegradeOnOverload: *degrade,
-		DegradedDeadline:  *degradedBy,
-		SolveWorkers:      sw,
-		Seed:              *seed,
-		Incremental:       *incremental,
-		Logf:              logger.Printf,
+		Workers:              *workers,
+		QueueDepth:           *queue,
+		CacheEntries:         *cacheSize,
+		ArtifactCacheEntries: *artifactSize,
+		DefaultDeadline:      *deadline,
+		MaxDeadline:          *maxDeadline,
+		JobTimeout:           *jobTimeout,
+		DegradeOnOverload:    *degrade,
+		DegradedDeadline:     *degradedBy,
+		SolveWorkers:         sw,
+		Seed:                 *seed,
+		Incremental:          *incremental,
+		Logf:                 logger.Printf,
 	}
 	var mw func(http.Handler) http.Handler
 	if *chaos != "" {

@@ -131,6 +131,7 @@ func runFrontier(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 1, "solver workers per probe (1 = sequential, reproducible)")
 	seedSolver := fs.Int64("solver-seed", 0, "solver seed (0 = engine defaults)")
 	incremental := fs.Bool("incremental", false, "share an incremental CDCL session across each boundary's probes (cdcl engine; forwarded to a daemon)")
+	artifactCache := fs.Int("artifact-cache", 32, "artifact cache entries per class (cached MRRGs and formulation templates shared across probes; <= 0 disables)")
 	fallback := fs.Bool("fallback", false, "portfolio only: allow heuristic witnesses")
 	verbose := fs.Bool("v", false, "print per-probe progress to stderr")
 	jsonOut := fs.String("json", "", "write the frontier as JSON to this file (\"-\" = stdout)")
@@ -164,6 +165,9 @@ func runFrontier(args []string, stdout io.Writer) error {
 	mOpts, err := probeOptions(*engine, *daemon, *workers, *seedSolver, *fallback, *incremental)
 	if err != nil {
 		return err
+	}
+	if *artifactCache > 0 {
+		mOpts.Artifacts = mapper.NewArtifactCache(*artifactCache)
 	}
 	opts := workload.FrontierOptions{Timeout: *timeout, Mapper: mOpts}
 	if *verbose {

@@ -1,12 +1,19 @@
 // Command mrrgdump generates the MRRG of an architecture and prints its
 // statistics, node listing, or Graphviz DOT rendering — handy for
 // inspecting how primitives expand (the paper's Figs. 1–4).
+//
+// -contexts accepts a comma-separated II list (e.g. -contexts 1,2,4,2):
+// every II is dumped in order, and generation routes through the
+// content-addressed MRRG cache, so a repeated II is served from memory.
+// -stats prints the cache's hit/miss counters afterwards.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"cgramap/internal/arch"
 	"cgramap/internal/mrrg"
@@ -17,62 +24,96 @@ func main() {
 		archFile = flag.String("arch", "", "architecture XML file (default: grid flags)")
 		rows     = flag.Int("rows", 4, "grid rows")
 		cols     = flag.Int("cols", 4, "grid columns")
-		contexts = flag.Int("contexts", 1, "execution contexts")
+		contexts = flag.String("contexts", "1", "execution contexts: a single II or a comma-separated list (repeats hit the MRRG cache)")
 		diagonal = flag.Bool("diagonal", false, "diagonal interconnect")
 		hetero   = flag.Bool("heterogeneous", false, "multipliers in only half the blocks")
 		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
 		nodes    = flag.Bool("nodes", false, "list every node")
+		stats    = flag.Bool("stats", false, "print MRRG cache hit/miss counts after dumping")
 	)
 	flag.Parse()
-	if err := run(*archFile, *rows, *cols, *contexts, *diagonal, *hetero, *dot, *nodes); err != nil {
+	if err := run(*archFile, *rows, *cols, *contexts, *diagonal, *hetero, *dot, *nodes, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "mrrgdump:", err)
 		os.Exit(1)
 	}
 }
 
-func run(archFile string, rows, cols, contexts int, diagonal, hetero, dot, nodes bool) error {
-	var a *arch.Arch
-	var err error
-	if archFile != "" {
-		f, err2 := os.Open(archFile)
-		if err2 != nil {
-			return err2
-		}
-		defer f.Close()
-		a, err = arch.ReadXML(f)
-	} else {
-		ic := arch.Orthogonal
-		if diagonal {
-			ic = arch.Diagonal
-		}
-		a, err = arch.Grid(arch.GridSpec{
-			Rows: rows, Cols: cols,
-			Interconnect: ic,
-			Homogeneous:  !hetero,
-			Contexts:     contexts,
-		})
-	}
+func run(archFile string, rows, cols int, contexts string, diagonal, hetero, dot, nodes, stats bool) error {
+	iis, err := parseContexts(contexts)
 	if err != nil {
 		return err
 	}
-	g, err := mrrg.Generate(a)
+	base, err := loadArch(archFile, rows, cols, diagonal, hetero)
 	if err != nil {
 		return err
 	}
-	if dot {
-		return g.WriteDOT(os.Stdout)
-	}
-	st := g.Stats()
-	as := a.Stats()
-	fmt.Printf("architecture %s: %d FUs, %d muxes, %d regs, %d wires, %d connections\n",
-		a.Name, as.FUs, as.Muxes, as.Regs, as.Wires, as.Conns)
-	fmt.Printf("MRRG (%d contexts): %d nodes (%d FuncUnit, %d RouteRes), %d edges, %d cross-context\n",
-		g.Contexts, st.Nodes, st.FuncUnits, st.RouteRes, st.Edges, st.CrossContextEdges)
-	if nodes {
-		for _, n := range g.Nodes {
-			fmt.Printf("  %-40s %-6s ctx=%d fanin=%d fanout=%d\n",
-				n.Name, n.Kind, n.Context, len(n.Fanins), len(n.Fanouts))
+	cache := mrrg.NewCache(len(iis))
+	for _, ii := range iis {
+		a := *base
+		a.Contexts = ii
+		g, err := cache.Generate(&a)
+		if err != nil {
+			return err
 		}
+		if dot {
+			if err := g.WriteDOT(os.Stdout); err != nil {
+				return err
+			}
+			continue
+		}
+		st := g.Stats()
+		as := a.Stats()
+		fmt.Printf("architecture %s: %d FUs, %d muxes, %d regs, %d wires, %d connections\n",
+			a.Name, as.FUs, as.Muxes, as.Regs, as.Wires, as.Conns)
+		fmt.Printf("MRRG (%d contexts): %d nodes (%d FuncUnit, %d RouteRes), %d edges, %d cross-context\n",
+			g.Contexts, st.Nodes, st.FuncUnits, st.RouteRes, st.Edges, st.CrossContextEdges)
+		if nodes {
+			for _, n := range g.Nodes {
+				fmt.Printf("  %-40s %-6s ctx=%d fanin=%d fanout=%d\n",
+					n.Name, n.Kind, n.Context, len(n.Fanins), len(n.Fanouts))
+			}
+		}
+	}
+	if stats {
+		cs := cache.Stats()
+		fmt.Printf("MRRG cache: %d hits, %d misses, %d entries (~%d bytes)\n",
+			cs.Hits, cs.Misses, cs.Entries, cs.Bytes)
 	}
 	return nil
+}
+
+// parseContexts splits the -contexts value into an II list.
+func parseContexts(s string) ([]int, error) {
+	var iis []int
+	for _, tok := range strings.Split(s, ",") {
+		ii, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || ii < 1 {
+			return nil, fmt.Errorf("bad context count %q", tok)
+		}
+		iis = append(iis, ii)
+	}
+	return iis, nil
+}
+
+// loadArch reads the architecture XML or builds the requested grid (at a
+// context count of 1; each dump overrides Contexts per II).
+func loadArch(archFile string, rows, cols int, diagonal, hetero bool) (*arch.Arch, error) {
+	if archFile != "" {
+		f, err := os.Open(archFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return arch.ReadXML(f)
+	}
+	ic := arch.Orthogonal
+	if diagonal {
+		ic = arch.Diagonal
+	}
+	return arch.Grid(arch.GridSpec{
+		Rows: rows, Cols: cols,
+		Interconnect: ic,
+		Homogeneous:  !hetero,
+		Contexts:     1,
+	})
 }

@@ -102,6 +102,47 @@ func TestArchFingerprintSemanticEdits(t *testing.T) {
 	}
 }
 
+// TestGridFingerprintCoversEverySpecField: perturbing any single
+// GridSpec field — including MemPortEvery, which only moves shared
+// memory ports between rows — produces a different architecture
+// fingerprint. This is the audit backing the artifact caches: every
+// layout-affecting knob must reach the content address, or a cache
+// could serve one fabric's MRRG or formulation template for another.
+func TestGridFingerprintCoversEverySpecField(t *testing.T) {
+	base := GridSpec{Rows: 3, Cols: 3, Interconnect: Orthogonal,
+		Homogeneous: true, Contexts: 2}
+	baseFP := mustGridFP(t, base)
+
+	perturb := []struct {
+		field string
+		edit  func(*GridSpec)
+	}{
+		{"Rows", func(s *GridSpec) { s.Rows = 4 }},
+		{"Cols", func(s *GridSpec) { s.Cols = 4 }},
+		{"Interconnect", func(s *GridSpec) { s.Interconnect = Diagonal }},
+		{"Homogeneous", func(s *GridSpec) { s.Homogeneous = false }},
+		{"Contexts", func(s *GridSpec) { s.Contexts = 3 }},
+		{"Torus", func(s *GridSpec) { s.Torus = true }},
+		{"MemPortEvery", func(s *GridSpec) { s.MemPortEvery = 2 }},
+	}
+	for _, p := range perturb {
+		spec := base
+		p.edit(&spec)
+		if mustGridFP(t, spec) == baseFP {
+			t.Errorf("GridSpec.%s does not reach the fingerprint", p.field)
+		}
+	}
+}
+
+func mustGridFP(t *testing.T, spec GridSpec) string {
+	t.Helper()
+	a, err := Grid(spec)
+	if err != nil {
+		t.Fatalf("grid %s: %v", spec.Name(), err)
+	}
+	return a.Fingerprint()
+}
+
 // TestGridFingerprintDistinguishesPaperArchitectures: the eight Table 2
 // architectures all key differently, and regeneration is stable.
 func TestGridFingerprintDistinguishesPaperArchitectures(t *testing.T) {

@@ -107,6 +107,30 @@ func NewModel(name string) *Model {
 	return &Model{Name: name}
 }
 
+// Reserve pre-sizes the model's backing storage for the given variable,
+// constraint and term counts. It never changes model content — only
+// where appends land — so callers that know a model's shape in advance
+// (e.g. a formulation template re-stamping a sibling II) skip the
+// incremental growth copies. Counts at or below current capacity are
+// no-ops.
+func (m *Model) Reserve(nvars, ncons, nterms int) {
+	if nvars > cap(m.names) {
+		grown := make([]varName, len(m.names), nvars)
+		copy(grown, m.names)
+		m.names = grown
+	}
+	if ncons > cap(m.Constraints) {
+		grown := make([]Constraint, len(m.Constraints), ncons)
+		copy(grown, m.Constraints)
+		m.Constraints = grown
+	}
+	if len(m.termArena) == 0 && nterms > cap(m.termArena) {
+		// Only a fresh arena may be replaced: constraints already hold
+		// sub-slices of a used one.
+		m.termArena = make([]Term, 0, nterms)
+	}
+}
+
 // Binary adds a binary variable with the given diagnostic name.
 func (m *Model) Binary(name string) Var {
 	m.names = append(m.names, varName{prefix: name, k: -1})
@@ -243,25 +267,33 @@ func Sum(vars ...Var) []Term {
 }
 
 // Validate checks that every term references a declared variable and has
-// a non-zero coefficient.
+// a non-zero coefficient. The happy path allocates nothing: mapping
+// models carry hundreds of thousands of terms, so the per-constraint
+// context strings are only built once a violation is found.
 func (m *Model) Validate() error {
-	check := func(where string, terms []Term) error {
+	check := func(terms []Term) (Var, bool) {
 		for _, t := range terms {
-			if int(t.Var) < 0 || int(t.Var) >= len(m.names) {
-				return fmt.Errorf("ilp %s: %s references undeclared variable %d", m.Name, where, int(t.Var))
-			}
-			if t.Coef == 0 {
-				return fmt.Errorf("ilp %s: %s has zero coefficient on %s", m.Name, where, m.VarName(t.Var))
+			if int(t.Var) < 0 || int(t.Var) >= len(m.names) || t.Coef == 0 {
+				return t.Var, false
 			}
 		}
-		return nil
+		return 0, true
+	}
+	describe := func(where string, v Var) error {
+		if int(v) < 0 || int(v) >= len(m.names) {
+			return fmt.Errorf("ilp %s: %s references undeclared variable %d", m.Name, where, int(v))
+		}
+		return fmt.Errorf("ilp %s: %s has zero coefficient on %s", m.Name, where, m.VarName(v))
 	}
 	for i, c := range m.Constraints {
-		if err := check(fmt.Sprintf("constraint %d (%s)", i, c.Name), c.Terms); err != nil {
-			return err
+		if v, ok := check(c.Terms); !ok {
+			return describe(fmt.Sprintf("constraint %d (%s)", i, c.Name), v)
 		}
 	}
-	return check("objective", m.Objective)
+	if v, ok := check(m.Objective); !ok {
+		return describe("objective", v)
+	}
+	return nil
 }
 
 // Stats summarises a model: variable count and constraints grouped by

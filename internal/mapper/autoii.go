@@ -55,11 +55,18 @@ func MapAuto(ctx context.Context, g *dfg.Graph, a *arch.Arch, maxII int, opts Op
 	if maxII < 1 {
 		return nil, fmt.Errorf("mapper: maxII %d < 1", maxII)
 	}
+	if opts.Artifacts == nil {
+		// Even without a caller-provided cache, the ladder itself is a
+		// reuse opportunity: one template serves every II, and the
+		// MII-probe MRRG below is shared with the template's own MII
+		// bound. The ephemeral cache dies with the sweep.
+		opts.Artifacts = NewArtifactCache(maxII + 2)
+	}
 	start := 1
 	single := *a
 	single.Contexts = 1
 	var mg1 *mrrg.Graph
-	if mg, err := mrrg.Generate(&single); err == nil {
+	if mg, err := opts.Artifacts.MRRG(&single); err == nil {
 		mg1 = mg
 		if mii, err := sched.MII(g, mg1); err == nil {
 			start = mii
@@ -114,7 +121,11 @@ func mapAtII(ctx context.Context, g *dfg.Graph, a *arch.Arch, ii int, opts Optio
 		attempt := *a
 		attempt.Contexts = ii
 		var err error
-		mg, err = mrrg.Generate(&attempt)
+		if opts.Artifacts != nil {
+			mg, err = opts.Artifacts.MRRG(&attempt)
+		} else {
+			mg, err = mrrg.Generate(&attempt)
+		}
 		if err != nil {
 			return &Result{Status: ilp.Infeasible, Reason: err.Error()}, nil
 		}

@@ -62,6 +62,16 @@ type Options struct {
 	// Budget pays for parallelism beyond the caller's own goroutine;
 	// nil selects the process-wide budget.Global pool.
 	Budget *budget.Pool
+	// Artifacts, when non-nil, caches the intermediate artifacts
+	// between parsing and solving: generated MRRGs and formulation
+	// templates, both content-addressed by structural fingerprints.
+	// Map and BuildModel then stamp per-II models from a shared
+	// template instead of re-deriving the II-independent analysis, and
+	// MapAuto additionally reuses cached MRRGs across the ladder. The
+	// cache never changes any answer — stamped formulations are
+	// byte-identical to scratch ones — so, like Workers and Seed, the
+	// field is exempt from job fingerprints.
+	Artifacts *ArtifactCache
 	// MapWith, when non-nil, replaces the direct build-and-solve
 	// pipeline for callers that go through Dispatch (MapAuto, the
 	// experiment sweeps, the CLIs). It is the seam that lets an
@@ -115,14 +125,11 @@ func (r *Result) Feasible() bool {
 // solving it. It returns the model (nil when construction already proved
 // infeasibility, together with the reason).
 func BuildModel(g *dfg.Graph, mg *mrrg.Graph, opts Options) (*ilp.Model, string, error) {
-	f := &formulation{g: g, mg: mg, opts: opts}
-	if err := f.build(); err != nil {
+	t, err := templateFor(g, mg.Arch, opts)
+	if err != nil {
 		return nil, "", err
 	}
-	if f.infeasible != "" {
-		return nil, f.infeasible, nil
-	}
-	return f.model, "", nil
+	return t.BuildModel(mg)
 }
 
 // Map places and routes g onto mg by building and solving the paper's
@@ -141,8 +148,12 @@ func Map(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts Options) (*Resu
 		}
 	}
 	start := time.Now()
-	f := &formulation{g: g, mg: mg, opts: opts}
-	if err := f.build(); err != nil {
+	t, err := templateFor(g, mg.Arch, opts)
+	if err != nil {
+		return nil, err
+	}
+	f, err := t.stamp(mg)
+	if err != nil {
 		return nil, err
 	}
 	buildTime := time.Since(start)

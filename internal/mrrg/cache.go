@@ -1,0 +1,188 @@
+package mrrg
+
+import (
+	"container/list"
+	"sync"
+
+	"cgramap/internal/arch"
+)
+
+// Cache is a bounded, concurrency-safe store of generated MRRGs, keyed
+// by (arch.Fingerprint(), context count). Architecture exploration —
+// the paper's motivating workload — re-maps many DFGs over the same
+// fabric at the same II ladder, so the same graphs are regenerated over
+// and over; the cache makes every repeat a pointer copy.
+//
+// Entries are content-addressed: the key is derived purely from the
+// architecture's semantic structure, so two *arch.Arch values that
+// describe the same fabric share one entry, and any semantic edit
+// (another FU operation set, a rewired connection, a different context
+// count) misses by construction. Cached graphs are shared between
+// callers and must be treated as immutable — every consumer in this
+// repository already does (the mapper reads, never writes, its MRRG).
+//
+// Concurrent misses on one key are single-flighted: the first caller
+// generates, the rest wait for that one generation instead of
+// duplicating it. Generation errors (an FU initiation interval that
+// does not divide the context count) are returned to every waiter but
+// never cached — they are cheap to recompute and callers treat them as
+// per-II infeasibility, not persistent state.
+type Cache struct {
+	mu       sync.Mutex
+	cap      int
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+	inflight map[string]*flight
+
+	hits      int64
+	misses    int64
+	evictions int64
+	bytes     int64 // approximate retained size of cached graphs
+}
+
+type mrrgEntry struct {
+	key   string
+	g     *Graph
+	bytes int64
+}
+
+type flight struct {
+	done chan struct{}
+	g    *Graph
+	err  error
+}
+
+// NewCache returns a cache bounded to the given number of graphs. A
+// zero or negative capacity disables caching: Generate then always
+// builds from scratch (still single-flighted per key, so concurrent
+// identical requests share one build).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:      capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+	// Bytes approximates the retained size of all cached graphs (node
+	// structs, adjacency, names, and the by-name index).
+	Bytes int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.order.Len(),
+		Bytes:     c.bytes,
+	}
+}
+
+// Generate returns the MRRG for a, from cache when present. The
+// returned graph is shared: callers must not modify it.
+func (c *Cache) Generate(a *arch.Arch) (*Graph, error) {
+	key := cacheKey(a)
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		g := el.Value.(*mrrgEntry).g
+		c.mu.Unlock()
+		return g, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		// Someone else is generating this exact graph; share their
+		// result instead of duplicating the work. The waiter still
+		// counts as a hit: no second generation happened.
+		c.hits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.g, fl.err
+	}
+	c.misses++
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	fl.g, fl.err = Generate(a)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil && c.cap > 0 {
+		size := approxBytes(fl.g)
+		c.entries[key] = c.order.PushFront(&mrrgEntry{key: key, g: fl.g, bytes: size})
+		c.bytes += size
+		for c.order.Len() > c.cap {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			e := oldest.Value.(*mrrgEntry)
+			delete(c.entries, e.key)
+			c.bytes -= e.bytes
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.g, fl.err
+}
+
+// cacheKey derives the content-addressed key (fingerprint, II). The
+// fingerprint already covers Contexts, but the context count is appended
+// explicitly so the key scheme matches its specification and stays
+// correct even if the fingerprint's coverage ever changes.
+func cacheKey(a *arch.Arch) string {
+	return a.Fingerprint() + "/" + itoa(a.Contexts)
+}
+
+// itoa is a minimal non-negative integer formatter (avoids strconv for
+// a two-digit hot-path key suffix).
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// approxBytes estimates the retained size of a graph: the node structs,
+// their adjacency and port slices, names, and the by-name index. It is
+// an estimate for capacity accounting and metrics, not an exact
+// measurement.
+func approxBytes(g *Graph) int64 {
+	// Node struct: ~11 words of scalars plus 4 slice headers ≈ 184
+	// bytes on 64-bit, rounded up for allocator slack.
+	const nodeOverhead = 192
+	const mapEntryOverhead = 48 // bucket slot + string header
+	b := int64(len(g.Nodes)) * (nodeOverhead + mapEntryOverhead)
+	for _, n := range g.Nodes {
+		b += int64(2 * len(n.Name)) // name bytes, once per struct + once per map key
+		b += int64(8 * (len(n.Fanouts) + len(n.Fanins) + len(n.PortNodes)))
+		b += int64(len(n.Ops))
+	}
+	b += int64(8 * len(g.funcUnits))
+	return b
+}

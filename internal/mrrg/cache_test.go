@@ -1,0 +1,191 @@
+package mrrg
+
+import (
+	"sync"
+	"testing"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/dfg"
+)
+
+func gridArch(t *testing.T, spec arch.GridSpec) *arch.Arch {
+	t.Helper()
+	a, err := arch.Grid(spec)
+	if err != nil {
+		t.Fatalf("Grid(%+v): %v", spec, err)
+	}
+	return a
+}
+
+func TestCacheHitSharesGraph(t *testing.T) {
+	c := NewCache(4)
+	a := gridArch(t, arch.GridSpec{Rows: 2, Cols: 2, Contexts: 2})
+	g1, err := c.Generate(a)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// A structurally identical but distinct Arch value must hit.
+	b := gridArch(t, arch.GridSpec{Rows: 2, Cols: 2, Contexts: 2})
+	g2, err := c.Generate(b)
+	if err != nil {
+		t.Fatalf("Generate (repeat): %v", err)
+	}
+	if g1 != g2 {
+		t.Fatalf("repeat generation did not return the cached graph")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", s)
+	}
+	if s.Bytes <= 0 {
+		t.Fatalf("stats.Bytes = %d, want > 0", s.Bytes)
+	}
+}
+
+func TestCacheKeyDistinguishesContexts(t *testing.T) {
+	c := NewCache(4)
+	for _, contexts := range []int{1, 2, 3} {
+		a := gridArch(t, arch.GridSpec{Rows: 2, Cols: 2, Contexts: contexts})
+		g, err := c.Generate(a)
+		if err != nil {
+			t.Fatalf("Generate(c%d): %v", contexts, err)
+		}
+		if g.Contexts != contexts {
+			t.Fatalf("Generate(c%d) returned a %d-context graph", contexts, g.Contexts)
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses != 3 || s.Entries != 3 {
+		t.Fatalf("stats = %+v, want 0 hits / 3 misses / 3 entries", s)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(2)
+	specs := []arch.GridSpec{
+		{Rows: 2, Cols: 2, Contexts: 1},
+		{Rows: 2, Cols: 2, Contexts: 2},
+		{Rows: 2, Cols: 3, Contexts: 1},
+	}
+	for _, s := range specs {
+		if _, err := c.Generate(gridArch(t, s)); err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries / 1 eviction after overflow", s)
+	}
+	// The first (least recently used) entry was evicted: regenerating it
+	// must miss; the most recent entries must still hit.
+	if _, err := c.Generate(gridArch(t, specs[0])); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if got := c.Stats(); got.Misses != 4 {
+		t.Fatalf("misses = %d after re-requesting evicted entry, want 4", got.Misses)
+	}
+	if _, err := c.Generate(gridArch(t, specs[2])); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if got := c.Stats(); got.Hits != 1 {
+		t.Fatalf("hits = %d after re-requesting recent entry, want 1", got.Hits)
+	}
+}
+
+func TestCacheBytesShrinkOnEviction(t *testing.T) {
+	c := NewCache(1)
+	small := gridArch(t, arch.GridSpec{Rows: 2, Cols: 2, Contexts: 1})
+	big := gridArch(t, arch.GridSpec{Rows: 4, Cols: 4, Contexts: 2})
+	if _, err := c.Generate(big); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	bigBytes := c.Stats().Bytes
+	if _, err := c.Generate(small); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	s := c.Stats()
+	if s.Entries != 1 || s.Bytes <= 0 || s.Bytes >= bigBytes {
+		t.Fatalf("stats = %+v after evicting larger graph, want 1 smaller entry (big was %d bytes)", s, bigBytes)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	a := gridArch(t, arch.GridSpec{Rows: 2, Cols: 2, Contexts: 1})
+	g1, err := c.Generate(a)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	g2, err := c.Generate(a)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if g1 == g2 {
+		t.Fatalf("disabled cache returned a shared graph")
+	}
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("disabled cache retained entries: %+v", s)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(4)
+	// An FU with II 2 cannot be replicated into 3 contexts: generation
+	// fails, and the failure must not occupy a cache slot or poison
+	// later requests.
+	b := arch.NewBuilder("bad", 3)
+	src := b.FU("src", []dfg.Kind{dfg.Input}, 1, 0, 1)
+	slow := b.FU("slow", []dfg.Kind{dfg.Not}, 1, 0, 2)
+	b.Connect(src, slow, 0)
+	b.Connect(slow, src, 0)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Generate(a); err == nil {
+			t.Fatalf("Generate attempt %d: expected II-divisibility error", i)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 0 || s.Hits != 0 || s.Misses != 2 {
+		t.Fatalf("stats = %+v, want errors uncached (0 entries, 2 misses)", s)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(4)
+	a := gridArch(t, arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Contexts: 2})
+	const callers = 16
+	graphs := make([]*Graph, callers)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			g, err := c.Generate(a)
+			if err != nil {
+				t.Errorf("Generate: %v", err)
+				return
+			}
+			graphs[i] = g
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if graphs[i] != graphs[0] {
+			t.Fatalf("caller %d received a different graph: single-flight failed", i)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("misses = %d for %d concurrent identical requests, want 1 (single-flight)", s.Misses, callers)
+	}
+	if s.Hits != callers-1 {
+		t.Fatalf("hits = %d, want %d", s.Hits, callers-1)
+	}
+}

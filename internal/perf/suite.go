@@ -118,6 +118,16 @@ func suite() []seriesSpec {
 		})
 	}
 	specs = append(specs,
+		// The template/scratch twin pair measures what the artifact cache
+		// buys on the formulation hot path: both build the same accum
+		// model on the same fabric, but formulate/template stamps it from
+		// a pre-warmed cached template (the per-II cost every ladder rung
+		// after the first pays) while formulate/scratch re-derives the
+		// II-independent analysis every iteration. Stamped models are
+		// byte-identical to scratch ones, so the pair isolates pure
+		// build-cost, not answer drift.
+		formulateTwinSpec("formulate/template", true),
+		formulateTwinSpec("formulate/scratch", false),
 		// Generated-workload series (ungated for now: fresh code paths
 		// establishing a trajectory before any CI gate).
 		// gen/depth8_fanout3 measures the seeded DFG generator itself.
@@ -180,6 +190,13 @@ func suite() []seriesSpec {
 		// restart-noisy wall clock.
 		mapAutoLadderSpec("mapauto/incremental", true),
 		mapAutoLadderSpec("mapauto/scratch", false),
+		// mapauto/cached is the third member of the ladder family: the
+		// same sequential seeded mult_10 sweep as mapauto/scratch, but
+		// run through a pre-warmed artifact cache, so every iteration
+		// reuses cached MRRGs and the formulation template and pays only
+		// stamping + solving. Diffing it against mapauto/scratch in one
+		// result file shows the end-to-end artifact-cache speedup.
+		mapAutoCachedSpec(),
 		// BB cannot crack full mapping models within any sane budget
 		// (the engine ablation shows mostly "T" cells), so its series
 		// exercises the LP/branch-and-bound machinery on a synthetic
@@ -350,6 +367,98 @@ func mapAutoLadderSpec(name string, incremental bool) seriesSpec {
 				solveBudget = 30 * time.Second
 			}
 			mopts := mapper.Options{Workers: 1, Seed: 1, Incremental: incremental, Budget: budget.New(1)}
+			return func() (map[string]int64, error) {
+				ctx, cancel := context.WithTimeout(context.Background(), solveBudget)
+				defer cancel()
+				res, err := mapper.MapAuto(ctx, g, a, 4, mopts)
+				if err != nil {
+					return nil, err
+				}
+				if !res.Feasible() || res.II != 2 {
+					return nil, fmt.Errorf("expected mult_10 feasible at II=2, got II=%d %v", res.II, res.Status)
+				}
+				return res.SolverStats, nil
+			}, nil
+		},
+	}
+}
+
+// formulateTwinSpec builds one half of the template/scratch formulation
+// pair: the accum model on the standard formulation fabric, stamped
+// from a warm artifact cache (cached=true) or formulated from scratch
+// every iteration (cached=false). Gated on the short tier like the
+// other formulate series: pure construction, deterministic allocations.
+func formulateTwinSpec(name string, cached bool) seriesSpec {
+	return seriesSpec{
+		name:      name,
+		gated:     true,
+		shortTier: true,
+		setup: func(SuiteOptions) (op, error) {
+			a, err := arch.Grid(formulationArch)
+			if err != nil {
+				return nil, err
+			}
+			mg, err := mrrg.Generate(a)
+			if err != nil {
+				return nil, err
+			}
+			g, err := bench.Get("accum")
+			if err != nil {
+				return nil, err
+			}
+			mopts := mapper.Options{}
+			if cached {
+				mopts.Artifacts = mapper.NewArtifactCache(4)
+				// Warm the cache: the series then measures the steady
+				// state — the stamp cost every ladder rung after the
+				// first pays.
+				if _, _, err := mapper.BuildModel(g, mg, mopts); err != nil {
+					return nil, err
+				}
+			}
+			return func() (map[string]int64, error) {
+				m, reason, err := mapper.BuildModel(g, mg, mopts)
+				if err != nil {
+					return nil, err
+				}
+				if m == nil {
+					return nil, fmt.Errorf("unexpectedly infeasible: %s", reason)
+				}
+				return nil, nil
+			}, nil
+		},
+	}
+}
+
+// mapAutoCachedSpec is the artifact-cached variant of mapauto/scratch:
+// the identical sequential seeded mult_10 sweep, run through a
+// pre-warmed artifact cache shared across iterations.
+func mapAutoCachedSpec() seriesSpec {
+	gs := arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: false, Contexts: 1}
+	return seriesSpec{
+		name:      "mapauto/cached",
+		gated:     true,
+		shortTier: true,
+		setup: func(opts SuiteOptions) (op, error) {
+			a, err := arch.Grid(gs)
+			if err != nil {
+				return nil, err
+			}
+			g, err := bench.Get("mult_10")
+			if err != nil {
+				return nil, err
+			}
+			solveBudget := opts.SolveBudget
+			if solveBudget <= 0 {
+				solveBudget = 30 * time.Second
+			}
+			mopts := mapper.Options{Workers: 1, Seed: 1, Budget: budget.New(1),
+				Artifacts: mapper.NewArtifactCache(8)}
+			warmCtx, warmCancel := context.WithTimeout(context.Background(), solveBudget)
+			defer warmCancel()
+			if _, err := mapper.MapAuto(warmCtx, g, a, 4, mopts); err != nil {
+				return nil, err
+			}
 			return func() (map[string]int64, error) {
 				ctx, cancel := context.WithTimeout(context.Background(), solveBudget)
 				defer cancel()

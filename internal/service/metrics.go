@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cgramap/internal/mapper"
 )
 
 // solveBuckets are the histogram bucket upper bounds (seconds) for
@@ -69,6 +71,7 @@ type Metrics struct {
 	queueDepth    func() int
 	degQueueDepth func() int
 	cacheLen      func() int
+	artifactStats func() mapper.ArtifactStats
 	workers       int
 }
 
@@ -157,6 +160,17 @@ func (m *Metrics) Render(w io.Writer) error {
 	}
 	if m.cacheLen != nil {
 		gauge("cgramapd_cache_entries", "Completed results held by the LRU cache.", int64(m.cacheLen()))
+	}
+	if m.artifactStats != nil {
+		st := m.artifactStats()
+		counter("cgramapd_artifact_mrrg_hits_total", "MRRG requests served from the artifact cache.", st.MRRG.Hits)
+		counter("cgramapd_artifact_mrrg_misses_total", "MRRG requests that generated a new graph.", st.MRRG.Misses)
+		gauge("cgramapd_artifact_mrrg_entries", "Generated MRRGs held by the artifact cache.", int64(st.MRRG.Entries))
+		gauge("cgramapd_artifact_mrrg_bytes", "Approximate bytes held by cached MRRGs.", st.MRRG.Bytes)
+		counter("cgramapd_artifact_template_hits_total", "Formulation-template requests served from the artifact cache.", st.TemplateHits)
+		counter("cgramapd_artifact_template_misses_total", "Formulation-template requests that built a new template.", st.TemplateMisses)
+		gauge("cgramapd_artifact_template_entries", "Formulation templates held by the artifact cache.", int64(st.TemplateEntries))
+		gauge("cgramapd_artifact_template_bytes", "Approximate bytes held by cached templates.", st.TemplateBytes)
 	}
 	return nil
 }

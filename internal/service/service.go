@@ -121,6 +121,13 @@ type JobSpec struct {
 	// Workers and Seed it is fingerprint-exempt — it changes the solve
 	// trajectory, never the answer.
 	Incremental bool
+	// Artifacts is the server-wide artifact cache (MRRGs, formulation
+	// templates), stamped onto every spec at parse time. Like Workers,
+	// Seed and Incremental it is fingerprint-exempt: stamped
+	// formulations are byte-identical to scratch ones, so the cache
+	// changes how fast the answer arrives, never what it is. Nil when
+	// artifact caching is disabled.
+	Artifacts *mapper.ArtifactCache
 	// Fingerprint is the canonical content-address of this job (see
 	// Fingerprint); equal fingerprints have equal answers.
 	Fingerprint string
@@ -232,6 +239,13 @@ type Options struct {
 	// CacheEntries bounds the result cache (default 512; negative
 	// disables caching).
 	CacheEntries int
+	// ArtifactCacheEntries bounds the artifact cache shared by every
+	// job: generated MRRGs and formulation templates, each in their own
+	// LRU of this many entries (default 64; negative disables artifact
+	// caching entirely). Purely a speed knob — cached artifacts are
+	// content-addressed and stamped formulations are byte-identical to
+	// scratch ones.
+	ArtifactCacheEntries int
 	// DefaultDeadline applies to jobs that set no deadline (default 60s).
 	DefaultDeadline time.Duration
 	// MaxDeadline clamps client-requested deadlines (default 15m).
@@ -287,6 +301,9 @@ func (o *Options) fill() {
 	}
 	if o.CacheEntries == 0 {
 		o.CacheEntries = 512
+	}
+	if o.ArtifactCacheEntries == 0 {
+		o.ArtifactCacheEntries = 64
 	}
 	if o.DefaultDeadline <= 0 {
 		o.DefaultDeadline = 60 * time.Second
@@ -369,8 +386,9 @@ type Server struct {
 	// feeding the admission estimator.
 	avgSolveNS atomic.Int64
 
-	cache *resultCache
-	wg    sync.WaitGroup
+	cache     *resultCache
+	artifacts *mapper.ArtifactCache // nil when ArtifactCacheEntries < 0
+	wg        sync.WaitGroup
 }
 
 // New builds a Server and starts its worker pool.
@@ -383,6 +401,10 @@ func New(opts Options) *Server {
 		inflight: make(map[string]*exec),
 		queue:    make(chan *exec, opts.QueueDepth),
 		cache:    newResultCache(opts.CacheEntries),
+	}
+	if opts.ArtifactCacheEntries > 0 {
+		s.artifacts = mapper.NewArtifactCache(opts.ArtifactCacheEntries)
+		s.Metrics.artifactStats = s.artifacts.Stats
 	}
 	s.Metrics.workers = opts.Workers
 	s.Metrics.queueDepth = func() int { return len(s.queue) }
@@ -530,6 +552,7 @@ func (s *Server) ParseRequest(req *JobRequest) (*JobSpec, error) {
 		Workers:     s.opts.SolveWorkers,
 		Seed:        s.opts.Seed,
 		Incremental: req.Incremental || s.opts.Incremental,
+		Artifacts:   s.artifacts,
 		Fingerprint: Fingerprint(g, a, engine, objective, req.AutoII),
 	}, nil
 }
@@ -981,7 +1004,7 @@ func RunSpec(ctx context.Context, spec *JobSpec) (*JobResult, error) {
 	out := &JobResult{Engine: spec.Engine}
 
 	if spec.Engine == EngineAnneal {
-		mg, err := mrrg.Generate(spec.Arch)
+		mg, err := specMRRG(spec)
 		if err != nil {
 			return nil, err
 		}
@@ -1001,7 +1024,7 @@ func RunSpec(ctx context.Context, spec *JobSpec) (*JobResult, error) {
 	}
 
 	mo := mapper.Options{Objective: spec.Objective, Workers: spec.Workers, Seed: spec.Seed,
-		Incremental: spec.Incremental}
+		Incremental: spec.Incremental, Artifacts: spec.Artifacts}
 	switch spec.Engine {
 	case EngineCDCL:
 	case EngineBB:
@@ -1030,7 +1053,7 @@ func RunSpec(ctx context.Context, spec *JobSpec) (*JobResult, error) {
 		return out, nil
 	}
 
-	mg, err := mrrg.Generate(spec.Arch)
+	mg, err := specMRRG(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -1060,7 +1083,7 @@ func RunSpec(ctx context.Context, spec *JobSpec) (*JobResult, error) {
 // degrades to when every exact engine times out. It is the default
 // Options.SolveDegraded.
 func RunSpecDegraded(ctx context.Context, spec *JobSpec) (*JobResult, error) {
-	mg, err := mrrg.Generate(spec.Arch)
+	mg, err := specMRRG(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -1081,6 +1104,16 @@ func RunSpecDegraded(ctx context.Context, spec *JobSpec) (*JobResult, error) {
 		out.Mapping = res.Mapping.Portable()
 	}
 	return out, nil
+}
+
+// specMRRG resolves the MRRG for a spec's architecture through the
+// server-wide artifact cache when the spec carries one, generating from
+// scratch otherwise.
+func specMRRG(spec *JobSpec) (*mrrg.Graph, error) {
+	if spec.Artifacts != nil {
+		return spec.Artifacts.MRRG(spec.Arch)
+	}
+	return mrrg.Generate(spec.Arch)
 }
 
 func fillFromMapperResult(out *JobResult, res *mapper.Result) {

@@ -144,7 +144,7 @@ func RunFrontier(ctx context.Context, spec FrontierSpec, opts FrontierOptions) (
 		for _, ii := range iis {
 			gs := fs.GridSpec()
 			gs.Contexts = ii
-			device, err := buildDevice(gs)
+			device, err := buildDevice(gs, opts.Mapper.Artifacts)
 			if err != nil {
 				return nil, fmt.Errorf("workload: building %s: %w", gs.Name(), err)
 			}
@@ -158,11 +158,16 @@ func RunFrontier(ctx context.Context, spec FrontierSpec, opts FrontierOptions) (
 	return front, nil
 }
 
-// buildDevice generates the MRRG for one fabric/II cell of the sweep.
-func buildDevice(gs arch.GridSpec) (*mrrg.Graph, error) {
+// buildDevice generates the MRRG for one fabric/II cell of the sweep,
+// through the artifact cache when the sweep carries one (fabrics
+// revisited at several IIs then share their per-II graphs).
+func buildDevice(gs arch.GridSpec, cache *mapper.ArtifactCache) (*mrrg.Graph, error) {
 	a, err := arch.Grid(gs)
 	if err != nil {
 		return nil, err
+	}
+	if cache != nil {
+		return cache.MRRG(a)
 	}
 	return mrrg.Generate(a)
 }
