@@ -64,6 +64,14 @@ type (
 	// simulated-annealing baseline mapper.
 	AnnealOptions = anneal.Options
 	AnnealResult  = anneal.Result
+	// SymmetryMode controls symmetry-breaking constraints in the ILP
+	// formulation (see MapOptions.Symmetry).
+	SymmetryMode = mapper.SymmetryMode
+	// FabricSymmetries holds the verified automorphisms of an
+	// architecture's fabric graph and the PE orbits they induce.
+	FabricSymmetries = arch.Symmetries
+	// FabricAutomorphism is one verified fabric self-map.
+	FabricAutomorphism = arch.Automorphism
 	// Solver is the pluggable ILP engine interface.
 	Solver = ilp.Solver
 	// Status is a solve outcome (Optimal, Feasible, Infeasible,
@@ -98,6 +106,10 @@ const (
 	Feasibility     = mapper.Feasibility
 	MinimizeRouting = mapper.MinimizeRouting
 
+	SymmetryAuto = mapper.SymmetryAuto
+	SymmetryOn   = mapper.SymmetryOn
+	SymmetryOff  = mapper.SymmetryOff
+
 	Orthogonal = arch.Orthogonal
 	Diagonal   = arch.Diagonal
 )
@@ -128,6 +140,19 @@ func MustGrid(spec GridSpec) *Arch {
 
 // PaperArchitectures returns the paper's eight Table 2 architectures.
 func PaperArchitectures() []GridSpec { return arch.PaperArchitectures() }
+
+// DiscoverSymmetries finds and verifies the fabric automorphisms of an
+// architecture: candidate grid transforms (reflections, rotations, torus
+// translations) are checked against the actual primitive and
+// interconnect structure, so heterogeneous ALU placement or shared
+// memory ports soundly shrink the group. MapOptions.Symmetry turns the
+// result into symmetry-breaking constraints; cmd/mrrgdump -symmetries
+// prints it.
+func DiscoverSymmetries(a *Arch) *FabricSymmetries { return arch.Discover(a) }
+
+// ParseSymmetryMode resolves a -symmetry flag value ("auto", "on",
+// "off").
+func ParseSymmetryMode(s string) (SymmetryMode, error) { return mapper.ParseSymmetryMode(s) }
 
 // ReadArchXML parses an architecture from the XML description language.
 func ReadArchXML(r io.Reader) (*Arch, error) { return arch.ReadXML(r) }
@@ -375,7 +400,7 @@ type (
 	// WorkloadSpec shape-controls the seeded random-DFG generator.
 	WorkloadSpec = workload.DFGSpec
 	// KernelFamily names a parameterised kernel ladder (dot, fir,
-	// stencil, reduce, gen).
+	// stencil, reduce, conv2d, matvec, gen).
 	KernelFamily = workload.Family
 	// FabricSpec parameterises a generated fabric beyond the paper's
 	// 4x4 (size, interconnect, contexts, memory-port layout).

@@ -43,6 +43,7 @@ type runOpts struct {
 	workers                      int
 	autoII                       int
 	incremental                  bool
+	symmetry                     string
 	artifactCache                int
 	seed                         int64
 	timeout                      time.Duration
@@ -68,6 +69,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "parallel solver workers: the clause-sharing gang width and the process worker budget (0 = all CPUs or $CGRAMAP_WORKERS; 1 = sequential, bit-reproducible with -seed)")
 	flag.IntVar(&o.autoII, "auto-ii", 0, "search for the provably smallest initiation interval up to this bound (overrides -contexts; exact engines only)")
 	flag.BoolVar(&o.incremental, "incremental", false, "solve the auto-II ladder through one incremental CDCL session (learnt clauses carry across IIs; same answer, usually faster)")
+	flag.StringVar(&o.symmetry, "symmetry", "auto", "symmetry-breaking constraints from verified fabric automorphisms: auto (on for -auto-ii, off otherwise) | on | off; same answer either way")
 	flag.IntVar(&o.artifactCache, "artifact-cache", 16, "artifact cache entries per class (cached MRRGs and formulation templates reused across the run; <= 0 disables)")
 	flag.Int64Var(&o.seed, "seed", 0, "base solver seed (0 = the engine default)")
 	flag.DurationVar(&o.timeout, "timeout", 5*time.Minute, "solve timeout")
@@ -124,7 +126,11 @@ func run(o runOpts) (int, error) {
 		workers = budget.Global().Size()
 	}
 
-	opts := mapper.Options{Workers: workers, Seed: o.seed, Incremental: o.incremental}
+	sym, err := mapper.ParseSymmetryMode(o.symmetry)
+	if err != nil {
+		return exitError, err
+	}
+	opts := mapper.Options{Workers: workers, Seed: o.seed, Incremental: o.incremental, Symmetry: sym}
 	if o.artifactCache > 0 {
 		opts.Artifacts = mapper.NewArtifactCache(o.artifactCache)
 	}

@@ -30,6 +30,7 @@ import (
 
 	"cgramap/internal/budget"
 	"cgramap/internal/faultinject"
+	"cgramap/internal/mapper"
 	"cgramap/internal/service"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		solveWorkers = flag.Int("solve-workers", 0, "parallel solver workers inside each job: clause-sharing gang width and process worker budget (0 = all CPUs or $CGRAMAP_WORKERS; 1 = sequential solves)")
 		seed         = flag.Int64("seed", 0, "base solver seed for every job (0 = engine defaults)")
 		incremental  = flag.Bool("incremental", false, "default every job to incremental CDCL sessions (auto-II ladders reuse learnt clauses; clients can also opt in per job)")
+		symmetry     = flag.String("symmetry", "auto", "server-wide symmetry-breaking default for jobs that submit \"auto\": auto (on for auto-II, off at fixed II) | on | off")
 		queue        = flag.Int("queue", 64, "max queued solves before 429 backpressure")
 		cacheSize    = flag.Int("cache", 512, "result cache entries (negative disables)")
 		artifactSize = flag.Int("artifact-cache", 64, "artifact cache entries per class (cached MRRGs and formulation templates shared across jobs; negative disables)")
@@ -53,6 +55,11 @@ func main() {
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "cgramapd: ", log.LstdFlags)
+
+	sym, err := mapper.ParseSymmetryMode(*symmetry)
+	if err != nil {
+		logger.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -77,6 +84,7 @@ func main() {
 		SolveWorkers:         sw,
 		Seed:                 *seed,
 		Incremental:          *incremental,
+		Symmetry:             sym,
 		Logf:                 logger.Printf,
 	}
 	var mw func(http.Handler) http.Handler

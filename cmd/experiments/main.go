@@ -126,6 +126,7 @@ type sweepConfig struct {
 	daemon    *string
 	workers   *int
 	seed      *int64
+	symmetry  *string
 }
 
 func sweepFlags(fs *flag.FlagSet) sweepConfig {
@@ -138,6 +139,7 @@ func sweepFlags(fs *flag.FlagSet) sweepConfig {
 		daemon:    fs.String("daemon", "", "offload every solve to a cgramapd server at this URL (duplicate instances across sweeps hit its cache)"),
 		workers:   fs.Int("workers", 1, "parallel solver workers per cell: clause-sharing gang width and process worker budget (0 = all CPUs or $CGRAMAP_WORKERS; 1 = sequential, reproducible runtimes)"),
 		seed:      fs.Int64("seed", 0, "base solver seed (0 = engine defaults)"),
+		symmetry:  fs.String("symmetry", "auto", "symmetry-breaking constraints per cell: auto (off at fixed II) | on | off; same answer either way"),
 	}
 }
 
@@ -158,7 +160,11 @@ func (c sweepConfig) mapperOptions() (mapper.Options, error) {
 	if workers == 0 {
 		workers = budget.Global().Size()
 	}
-	opts := mapper.Options{Workers: workers, Seed: *c.seed}
+	sym, err := mapper.ParseSymmetryMode(*c.symmetry)
+	if err != nil {
+		return mapper.Options{}, err
+	}
+	opts := mapper.Options{Workers: workers, Seed: *c.seed, Symmetry: sym}
 	if daemon != "" {
 		switch engine {
 		case "cdcl", "bb", "portfolio":

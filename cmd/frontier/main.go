@@ -61,7 +61,7 @@ func run(args []string, stdout io.Writer) error {
 // no-op diff.
 func runGenerate(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
-	family := fs.String("family", "gen", "kernel family: dot | fir | stencil | reduce | gen")
+	family := fs.String("family", "gen", "kernel family: dot | fir | stencil | reduce | conv2d | matvec | gen")
 	min := fs.Int("min", 1, "smallest ladder rung")
 	max := fs.Int("max", 8, "largest ladder rung")
 	seed := fs.Int64("seed", 1, "random seed (gen family only)")
@@ -119,7 +119,7 @@ func runGenerate(args []string, stdout io.Writer) error {
 // runFrontier executes the sweep and writes the requested reports.
 func runFrontier(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	family := fs.String("family", "dot", "kernel family: dot | fir | stencil | reduce | gen")
+	family := fs.String("family", "dot", "kernel family: dot | fir | stencil | reduce | conv2d | matvec | gen")
 	min := fs.Int("min", 1, "smallest ladder rung probed")
 	max := fs.Int("max", 16, "largest ladder rung probed")
 	seed := fs.Int64("seed", 1, "random seed (gen family; recorded in the report)")
@@ -131,6 +131,7 @@ func runFrontier(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 1, "solver workers per probe (1 = sequential, reproducible)")
 	seedSolver := fs.Int64("solver-seed", 0, "solver seed (0 = engine defaults)")
 	incremental := fs.Bool("incremental", false, "share an incremental CDCL session across each boundary's probes (cdcl engine; forwarded to a daemon)")
+	symmetry := fs.String("symmetry", "auto", "symmetry-breaking constraints per probe: auto (off at fixed II) | on | off; same answer either way")
 	artifactCache := fs.Int("artifact-cache", 32, "artifact cache entries per class (cached MRRGs and formulation templates shared across probes; <= 0 disables)")
 	fallback := fs.Bool("fallback", false, "portfolio only: allow heuristic witnesses")
 	verbose := fs.Bool("v", false, "print per-probe progress to stderr")
@@ -164,6 +165,9 @@ func runFrontier(args []string, stdout io.Writer) error {
 	}
 	mOpts, err := probeOptions(*engine, *daemon, *workers, *seedSolver, *fallback, *incremental)
 	if err != nil {
+		return err
+	}
+	if mOpts.Symmetry, err = mapper.ParseSymmetryMode(*symmetry); err != nil {
 		return err
 	}
 	if *artifactCache > 0 {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -30,15 +31,16 @@ func main() {
 		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
 		nodes    = flag.Bool("nodes", false, "list every node")
 		stats    = flag.Bool("stats", false, "print MRRG cache hit/miss counts after dumping")
+		syms     = flag.Bool("symmetries", false, "print the fabric's verified automorphism generators and primitive orbits")
 	)
 	flag.Parse()
-	if err := run(*archFile, *rows, *cols, *contexts, *diagonal, *hetero, *dot, *nodes, *stats); err != nil {
+	if err := run(*archFile, *rows, *cols, *contexts, *diagonal, *hetero, *dot, *nodes, *stats, *syms); err != nil {
 		fmt.Fprintln(os.Stderr, "mrrgdump:", err)
 		os.Exit(1)
 	}
 }
 
-func run(archFile string, rows, cols int, contexts string, diagonal, hetero, dot, nodes, stats bool) error {
+func run(archFile string, rows, cols int, contexts string, diagonal, hetero, dot, nodes, stats, syms bool) error {
 	iis, err := parseContexts(contexts)
 	if err != nil {
 		return err
@@ -46,6 +48,9 @@ func run(archFile string, rows, cols int, contexts string, diagonal, hetero, dot
 	base, err := loadArch(archFile, rows, cols, diagonal, hetero)
 	if err != nil {
 		return err
+	}
+	if syms {
+		printSymmetries(base)
 	}
 	cache := mrrg.NewCache(len(iis))
 	for _, ii := range iis {
@@ -80,6 +85,41 @@ func run(archFile string, rows, cols int, contexts string, diagonal, hetero, dot
 			cs.Hits, cs.Misses, cs.Entries, cs.Bytes)
 	}
 	return nil
+}
+
+// printSymmetries reports the fabric's verified automorphism group: the
+// generator names that survived netlist verification and the primitive
+// orbits of the generated group (a size histogram; singleton orbits —
+// primitives fixed by every generator — are summarised as a count).
+func printSymmetries(a *arch.Arch) {
+	s := arch.Discover(a)
+	if s.Trivial() {
+		fmt.Printf("symmetries %s: none verified\n", a.Name)
+		return
+	}
+	names := make([]string, len(s.Gens))
+	for i, g := range s.Gens {
+		names[i] = g.Name
+	}
+	orbits := s.Orbits()
+	sizes := make(map[int]int)
+	moved := 0
+	for _, o := range orbits {
+		sizes[len(o)]++
+		moved += len(o)
+	}
+	var sizeKeys []int
+	for sz := range sizes {
+		sizeKeys = append(sizeKeys, sz)
+	}
+	sort.Ints(sizeKeys)
+	var hist []string
+	for _, sz := range sizeKeys {
+		hist = append(hist, fmt.Sprintf("%dx size %d", sizes[sz], sz))
+	}
+	fmt.Printf("symmetries %s: %d generators (%s)\n", a.Name, len(s.Gens), strings.Join(names, ", "))
+	fmt.Printf("  %d non-trivial orbits (%s), %d primitives moved, %d fixed\n",
+		len(orbits), strings.Join(hist, ", "), moved, len(a.Prims)-moved)
 }
 
 // parseContexts splits the -contexts value into an II list.

@@ -1,0 +1,495 @@
+package arch
+
+import (
+	"regexp"
+	"sort"
+	"strconv"
+
+	"cgramap/internal/dfg"
+)
+
+// Automorphism is a verified structural symmetry of an architecture: a
+// permutation of the primitive netlist that preserves every primitive's
+// behavioural parameters and the entire connection structure. Applying
+// it to any valid mapping yields another valid mapping, which is what
+// makes automorphisms usable for symmetry-breaking constraints
+// (ROADMAP item 3) — equivalence classes of mappings collapse to one
+// representative.
+type Automorphism struct {
+	// Name identifies the generating transform, e.g. "reflect-rows".
+	Name string
+	// Perm maps each primitive index to its image: Prims[Perm[i]] is
+	// where primitive i lands.
+	Perm []int
+	// PortPerm, for multiplexer primitives whose input ports are
+	// reordered by the automorphism, maps each input port of primitive
+	// i to the port of Perm[i] that receives the image of its driver.
+	// A nil entry means the identity port map. Functional-unit ports
+	// carry operand semantics and are never permuted.
+	PortPerm [][]int
+}
+
+// Apply returns the image primitive index of i.
+func (a *Automorphism) Apply(i int) int { return a.Perm[i] }
+
+// Port returns the input port of Perm[i] corresponding to port p of
+// primitive i.
+func (a *Automorphism) Port(i, p int) int {
+	if a.PortPerm[i] == nil {
+		return p
+	}
+	return a.PortPerm[i][p]
+}
+
+// Symmetries is the verified automorphism group of an architecture,
+// represented by its generators, together with the primitive orbits of
+// the generated group.
+type Symmetries struct {
+	// Gens are the verified generators, in deterministic discovery
+	// order.
+	Gens []Automorphism
+
+	orbitRep []int   // per primitive: largest index in its orbit
+	orbits   [][]int // sorted orbits, ordered by smallest member
+}
+
+// OrbitRep returns the canonical representative of primitive i's orbit
+// under the generated group: the largest primitive index in the orbit.
+// (The mapper's lexicographic tie-break orders placement slots by
+// ascending index and prefers the single set bit as late as possible,
+// so the lex-minimal member of a placement orbit sits on the
+// largest-index primitive — the representative must agree or orbit
+// fixing and lex-leader constraints would contradict each other.)
+func (s *Symmetries) OrbitRep(i int) int { return s.orbitRep[i] }
+
+// Orbits returns every orbit with more than one member, each sorted
+// ascending, ordered by smallest member.
+func (s *Symmetries) Orbits() [][]int { return s.orbits }
+
+// Trivial reports whether no symmetry was verified.
+func (s *Symmetries) Trivial() bool { return len(s.Gens) == 0 }
+
+// gridCoord is a (possibly virtual) grid coordinate. Functional blocks
+// occupy rows 0..R-1 and columns 0..C-1; peripheral I/O blocks occupy
+// the virtual border rows -1 (top) and R (bottom) and columns -1
+// (left) and C (right), which lets one affine transform move blocks
+// and periphery together: reflecting the columns of the array maps the
+// left edge onto the right edge.
+type gridCoord struct{ r, c int }
+
+// gridLayout is the coordinate structure recovered from primitive
+// names.
+type gridLayout struct {
+	rows, cols int
+	blockAt    map[gridCoord]string // block name by (virtual) coordinate
+	memRows    []int                // sorted home rows of memory ports
+	prims      []parsedPrim
+}
+
+type parsedPrim struct {
+	isMem  bool
+	coord  gridCoord // pe/io blocks
+	memRow int       // mem blocks
+	suffix string    // ".mux_a", ".fu", ... (includes the dot)
+}
+
+var (
+	rePE  = regexp.MustCompile(`^pe_(\d+)_(\d+)$`)
+	reIO  = regexp.MustCompile(`^io_(top|bot|left|right)_(\d+)$`)
+	reMem = regexp.MustCompile(`^mem_(\d+)$`)
+)
+
+// parseGrid recovers grid coordinates from the naming convention of the
+// grid composer (grid.go). It returns nil when any primitive falls
+// outside the convention — symmetry candidates are then unavailable
+// and discovery reports no symmetry rather than guessing.
+func parseGrid(a *Arch) *gridLayout {
+	g := &gridLayout{blockAt: make(map[gridCoord]string), prims: make([]parsedPrim, len(a.Prims))}
+	maxR, maxC := -1, -1
+	memSeen := map[int]bool{}
+	for i, p := range a.Prims {
+		dot := -1
+		for j := 0; j < len(p.Name); j++ {
+			if p.Name[j] == '.' {
+				dot = j
+				break
+			}
+		}
+		if dot < 0 {
+			return nil
+		}
+		block, suffix := p.Name[:dot], p.Name[dot:]
+		pp := parsedPrim{suffix: suffix}
+		if m := rePE.FindStringSubmatch(block); m != nil {
+			r, _ := strconv.Atoi(m[1])
+			c, _ := strconv.Atoi(m[2])
+			pp.coord = gridCoord{r, c}
+			if r > maxR {
+				maxR = r
+			}
+			if c > maxC {
+				maxC = c
+			}
+			g.blockAt[pp.coord] = block
+		} else if m := reMem.FindStringSubmatch(block); m != nil {
+			r, _ := strconv.Atoi(m[1])
+			pp.isMem = true
+			pp.memRow = r
+			memSeen[r] = true
+		} else if reIO.MatchString(block) {
+			// Virtual coordinates are resolved after rows/cols are
+			// known; record the block name for the second pass.
+			pp.coord = gridCoord{-2, -2}
+		} else {
+			return nil
+		}
+		g.prims[i] = pp
+	}
+	if maxR < 0 || maxC < 0 {
+		return nil
+	}
+	g.rows, g.cols = maxR+1, maxC+1
+	for i, p := range a.Prims {
+		pp := &g.prims[i]
+		if pp.coord != (gridCoord{-2, -2}) {
+			continue
+		}
+		block := p.Name[:len(p.Name)-len(pp.suffix)]
+		m := reIO.FindStringSubmatch(block)
+		n, _ := strconv.Atoi(m[2])
+		switch m[1] {
+		case "top":
+			pp.coord = gridCoord{-1, n}
+		case "bot":
+			pp.coord = gridCoord{g.rows, n}
+		case "left":
+			pp.coord = gridCoord{n, -1}
+		case "right":
+			pp.coord = gridCoord{n, g.cols}
+		}
+		g.blockAt[pp.coord] = block
+	}
+	for r := range memSeen {
+		g.memRows = append(g.memRows, r)
+	}
+	sort.Ints(g.memRows)
+	return g
+}
+
+// memHomeFor returns the memory-port home row covering row r, or -1.
+func (g *gridLayout) memHomeFor(r int) int {
+	home := -1
+	for _, mr := range g.memRows {
+		if mr <= r {
+			home = mr
+		}
+	}
+	return home
+}
+
+// candidate is a geometric transform proposed as an automorphism. The
+// coordinate map acts on real and virtual coordinates alike (the
+// affine reflection/rotation formulas extend to the border rows and
+// columns, which is exactly what maps I/O blocks correctly). rowImage
+// gives the column-independent row map used to move memory ports; it
+// is absent for diagonal transforms, which therefore cannot move
+// row-anchored memory ports and are rejected when any exist.
+type candidate struct {
+	name     string
+	coord    func(r, c int) (int, int)
+	rowImage func(r int) int // nil when the row image depends on the column
+}
+
+// candidates enumerates the geometric symmetries of an RxC grid:
+// reflections and 180-degree rotation always, the four diagonal
+// transforms on square grids, and the two torus translation generators.
+// These are *candidates* only — each is verified against the actual
+// netlist, which is where heterogeneous ALU placement, shared memory
+// ports and edge-anchored I/O prune the list down to the true group.
+func (g *gridLayout) candidates() []candidate {
+	R, C := g.rows, g.cols
+	cands := []candidate{
+		{"reflect-rows", func(r, c int) (int, int) { return R - 1 - r, c }, func(r int) int { return R - 1 - r }},
+		{"reflect-cols", func(r, c int) (int, int) { return r, C - 1 - c }, func(r int) int { return r }},
+		{"rot180", func(r, c int) (int, int) { return R - 1 - r, C - 1 - c }, func(r int) int { return R - 1 - r }},
+	}
+	if R == C {
+		cands = append(cands,
+			candidate{"transpose", func(r, c int) (int, int) { return c, r }, nil},
+			candidate{"anti-transpose", func(r, c int) (int, int) { return C - 1 - c, R - 1 - r }, nil},
+			candidate{"rot90", func(r, c int) (int, int) { return c, R - 1 - r }, nil},
+			candidate{"rot270", func(r, c int) (int, int) { return C - 1 - c, r }, nil},
+		)
+	}
+	// Torus translations: shift in-range coordinates with wraparound
+	// and leave virtual border coordinates on their border (border
+	// blocks cannot wrap; verification rejects the translation unless
+	// the fabric has no border anchoring on that axis).
+	wrap := func(dr, dc int) func(r, c int) (int, int) {
+		return func(r, c int) (int, int) {
+			nr, nc := r, c
+			if r >= 0 && r < R {
+				nr = (r + dr) % R
+			}
+			if c >= 0 && c < C {
+				nc = (c + dc) % C
+			}
+			return nr, nc
+		}
+	}
+	if R > 1 {
+		cands = append(cands, candidate{"translate-rows", wrap(1, 0), func(r int) int { return (r + 1) % R }})
+	}
+	if C > 1 {
+		cands = append(cands, candidate{"translate-cols", wrap(0, 1), func(r int) int { return r }})
+	}
+	return cands
+}
+
+// buildPerm lifts a candidate's coordinate transform to a primitive
+// permutation, or reports that the transform does not even map the
+// name structure onto itself (e.g. a missing image block).
+func (g *gridLayout) buildPerm(a *Arch, cand candidate) ([]int, bool) {
+	if len(g.memRows) > 0 && cand.rowImage == nil {
+		return nil, false
+	}
+	perm := make([]int, len(a.Prims))
+	for i := range a.Prims {
+		pp := &g.prims[i]
+		var imgBlock string
+		if pp.isMem {
+			home := g.memHomeFor(cand.rowImage(pp.memRow))
+			if home < 0 {
+				return nil, false
+			}
+			imgBlock = "mem_" + strconv.Itoa(home)
+		} else {
+			r, c := cand.coord(pp.coord.r, pp.coord.c)
+			var ok bool
+			imgBlock, ok = g.blockAt[gridCoord{r, c}]
+			if !ok {
+				return nil, false
+			}
+		}
+		img := a.PrimIndex(imgBlock + pp.suffix)
+		if img < 0 {
+			return nil, false
+		}
+		perm[i] = img
+	}
+	return perm, true
+}
+
+// verifyPerm checks a primitive permutation against the netlist:
+// behavioural invariants must match pointwise and every connection
+// must map onto a connection. Multiplexer input ports are
+// interchangeable routing choices, so their drivers are matched as a
+// set (the induced port permutation is recorded); functional-unit
+// ports carry operand indices and register/wire ports are singular, so
+// those must match exactly.
+func verifyPerm(a *Arch, name string, perm []int) (Automorphism, bool) {
+	n := len(a.Prims)
+	seen := make([]bool, n)
+	identity := true
+	for i, img := range perm {
+		if img < 0 || img >= n || seen[img] {
+			return Automorphism{}, false
+		}
+		seen[img] = true
+		if img != i {
+			identity = false
+		}
+	}
+	if identity {
+		return Automorphism{}, false
+	}
+	for i, p := range a.Prims {
+		q := a.Prims[perm[i]]
+		if p.Kind != q.Kind || p.NIn != q.NIn || p.Latency != q.Latency || p.II != q.II || p.Cost != q.Cost {
+			return Automorphism{}, false
+		}
+		if !sameOpSet(p.Ops, q.Ops) {
+			return Automorphism{}, false
+		}
+	}
+	// Driver table: Validate guarantees exactly one driver per port.
+	driver := make([][]int, n)
+	for i, p := range a.Prims {
+		driver[i] = make([]int, p.NIn)
+		for k := range driver[i] {
+			driver[i][k] = -1
+		}
+	}
+	for _, c := range a.Conns {
+		driver[c.Dst][c.DstPort] = c.Src
+	}
+	portPerm := make([][]int, n)
+	for i, p := range a.Prims {
+		img := perm[i]
+		switch p.Kind {
+		case Mux:
+			used := make([]bool, p.NIn)
+			pp := make([]int, p.NIn)
+			ident := true
+			for port := 0; port < p.NIn; port++ {
+				want := perm[driver[i][port]]
+				found := -1
+				for q := 0; q < p.NIn; q++ {
+					if !used[q] && driver[img][q] == want {
+						found = q
+						break
+					}
+				}
+				if found < 0 {
+					return Automorphism{}, false
+				}
+				used[found] = true
+				pp[port] = found
+				if found != port {
+					ident = false
+				}
+			}
+			if !ident {
+				portPerm[i] = pp
+			}
+		default:
+			for port := 0; port < p.NIn; port++ {
+				if driver[img][port] != perm[driver[i][port]] {
+					return Automorphism{}, false
+				}
+			}
+		}
+	}
+	return Automorphism{Name: name, Perm: perm, PortPerm: portPerm}, true
+}
+
+// sameOpSet compares FU operation lists as sets. Grid FUs list each
+// operation once, but set semantics keep the check honest for
+// hand-built fabrics with duplicated entries.
+func sameOpSet(x, y []dfg.Kind) bool {
+	have := make(map[dfg.Kind]bool, len(x))
+	for _, k := range x {
+		have[k] = true
+	}
+	for _, k := range y {
+		if !have[k] {
+			return false
+		}
+	}
+	back := make(map[dfg.Kind]bool, len(y))
+	for _, k := range y {
+		back[k] = true
+	}
+	for _, k := range x {
+		if !back[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Discover finds the verified automorphisms of an architecture.
+//
+// Candidate transforms come from the grid naming convention
+// (reflections, rotations, diagonal flips, torus translations); each
+// is verified generically against the primitive and connection
+// structure, so a candidate survives only when the fabric is *really*
+// symmetric under it — a heterogeneous multiplier checkerboard kills
+// the reflections that flip parity, per-row memory ports kill the
+// diagonal transforms, and edge-anchored I/O kills translations on
+// non-torus fabrics. Architectures outside the naming convention
+// yield no candidates and hence no symmetry.
+//
+// The result is deterministic for a given architecture.
+func Discover(a *Arch) *Symmetries {
+	s := &Symmetries{orbitRep: make([]int, len(a.Prims))}
+	for i := range s.orbitRep {
+		s.orbitRep[i] = i
+	}
+	g := parseGrid(a)
+	if g != nil {
+		var perms [][]int
+		for _, cand := range g.candidates() {
+			perm, ok := g.buildPerm(a, cand)
+			if !ok {
+				continue
+			}
+			auto, ok := verifyPerm(a, cand.name, perm)
+			if !ok {
+				continue
+			}
+			dup := false
+			for _, prev := range perms {
+				if equalPerm(prev, perm) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			perms = append(perms, perm)
+			s.Gens = append(s.Gens, auto)
+		}
+	}
+	s.computeOrbits(len(a.Prims))
+	return s
+}
+
+func equalPerm(x, y []int) bool {
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// computeOrbits runs union-find over the generators and materialises
+// representative (largest member) and non-trivial orbit lists.
+func (s *Symmetries) computeOrbits(n int) {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(x, y int) {
+		rx, ry := find(x), find(y)
+		if rx != ry {
+			parent[rx] = ry
+		}
+	}
+	for _, g := range s.Gens {
+		for i, img := range g.Perm {
+			union(i, img)
+		}
+	}
+	members := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		members[r] = append(members[r], i)
+	}
+	s.orbitRep = make([]int, n)
+	var roots []int
+	for r, m := range members {
+		rep := m[len(m)-1] // members ascend; largest is canonical
+		for _, i := range m {
+			s.orbitRep[i] = rep
+		}
+		if len(m) > 1 {
+			roots = append(roots, r)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return members[roots[i]][0] < members[roots[j]][0] })
+	s.orbits = make([][]int, 0, len(roots))
+	for _, r := range roots {
+		s.orbits = append(s.orbits, members[r])
+	}
+}

@@ -1,0 +1,232 @@
+package arch
+
+import (
+	"fmt"
+	"testing"
+
+	"cgramap/internal/dfg"
+)
+
+func gridFor(t *testing.T, spec GridSpec) *Arch {
+	t.Helper()
+	a, err := Grid(spec)
+	if err != nil {
+		t.Fatalf("Grid(%v): %v", spec, err)
+	}
+	return a
+}
+
+func genNames(s *Symmetries) []string {
+	var names []string
+	for _, g := range s.Gens {
+		names = append(names, g.Name)
+	}
+	return names
+}
+
+func wantGens(t *testing.T, s *Symmetries, want ...string) {
+	t.Helper()
+	got := genNames(s)
+	if len(got) != len(want) {
+		t.Fatalf("generators = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("generators = %v, want %v", got, want)
+		}
+	}
+}
+
+// checkAutomorphism replays the definition: invariants pointwise and a
+// connection bijection under (Perm, PortPerm).
+func checkAutomorphism(t *testing.T, a *Arch, auto Automorphism) {
+	t.Helper()
+	seen := make([]bool, len(a.Prims))
+	for i, img := range auto.Perm {
+		if seen[img] {
+			t.Fatalf("%s: not a permutation (double image %d)", auto.Name, img)
+		}
+		seen[img] = true
+		p, q := a.Prims[i], a.Prims[img]
+		if p.Kind != q.Kind || p.NIn != q.NIn || p.Latency != q.Latency || p.II != q.II || p.Cost != q.Cost {
+			t.Fatalf("%s: %s -> %s invariant mismatch", auto.Name, p.Name, q.Name)
+		}
+	}
+	conns := make(map[Conn]bool, len(a.Conns))
+	for _, c := range a.Conns {
+		conns[c] = true
+	}
+	for _, c := range a.Conns {
+		img := Conn{Src: auto.Perm[c.Src], Dst: auto.Perm[c.Dst], DstPort: auto.Port(c.Dst, c.DstPort)}
+		if !conns[img] {
+			t.Fatalf("%s: connection %v maps to missing %v", auto.Name, c, img)
+		}
+	}
+}
+
+func TestDiscoverHomogeneousGrid(t *testing.T) {
+	for _, ic := range []Interconnect{Orthogonal, Diagonal} {
+		t.Run(ic.String(), func(t *testing.T) {
+			a := gridFor(t, GridSpec{Rows: 4, Cols: 4, Interconnect: ic, Homogeneous: true, Contexts: 1})
+			s := Discover(a)
+			// Diagonal transforms die on the per-row memory ports,
+			// translations on the edge-anchored I/O; the Klein
+			// four-group of reflections survives.
+			wantGens(t, s, "reflect-rows", "reflect-cols", "rot180")
+			for _, g := range s.Gens {
+				checkAutomorphism(t, a, g)
+			}
+		})
+	}
+}
+
+func TestDiscoverHeterogeneousGrid(t *testing.T) {
+	a := gridFor(t, GridSpec{Rows: 4, Cols: 4, Interconnect: Diagonal, Homogeneous: false, Contexts: 1})
+	s := Discover(a)
+	// The multiplier checkerboard has parity (r+c)%2; single-axis
+	// reflections flip it (4x4: r -> 3-r), rot180 preserves it.
+	wantGens(t, s, "rot180")
+	checkAutomorphism(t, a, s.Gens[0])
+}
+
+func TestDiscoverTwoContextGridMatchesSingle(t *testing.T) {
+	// Contexts are a runtime notion; the netlist and hence the group
+	// are context-independent.
+	s1 := Discover(gridFor(t, GridSpec{Rows: 4, Cols: 4, Homogeneous: true, Contexts: 1}))
+	s2 := Discover(gridFor(t, GridSpec{Rows: 4, Cols: 4, Homogeneous: true, Contexts: 2}))
+	g1, g2 := genNames(s1), genNames(s2)
+	if fmt.Sprint(g1) != fmt.Sprint(g2) {
+		t.Fatalf("contexts changed the group: %v vs %v", g1, g2)
+	}
+}
+
+func TestDiscoverMemPortStride(t *testing.T) {
+	// Stride 2 on 4 rows: served row sets {0,1} and {2,3} map onto
+	// each other under row reflection, so the full reflection group
+	// survives.
+	a := gridFor(t, GridSpec{Rows: 4, Cols: 4, Homogeneous: true, Contexts: 1, MemPortEvery: 2})
+	wantGens(t, Discover(a), "reflect-rows", "reflect-cols", "rot180")
+
+	// Stride 3 on 4 rows is lopsided (rows {0,1,2} vs {3}): any
+	// transform moving rows must map a 3-row port onto a 1-row port
+	// and dies; only the column reflection survives.
+	a = gridFor(t, GridSpec{Rows: 4, Cols: 4, Homogeneous: true, Contexts: 1, MemPortEvery: 3})
+	wantGens(t, Discover(a), "reflect-cols")
+}
+
+func TestDiscoverRectangular(t *testing.T) {
+	a := gridFor(t, GridSpec{Rows: 2, Cols: 4, Homogeneous: true, Contexts: 1})
+	s := Discover(a)
+	// No diagonal candidates on a non-square grid.
+	wantGens(t, s, "reflect-rows", "reflect-cols", "rot180")
+}
+
+// pureRing builds a borderless ring of N blocks under the grid naming
+// convention: no I/O or memory anchoring, so torus translation can
+// actually verify.
+func pureRing(t *testing.T, n int) *Arch {
+	t.Helper()
+	b := NewBuilder(fmt.Sprintf("ring-%d", n), 1)
+	ops := []dfg.Kind{dfg.Not}
+	muxes := make([]PrimID, n)
+	fus := make([]PrimID, n)
+	for c := 0; c < n; c++ {
+		muxes[c] = b.Mux(fmt.Sprintf("pe_0_%d.mux", c), 2)
+		fus[c] = b.FU(fmt.Sprintf("pe_0_%d.fu", c), ops, 1, 0, 1)
+	}
+	for c := 0; c < n; c++ {
+		b.Connect(fus[(c+n-1)%n], muxes[c], 0)
+		b.Connect(fus[(c+1)%n], muxes[c], 1)
+		b.Connect(muxes[c], fus[c], 0)
+	}
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestDiscoverTorusTranslation(t *testing.T) {
+	a := pureRing(t, 6)
+	s := Discover(a)
+	// rot180 collapses onto reflect-cols on a single-row fabric and is
+	// deduplicated.
+	wantGens(t, s, "reflect-cols", "translate-cols")
+	for _, g := range s.Gens {
+		checkAutomorphism(t, a, g)
+	}
+	// Reflection + a full-cycle translation generate the dihedral
+	// group acting transitively: one orbit per suffix class.
+	fuOrbit := 0
+	for _, o := range s.Orbits() {
+		if a.Prims[o[0]].Kind == FU {
+			fuOrbit++
+			if len(o) != 6 {
+				t.Fatalf("FU orbit size = %d, want 6", len(o))
+			}
+		}
+	}
+	if fuOrbit != 1 {
+		t.Fatalf("FU orbits = %d, want 1 (transitive action)", fuOrbit)
+	}
+}
+
+func TestDiscoverGridTorusKeepsEdgeAnchors(t *testing.T) {
+	// GridSpec.Torus wraps only the block interconnect; I/O stays
+	// edge-anchored and memory row-anchored, so translations must NOT
+	// verify even on a torus grid.
+	a := gridFor(t, GridSpec{Rows: 4, Cols: 4, Homogeneous: true, Contexts: 1, Torus: true})
+	for _, g := range Discover(a).Gens {
+		if g.Name == "translate-rows" || g.Name == "translate-cols" {
+			t.Fatalf("translation %q verified on an edge-anchored torus grid", g.Name)
+		}
+	}
+}
+
+func TestOrbitsAndReps(t *testing.T) {
+	a := gridFor(t, GridSpec{Rows: 4, Cols: 4, Homogeneous: true, Contexts: 1})
+	s := Discover(a)
+	// ALU orbits under the reflection group: corner/edge/interior
+	// classes of size 4 each; 16 ALUs -> 4 orbits.
+	aluOrbits := 0
+	for _, o := range s.Orbits() {
+		if a.Prims[o[0]].Name[len(a.Prims[o[0]].Name)-4:] == ".alu" {
+			aluOrbits++
+			if len(o) != 4 {
+				t.Fatalf("ALU orbit size = %d, want 4", len(o))
+			}
+			rep := s.OrbitRep(o[0])
+			for _, m := range o {
+				if s.OrbitRep(m) != rep {
+					t.Fatalf("inconsistent orbit rep")
+				}
+				if m > rep {
+					t.Fatalf("rep %d not maximal in orbit %v", rep, o)
+				}
+			}
+		}
+	}
+	if aluOrbits != 4 {
+		t.Fatalf("ALU orbits = %d, want 4", aluOrbits)
+	}
+	// A trivial architecture has no generators and self-representatives.
+	if !Discover(pureRingless(t)).Trivial() {
+		t.Fatalf("asymmetric fabric reported symmetry")
+	}
+}
+
+// pureRingless is a deliberately asymmetric two-block fabric.
+func pureRingless(t *testing.T) *Arch {
+	t.Helper()
+	b := NewBuilder("asym", 1)
+	f0 := b.FU("pe_0_0.fu", []dfg.Kind{dfg.Not}, 1, 0, 1)
+	f1 := b.FU("pe_0_1.fu", []dfg.Kind{dfg.Not, dfg.Add}, 2, 0, 1)
+	b.Connect(f1, f0, 0)
+	b.Connect(f0, f1, 0)
+	b.Connect(f0, f1, 1)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

@@ -100,14 +100,15 @@ func (c *ArtifactCache) MRRG(a *arch.Arch) (*mrrg.Graph, error) {
 // architecture hash is taken at a normalised context count of 1,
 // because a template is II-independent: every II of one fabric shares
 // the entry. The formulation options that shape the template (objective
-// mode, pruning, presolve) are part of the key; solver-side options
-// (workers, seed, incremental) are not — they never reach the
-// formulation.
+// mode, pruning, presolve, symmetry) are part of the key; solver-side
+// options (workers, seed, incremental) are not — they never reach the
+// formulation. Symmetry must be resolved (never SymmetryAuto) by the
+// time a template is requested, so the key is well-defined.
 func templateKey(g *dfg.Graph, a *arch.Arch, opts Options) string {
 	single := *a
 	single.Contexts = 1
-	return fmt.Sprintf("%s/%s/o%d-p%t-s%t", g.Fingerprint(), single.Fingerprint(),
-		opts.Objective, opts.DisablePruning, opts.DisablePresolve)
+	return fmt.Sprintf("%s/%s/o%d-p%t-s%t-y%t", g.Fingerprint(), single.Fingerprint(),
+		opts.Objective, opts.DisablePruning, opts.DisablePresolve, opts.Symmetry == SymmetryOn)
 }
 
 // template returns the (cached) formulation template for mapping g onto

@@ -55,6 +55,13 @@ func MapAuto(ctx context.Context, g *dfg.Graph, a *arch.Arch, maxII int, opts Op
 	if maxII < 1 {
 		return nil, fmt.Errorf("mapper: maxII %d < 1", maxII)
 	}
+	if opts.Symmetry == SymmetryAuto {
+		// The ladder's cost is dominated by proving low IIs infeasible
+		// — the regime where symmetry breaking pays — so auto resolves
+		// to on. The resolved mode flows through every attempt,
+		// speculative lane and portfolio retry below.
+		opts.Symmetry = SymmetryOn
+	}
 	if opts.Artifacts == nil {
 		// Even without a caller-provided cache, the ladder itself is a
 		// reuse opportunity: one template serves every II, and the

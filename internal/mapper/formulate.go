@@ -96,6 +96,15 @@ type Template struct {
 	// is unavailable (exotic architectures).
 	mii int
 
+	// symmetry enables symmetry-breaking constraint emission; syms,
+	// anchorOp and valueSwaps carry the II-independent analysis
+	// (symmetry.go). syms may be nil or trivial when the fabric has no
+	// verified automorphisms — value swaps are emitted regardless.
+	symmetry   bool
+	syms       *arch.Symmetries
+	anchorOp   int
+	valueSwaps [][2]int
+
 	// approxBytes estimates the retained size for artifact-cache
 	// capacity accounting.
 	approxBytes int64
@@ -174,6 +183,9 @@ func NewTemplate(g *dfg.Graph, a *arch.Arch, opts Options) (*Template, error) {
 	t.approxBytes = int64(len(kindMask))*int64(len(a.Prims)) +
 		int64(g.NumOps())*24 + int64(len(t.fuIIs))*8 + int64(len(t.kinds))*40 + 256
 
+	if opts.Symmetry == SymmetryOn {
+		t.initSymmetry(a)
+	}
 	if !opts.DisablePresolve {
 		t.computeMII(a, opts)
 	}
@@ -300,6 +312,9 @@ func (s *stamper) run() error {
 	s.createVars(allowed)
 	s.addPlacementConstraints()
 	s.addRoutingConstraints()
+	if t.symmetry {
+		s.addSymmetryConstraints()
+	}
 	if t.objective == MinimizeRouting {
 		for j := range f.r2 {
 			s.keys = sortedKeys(s.keys, f.r2[j])

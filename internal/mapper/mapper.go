@@ -59,6 +59,16 @@ type Options struct {
 	// is set. The minimal II and every per-II status are unchanged —
 	// incremental solving only changes how fast the answer arrives.
 	Incremental bool
+	// Symmetry controls symmetry-breaking constraints: verified fabric
+	// automorphisms (arch.Discover) become lex-leader and orbit-fixing
+	// constraints, and interchangeable commutative operands are ordered
+	// (symmetry.go). The default SymmetryAuto resolves to on for
+	// MapAuto sweeps and off for direct Map/BuildModel calls. Symmetry
+	// breaking removes symmetric duplicates from the search space but
+	// never an entire solution orbit, so feasibility status, minimal II
+	// and optimal objective are unchanged — like Workers, Seed and
+	// Incremental it is a speed knob, exempt from job fingerprints.
+	Symmetry SymmetryMode
 	// Budget pays for parallelism beyond the caller's own goroutine;
 	// nil selects the process-wide budget.Global pool.
 	Budget *budget.Pool
@@ -125,6 +135,9 @@ func (r *Result) Feasible() bool {
 // solving it. It returns the model (nil when construction already proved
 // infeasibility, together with the reason).
 func BuildModel(g *dfg.Graph, mg *mrrg.Graph, opts Options) (*ilp.Model, string, error) {
+	if opts.Symmetry == SymmetryAuto {
+		opts.Symmetry = SymmetryOff
+	}
 	t, err := templateFor(g, mg.Arch, opts)
 	if err != nil {
 		return nil, "", err
@@ -135,6 +148,12 @@ func BuildModel(g *dfg.Graph, mg *mrrg.Graph, opts Options) (*ilp.Model, string,
 // Map places and routes g onto mg by building and solving the paper's
 // ILP formulation, then decodes and independently verifies the result.
 func Map(ctx context.Context, g *dfg.Graph, mg *mrrg.Graph, opts Options) (*Result, error) {
+	if opts.Symmetry == SymmetryAuto {
+		// A single fixed-II solve is as likely to be an easy SAT
+		// instance (where lex chains are pure overhead) as a hard
+		// proof; only explicit opt-in pays for them here.
+		opts.Symmetry = SymmetryOff
+	}
 	solver := opts.Solver
 	if solver == nil {
 		if opts.Workers > 1 {

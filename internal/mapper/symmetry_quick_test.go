@@ -1,0 +1,127 @@
+package mapper
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cgramap/internal/arch"
+	"cgramap/internal/bench"
+	"cgramap/internal/mrrg"
+)
+
+// applyNodePerm pushes an MRRG node permutation through a mapping,
+// producing the image mapping: placements and every route node are
+// rewritten through nodeMap.
+func applyNodePerm(m *Mapping, nodeMap []int) *Mapping {
+	img := &Mapping{
+		DFG: m.DFG, MRRG: m.MRRG,
+		Placement: make([]int, len(m.Placement)),
+		Routes:    make([][][]int, len(m.Routes)),
+	}
+	for op, p := range m.Placement {
+		img.Placement[op] = nodeMap[p]
+	}
+	for v, routes := range m.Routes {
+		img.Routes[v] = make([][]int, len(routes))
+		for k, route := range routes {
+			img.Routes[v][k] = make([]int, len(route))
+			for i, n := range route {
+				img.Routes[v][k][i] = nodeMap[n]
+			}
+		}
+	}
+	return img
+}
+
+// TestQuickAutomorphismPreservesMapping is the soundness property the
+// symmetry-breaking constraints rest on: applying any element of the
+// discovered automorphism group to a valid mapping yields another valid
+// mapping. Group elements are random words over the verified generator
+// lifts; the base mappings are independently checked by Verify, so a
+// violation here would mean a generator survived verification despite
+// not being a true fabric symmetry.
+func TestQuickAutomorphismPreservesMapping(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	type instance struct {
+		name     string
+		mapping  *Mapping
+		genLifts [][]int
+	}
+	var instances []instance
+
+	// Two fabrics with different verified groups: the homogeneous
+	// diagonal grid keeps all three reflection generators, the
+	// heterogeneous one only rot180.
+	fabrics := []struct {
+		kernel string
+		spec   arch.GridSpec
+	}{
+		{"accum", arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 1}},
+		{"mac", arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: false, Contexts: 2}},
+	}
+	for _, f := range fabrics {
+		a, err := arch.Grid(f.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		syms := arch.Discover(a)
+		if syms.Trivial() {
+			t.Fatalf("%s: no symmetry discovered", a.Name)
+		}
+		mg, err := mrrg.Generate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := bench.MustGet(f.kernel)
+		res, err := Map(ctx, g, mg, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s on %s: %v", f.kernel, a.Name, err)
+		}
+		if res.Mapping == nil {
+			t.Fatalf("%s on %s: no mapping (status %v)", f.kernel, a.Name, res.Status)
+		}
+		if err := res.Mapping.Verify(); err != nil {
+			t.Fatalf("%s on %s: base mapping invalid: %v", f.kernel, a.Name, err)
+		}
+		lifts := make([][]int, len(syms.Gens))
+		for i := range syms.Gens {
+			if lifts[i], err = mrrg.LiftAutomorphism(mg, &syms.Gens[i]); err != nil {
+				t.Fatalf("%s lift %s: %v", a.Name, syms.Gens[i].Name, err)
+			}
+		}
+		instances = append(instances, instance{a.Name + "/" + f.kernel, res.Mapping, lifts})
+	}
+
+	property := func(pick uint8, word []uint8) bool {
+		inst := instances[int(pick)%len(instances)]
+		// Compose a random group word over the generator lifts. Identity
+		// words are fine — they exercise the trivial case.
+		n := len(inst.mapping.MRRG.Nodes)
+		comp := make([]int, n)
+		for i := range comp {
+			comp[i] = i
+		}
+		if len(word) > 8 {
+			word = word[:8]
+		}
+		for _, w := range word {
+			lift := inst.genLifts[int(w)%len(inst.genLifts)]
+			for i := range comp {
+				comp[i] = lift[comp[i]]
+			}
+		}
+		img := applyNodePerm(inst.mapping, comp)
+		if err := img.Verify(); err != nil {
+			t.Logf("%s: word %v: image mapping invalid: %v", inst.name, word, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatal(err)
+	}
+}

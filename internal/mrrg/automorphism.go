@@ -1,0 +1,57 @@
+package mrrg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cgramap/internal/arch"
+)
+
+// LiftAutomorphism lifts a verified architecture automorphism
+// (arch.Discover) to the MRRG: it returns the node permutation nodeMap
+// with nodeMap[id] the image node of id. The lift acts uniformly on
+// contexts — primitive i's replica in context c maps to Perm[i]'s
+// replica in context c — which is well-defined at every II because
+// automorphisms preserve each primitive's II and latency, so the image
+// primitive fires and produces in exactly the same contexts.
+//
+// Because node names are "c<ctx>.<prim><suffix>", the lift is computed
+// by name rewriting: swap the primitive segment for its image and remap
+// multiplexer pin suffixes through the automorphism's port permutation
+// (FU operand ports are never permuted). An error means the
+// automorphism does not actually fit this graph — the defensive check
+// the mapper relies on before emitting symmetry constraints.
+func LiftAutomorphism(g *Graph, auto *arch.Automorphism) ([]int, error) {
+	if len(auto.Perm) != len(g.Arch.Prims) {
+		return nil, fmt.Errorf("mrrg: automorphism over %d primitives, graph has %d", len(auto.Perm), len(g.Arch.Prims))
+	}
+	nodeMap := make([]int, len(g.Nodes))
+	for id, n := range g.Nodes {
+		pname := g.Arch.Prims[n.Prim].Name
+		qname := g.Arch.Prims[auto.Perm[n.Prim]].Name
+		dot := strings.IndexByte(n.Name, '.')
+		if dot < 0 || !strings.HasPrefix(n.Name[dot+1:], pname) {
+			return nil, fmt.Errorf("mrrg: node %q does not carry primitive name %q", n.Name, pname)
+		}
+		suffix := n.Name[dot+1+len(pname):]
+		if n.PinPort >= 0 && auto.PortPerm[n.Prim] != nil {
+			suffix = ".in" + strconv.Itoa(auto.PortPerm[n.Prim][n.PinPort])
+		}
+		img := g.NodeByName(n.Name[:dot+1] + qname + suffix)
+		if img == nil {
+			return nil, fmt.Errorf("mrrg: automorphism %s has no image for node %q", auto.Name, n.Name)
+		}
+		nodeMap[id] = img.ID
+	}
+	// The lift of a bijection by total name rewriting is a bijection,
+	// but verify cheaply rather than trust the rewrite.
+	seen := make([]bool, len(nodeMap))
+	for _, img := range nodeMap {
+		if seen[img] {
+			return nil, fmt.Errorf("mrrg: automorphism %s lift is not a permutation", auto.Name)
+		}
+		seen[img] = true
+	}
+	return nodeMap, nil
+}

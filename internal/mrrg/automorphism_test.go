@@ -1,0 +1,55 @@
+package mrrg
+
+import (
+	"testing"
+
+	"cgramap/internal/arch"
+)
+
+// TestLiftAutomorphismPreservesGraph lifts every verified fabric
+// automorphism to the MRRG at several IIs and checks the lift is a
+// genuine graph automorphism: kinds, contexts, costs, operand ports
+// and every edge are preserved.
+func TestLiftAutomorphismPreservesGraph(t *testing.T) {
+	for _, contexts := range []int{1, 2} {
+		for _, homo := range []bool{true, false} {
+			spec := arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: homo, Contexts: contexts}
+			a, err := arch.Grid(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := Generate(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			syms := arch.Discover(a)
+			if syms.Trivial() {
+				t.Fatalf("%s: no symmetry discovered", spec.Name())
+			}
+			for gi := range syms.Gens {
+				auto := &syms.Gens[gi]
+				nodeMap, err := LiftAutomorphism(g, auto)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", spec.Name(), auto.Name, err)
+				}
+				edge := make(map[[2]int]bool)
+				for _, n := range g.Nodes {
+					for _, to := range n.Fanouts {
+						edge[[2]int{n.ID, to}] = true
+					}
+				}
+				for _, n := range g.Nodes {
+					m := g.Nodes[nodeMap[n.ID]]
+					if n.Kind != m.Kind || n.Context != m.Context || n.Cost != m.Cost || n.OperandPort != m.OperandPort {
+						t.Fatalf("%s/%s: %q -> %q invariant mismatch", spec.Name(), auto.Name, n.Name, m.Name)
+					}
+					for _, to := range n.Fanouts {
+						if !edge[[2]int{m.ID, nodeMap[to]}] {
+							t.Fatalf("%s/%s: edge %q->%q has no image", spec.Name(), auto.Name, n.Name, g.Nodes[to].Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}

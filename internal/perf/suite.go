@@ -190,6 +190,15 @@ func suite() []seriesSpec {
 		// restart-noisy wall clock.
 		mapAutoLadderSpec("mapauto/incremental", true),
 		mapAutoLadderSpec("mapauto/scratch", false),
+		// The symmetry twin pair measures what lex-leader symmetry
+		// breaking buys on a proving-dominated ladder: mac on the
+		// homogeneous 3x3 grid must *prove* II=1 infeasible before
+		// finding the II=2 optimum, and the infeasibility proof is where
+		// collapsing the fabric's automorphism orbits pays. Sequential
+		// and seeded like the other ladder twins, so the halves differ
+		// only in the symmetry constraints.
+		symmetryTwinSpec("mapauto/sym", mapper.SymmetryOn),
+		symmetryTwinSpec("mapauto/nosym", mapper.SymmetryOff),
 		// mapauto/cached is the third member of the ladder family: the
 		// same sequential seeded mult_10 sweep as mapauto/scratch, but
 		// run through a pre-warmed artifact cache, so every iteration
@@ -322,7 +331,8 @@ func mapAutoSpec() seriesSpec {
 			if w < 1 {
 				w = 1
 			}
-			mopts := mapper.Options{Workers: w, Seed: 1, Budget: budget.New(w)}
+			// Symmetry pinned off: this series isolates gang scaling.
+			mopts := mapper.Options{Workers: w, Seed: 1, Symmetry: mapper.SymmetryOff, Budget: budget.New(w)}
 			return func() (map[string]int64, error) {
 				ctx, cancel := context.WithTimeout(context.Background(), solveBudget)
 				defer cancel()
@@ -347,6 +357,11 @@ func mapAutoSpec() seriesSpec {
 // versus one incremental session whose probing, learnt clauses and
 // warm-started phases persist across the sweep. Gated on the short
 // tier: sequential seeded solves are allocation-deterministic.
+//
+// Symmetry is pinned off so the pair keeps isolating the session-reuse
+// variable: MapAuto's auto mode now adds lex-leader constraints, and on
+// this single-rung SAT ladder they shift the seeded search trajectory
+// (see mapauto/{sym,nosym} for the series that measures symmetry).
 func mapAutoLadderSpec(name string, incremental bool) seriesSpec {
 	gs := arch.GridSpec{Rows: 4, Cols: 4, Interconnect: arch.Diagonal, Homogeneous: false, Contexts: 1}
 	return seriesSpec{
@@ -366,7 +381,8 @@ func mapAutoLadderSpec(name string, incremental bool) seriesSpec {
 			if solveBudget <= 0 {
 				solveBudget = 30 * time.Second
 			}
-			mopts := mapper.Options{Workers: 1, Seed: 1, Incremental: incremental, Budget: budget.New(1)}
+			mopts := mapper.Options{Workers: 1, Seed: 1, Incremental: incremental,
+				Symmetry: mapper.SymmetryOff, Budget: budget.New(1)}
 			return func() (map[string]int64, error) {
 				ctx, cancel := context.WithTimeout(context.Background(), solveBudget)
 				defer cancel()
@@ -376,6 +392,50 @@ func mapAutoLadderSpec(name string, incremental bool) seriesSpec {
 				}
 				if !res.Feasible() || res.II != 2 {
 					return nil, fmt.Errorf("expected mult_10 feasible at II=2, got II=%d %v", res.II, res.Status)
+				}
+				return res.SolverStats, nil
+			}, nil
+		},
+	}
+}
+
+// symmetryTwinSpec builds one half of the sym/nosym twin pair: the mac
+// auto-II ladder on the homogeneous diagonal 3x3 grid (II=1 is
+// infeasible and must be proven so; II=2 is optimal), solved
+// sequentially with a fixed seed so the halves walk identical sweeps
+// and differ only in whether the template carries lex-leader symmetry
+// constraints. Gated on the short tier: like the incremental twins,
+// the sequential seeded ladder is allocation-deterministic, and the
+// gate diffs allocs rather than the restart-noisy wall clock.
+func symmetryTwinSpec(name string, sym mapper.SymmetryMode) seriesSpec {
+	gs := arch.GridSpec{Rows: 3, Cols: 3, Interconnect: arch.Diagonal, Homogeneous: true, Contexts: 1}
+	return seriesSpec{
+		name:      name,
+		gated:     true,
+		shortTier: true,
+		setup: func(opts SuiteOptions) (op, error) {
+			a, err := arch.Grid(gs)
+			if err != nil {
+				return nil, err
+			}
+			g, err := bench.Get("mac")
+			if err != nil {
+				return nil, err
+			}
+			solveBudget := opts.SolveBudget
+			if solveBudget <= 0 {
+				solveBudget = 30 * time.Second
+			}
+			mopts := mapper.Options{Workers: 1, Seed: 1, Symmetry: sym, Budget: budget.New(1)}
+			return func() (map[string]int64, error) {
+				ctx, cancel := context.WithTimeout(context.Background(), solveBudget)
+				defer cancel()
+				res, err := mapper.MapAuto(ctx, g, a, 4, mopts)
+				if err != nil {
+					return nil, err
+				}
+				if !res.Feasible() || res.II != 2 {
+					return nil, fmt.Errorf("expected mac feasible at II=2, got II=%d %v", res.II, res.Status)
 				}
 				return res.SolverStats, nil
 			}, nil
@@ -452,8 +512,10 @@ func mapAutoCachedSpec() seriesSpec {
 			if solveBudget <= 0 {
 				solveBudget = 30 * time.Second
 			}
-			mopts := mapper.Options{Workers: 1, Seed: 1, Budget: budget.New(1),
-				Artifacts: mapper.NewArtifactCache(8)}
+			// Symmetry pinned off like the ladder twins this series is
+			// diffed against: it isolates the artifact-cache variable.
+			mopts := mapper.Options{Workers: 1, Seed: 1, Symmetry: mapper.SymmetryOff,
+				Budget: budget.New(1), Artifacts: mapper.NewArtifactCache(8)}
 			warmCtx, warmCancel := context.WithTimeout(context.Background(), solveBudget)
 			defer warmCancel()
 			if _, err := mapper.MapAuto(warmCtx, g, a, 4, mopts); err != nil {

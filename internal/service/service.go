@@ -93,6 +93,11 @@ type JobRequest struct {
 	// II ladder), and adds the incremental strategy to a portfolio race.
 	// Purely a speed knob: the answer is unchanged.
 	Incremental bool `json:"incremental,omitempty"`
+	// Symmetry controls symmetry-breaking constraints: "auto" (default:
+	// on for auto-II ladders, off at a fixed context count), "on" or
+	// "off". Like Incremental it is purely a speed knob — the answer is
+	// unchanged.
+	Symmetry string `json:"symmetry,omitempty"`
 	// Objective is "feasibility" (default) or "routing".
 	Objective string `json:"objective,omitempty"`
 	// DeadlineMS bounds the solve wall clock (0 = server default).
@@ -121,6 +126,12 @@ type JobSpec struct {
 	// Workers and Seed it is fingerprint-exempt — it changes the solve
 	// trajectory, never the answer.
 	Incremental bool
+	// Symmetry selects the symmetry-breaking mode for the job's
+	// formulations. Symmetry breaking removes symmetric duplicates from
+	// the search space but never a whole solution orbit, so it is
+	// fingerprint-exempt like Workers, Seed and Incremental: it changes
+	// how fast the answer arrives, never what it is.
+	Symmetry mapper.SymmetryMode
 	// Artifacts is the server-wide artifact cache (MRRGs, formulation
 	// templates), stamped onto every spec at parse time. Like Workers,
 	// Seed and Incremental it is fingerprint-exempt: stamped
@@ -267,6 +278,10 @@ type Options struct {
 	// (clients can also request it per job; either side opting in
 	// enables it). See JobSpec.Incremental.
 	Incremental bool
+	// Symmetry is the server-wide symmetry-breaking default for jobs
+	// that submit "auto" (or nothing). A job's explicit "on"/"off" wins.
+	// See JobSpec.Symmetry.
+	Symmetry mapper.SymmetryMode
 	// JobTimeout caps every job's solve wall clock server-side, measured
 	// from the moment a worker starts it (0 = no cap). It bounds the
 	// long tail regardless of the deadline the client asked for.
@@ -534,6 +549,17 @@ func (s *Server) ParseRequest(req *JobRequest) (*JobSpec, error) {
 		return nil, errf(400, "unknown objective %q", req.Objective)
 	}
 
+	symmetry, err := mapper.ParseSymmetryMode(req.Symmetry)
+	if err != nil {
+		return nil, errf(400, "%v", err)
+	}
+	if symmetry == mapper.SymmetryAuto {
+		// The server-wide default fills in only when the job itself did
+		// not choose; auto then resolves inside the mapper (on for
+		// auto-II ladders, off at a fixed II).
+		symmetry = s.opts.Symmetry
+	}
+
 	deadline := s.opts.DefaultDeadline
 	if req.DeadlineMS > 0 {
 		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
@@ -552,6 +578,7 @@ func (s *Server) ParseRequest(req *JobRequest) (*JobSpec, error) {
 		Workers:     s.opts.SolveWorkers,
 		Seed:        s.opts.Seed,
 		Incremental: req.Incremental || s.opts.Incremental,
+		Symmetry:    symmetry,
 		Artifacts:   s.artifacts,
 		Fingerprint: Fingerprint(g, a, engine, objective, req.AutoII),
 	}, nil
@@ -1024,7 +1051,7 @@ func RunSpec(ctx context.Context, spec *JobSpec) (*JobResult, error) {
 	}
 
 	mo := mapper.Options{Objective: spec.Objective, Workers: spec.Workers, Seed: spec.Seed,
-		Incremental: spec.Incremental, Artifacts: spec.Artifacts}
+		Incremental: spec.Incremental, Symmetry: spec.Symmetry, Artifacts: spec.Artifacts}
 	switch spec.Engine {
 	case EngineCDCL:
 	case EngineBB:

@@ -27,6 +27,18 @@ const (
 	// Reduce is a balanced binary adder-reduction tree over n inputs.
 	// I/Os n+1, ops n-1, multiplies 0 — a pure I/O-pressure ladder.
 	Reduce Family = "reduce"
+	// Conv2D is an unrolled 2-D convolution with a shared 2x2 weight
+	// kernel, the inner loop of the CNN layers the CGRA
+	// toolchain-evaluation study (arXiv 2502.19114) benchmarks: rung n
+	// computes an n x n output tile from an (n+1) x (n+1) input window,
+	// every weight fanning out to all n*n output points.
+	// I/Os (n+1)^2 + n^2 + 4, ops 7n^2, multiplies 4n^2.
+	Conv2D Family = "conv2d"
+	// MatVec is a dense matrix-vector product y = A*x from the same
+	// study's linear-algebra kernels: rung n multiplies an n x n matrix
+	// into an n-vector, each x_j shared by a column of multiplies.
+	// I/Os n^2 + 2n, ops 2n^2 - n, multiplies n^2.
+	MatVec Family = "matvec"
 	// Gen is the seeded random generator as a family: rung n is a
 	// random DFG with n compute operations (GenerateDFG with the
 	// family's default shape).
@@ -34,7 +46,7 @@ const (
 )
 
 // Families lists every kernel family in a stable order.
-func Families() []Family { return []Family{Dot, FIR, Stencil, Reduce, Gen} }
+func Families() []Family { return []Family{Dot, FIR, Stencil, Reduce, Conv2D, MatVec, Gen} }
 
 // Kernel builds rung n of the family's ladder. The seed only affects
 // the Gen family; structured families are fully determined by n.
@@ -51,6 +63,10 @@ func Kernel(family Family, n int, seed int64) (*dfg.Graph, error) {
 		return stencilKernel(n), nil
 	case Reduce:
 		return reduceKernel(n), nil
+	case Conv2D:
+		return conv2dKernel(n), nil
+	case MatVec:
+		return matvecKernel(n), nil
 	case Gen:
 		return GenerateDFG(DFGSpec{
 			Seed:    seed,
@@ -139,6 +155,70 @@ func stencilKernel(n int) *dfg.Graph {
 		m2 := g.Mul(fmt.Sprintf("m%d_2", i), c2, xs[i+2])
 		t := g.Add(fmt.Sprintf("t%d", i), m0, m1)
 		g.Out(fmt.Sprintf("y%d", i), g.Add(fmt.Sprintf("u%d", i), t, m2))
+	}
+	return g
+}
+
+// conv2dKernel: y_{r,c} = sum_{i,j<2} w_{i,j} * x_{r+i,c+j} over an
+// n x n output tile. The four weights are shared by every output point
+// (fanout n^2 each), and interior image pixels feed up to four
+// neighbouring outputs — the two fanout regimes that make unrolled
+// convolutions routing-bound on spatial fabrics.
+func conv2dKernel(n int) *dfg.Graph {
+	g := dfg.New(fmt.Sprintf("conv2d_%d", n))
+	xs := make([][]*dfg.Value, n+1)
+	for r := range xs {
+		xs[r] = make([]*dfg.Value, n+1)
+		for c := range xs[r] {
+			xs[r][c] = g.In(fmt.Sprintf("x%d_%d", r, c))
+		}
+	}
+	var ws [2][2]*dfg.Value
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			ws[i][j] = g.In(fmt.Sprintf("w%d_%d", i, j))
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			var acc *dfg.Value
+			for i := 0; i < 2; i++ {
+				for j := 0; j < 2; j++ {
+					m := g.Mul(fmt.Sprintf("m%d_%d_%d%d", r, c, i, j), ws[i][j], xs[r+i][c+j])
+					if acc == nil {
+						acc = m
+					} else {
+						acc = g.Add(fmt.Sprintf("s%d_%d_%d%d", r, c, i, j), acc, m)
+					}
+				}
+			}
+			g.Out(fmt.Sprintf("y%d_%d", r, c), acc)
+		}
+	}
+	return g
+}
+
+// matvecKernel: y_i = sum_j a_{i,j} * x_j — one accumulation chain per
+// matrix row, with each vector element fanning out to a column of
+// multiplies.
+func matvecKernel(n int) *dfg.Graph {
+	g := dfg.New(fmt.Sprintf("matvec_%d", n))
+	xs := make([]*dfg.Value, n)
+	for j := range xs {
+		xs[j] = g.In(fmt.Sprintf("x%d", j))
+	}
+	for i := 0; i < n; i++ {
+		var acc *dfg.Value
+		for j := 0; j < n; j++ {
+			a := g.In(fmt.Sprintf("a%d_%d", i, j))
+			m := g.Mul(fmt.Sprintf("m%d_%d", i, j), a, xs[j])
+			if acc == nil {
+				acc = m
+			} else {
+				acc = g.Add(fmt.Sprintf("s%d_%d", i, j), acc, m)
+			}
+		}
+		g.Out(fmt.Sprintf("y%d", i), acc)
 	}
 	return g
 }

@@ -22,6 +22,12 @@ func TestKernelFamilies(t *testing.T) {
 		Reduce: func(n int) dfg.Stats {
 			return dfg.Stats{IOs: n + 1, Ops: n - 1, Multiplies: 0}
 		},
+		Conv2D: func(n int) dfg.Stats {
+			return dfg.Stats{IOs: (n+1)*(n+1) + n*n + 4, Ops: 7 * n * n, Multiplies: 4 * n * n}
+		},
+		MatVec: func(n int) dfg.Stats {
+			return dfg.Stats{IOs: n*n + 2*n, Ops: 2*n*n - n, Multiplies: n * n}
+		},
 	}
 	for _, family := range Families() {
 		for _, n := range []int{1, 2, 3, 4, 7, 16} {
@@ -72,7 +78,7 @@ func TestKernelLadderMonotone(t *testing.T) {
 }
 
 func TestKernelSeedOnlyAffectsGen(t *testing.T) {
-	for _, family := range []Family{Dot, FIR, Stencil, Reduce} {
+	for _, family := range []Family{Dot, FIR, Stencil, Reduce, Conv2D, MatVec} {
 		a, _ := Kernel(family, 5, 1)
 		b, _ := Kernel(family, 5, 99)
 		if a.FormatString() != b.FormatString() {
@@ -89,6 +95,27 @@ func TestKernelSeedOnlyAffectsGen(t *testing.T) {
 	}
 	if a.FormatString() == b.FormatString() {
 		t.Error("gen: seed had no effect")
+	}
+}
+
+// TestKernelByteDeterminism: equal (family, n, seed) triples must emit
+// byte-identical kernels — the property that makes committed frontier
+// corpora regenerate as no-op diffs.
+func TestKernelByteDeterminism(t *testing.T) {
+	for _, family := range Families() {
+		for _, seed := range []int64{1, 42} {
+			a, err := Kernel(family, 6, seed)
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", family, seed, err)
+			}
+			b, err := Kernel(family, 6, seed)
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", family, seed, err)
+			}
+			if a.FormatString() != b.FormatString() {
+				t.Errorf("%s seed=%d: repeated build differs", family, seed)
+			}
+		}
 	}
 }
 
